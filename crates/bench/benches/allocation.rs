@@ -1,0 +1,37 @@
+//! Micro-benchmark: end-to-end allocation cost of each algorithm on a
+//! small quality workload (the per-cell cost behind Figs. 3–4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tirm_bench::{tirm_options, AlgoKind, QualityWorkload};
+use tirm_core::tirm_allocate;
+use tirm_workloads::DatasetKind;
+
+fn bench_allocation(c: &mut Criterion) {
+    std::env::set_var("TIRM_SCALE", "0.15");
+    let w = QualityWorkload::new(DatasetKind::Flixster, 0xbe9c);
+    std::env::remove_var("TIRM_SCALE");
+
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("myopic", |b| {
+        let p = w.problem(1, 0.0);
+        b.iter(|| AlgoKind::Myopic.run(&p, true, 1).0.total_seeds())
+    });
+    group.bench_function("myopic_plus", |b| {
+        let p = w.problem(1, 0.0);
+        b.iter(|| AlgoKind::MyopicPlus.run(&p, true, 1).0.total_seeds())
+    });
+    group.bench_function("tirm", |b| {
+        let p = w.problem(1, 0.0);
+        b.iter(|| tirm_allocate(&p, tirm_options(true, 1)).0.total_seeds())
+    });
+    group.bench_function("greedy_irie", |b| {
+        let p = w.problem(1, 0.0);
+        b.iter(|| AlgoKind::GreedyIrie.run(&p, true, 1).0.total_seeds())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

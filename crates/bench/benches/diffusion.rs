@@ -1,0 +1,27 @@
+//! Micro-benchmark: forward Monte-Carlo cascade throughput (the evaluation
+//! path of §6 and the paper's conceptual Greedy oracle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tirm_diffusion::{mc_spread, mc_spread_parallel};
+use tirm_graph::generators;
+
+fn bench_diffusion(c: &mut Criterion) {
+    let g = generators::preferential_attachment(5_000, 8, 0.3, 3);
+    let probs = vec![0.03f32; g.num_edges()];
+    let seeds: Vec<u32> = (0..50).collect();
+    let ctp = vec![0.02f32; g.num_nodes()];
+
+    let mut group = c.benchmark_group("diffusion");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("mc_spread_1000_runs", |b| {
+        b.iter(|| mc_spread(&g, &probs, &seeds, Some(&ctp), 1000, 11))
+    });
+    group.bench_function("mc_spread_parallel_4t_1000_runs", |b| {
+        b.iter(|| mc_spread_parallel(&g, &probs, &seeds, Some(&ctp), 1000, 11, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

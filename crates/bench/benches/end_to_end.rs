@@ -1,0 +1,28 @@
+//! Macro-benchmark: one full quality cell — workload generation,
+//! allocation and MC evaluation (what one Fig. 3 data point costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tirm_bench::{run_quality_cell, AlgoKind, QualityWorkload};
+use tirm_workloads::DatasetKind;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    std::env::set_var("TIRM_SCALE", "0.1");
+    std::env::set_var("TIRM_EVAL_RUNS", "1000");
+    let w = QualityWorkload::new(DatasetKind::Epinions, 0xe2e);
+    std::env::remove_var("TIRM_SCALE");
+    std::env::remove_var("TIRM_EVAL_RUNS");
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("quality_cell_tirm", |b| {
+        b.iter(|| run_quality_cell(&w, AlgoKind::Tirm, 1, 0.0, 7).total_regret)
+    });
+    group.bench_function("quality_cell_myopic_plus", |b| {
+        b.iter(|| run_quality_cell(&w, AlgoKind::MyopicPlus, 1, 0.0, 7).total_regret)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Fig. 6(a–d): scalability — running time of TIRM and GREEDY-IRIE on the
+//! DBLP-like network (vs number of advertisers h, and vs per-advertiser
+//! budget) and of TIRM on the LIVEJOURNAL-like network (same two sweeps).
+//!
+//! Setup follows §6.2: Weighted-Cascade probabilities, CPE = CTP = 1,
+//! λ = 0, κ = 1, ε = 0.2, all ads identical (full competition).
+//! GREEDY-IRIE is skipped on LIVEJOURNAL-like inputs exactly as in the
+//! paper ("excluded due to its huge running time") unless
+//! `TIRM_FIG6_IRIE_LJ=1`.
+//!
+//! Expected shape: TIRM scales ~linearly in h and stays roughly flat vs
+//! budget; GREEDY-IRIE grows super-linearly vs budget and is an order of
+//! magnitude slower at moderate h.
+
+use std::time::Instant;
+use tirm_bench::{banner, tirm_options, write_json, AlgoKind};
+use tirm_core::report::{fnum, Table};
+use tirm_core::{Attention, ProblemInstance};
+use tirm_topics::CtpTable;
+use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
+
+struct ScaleRow {
+    dataset: &'static str,
+    algo: &'static str,
+    h: usize,
+    budget: f64,
+    seconds: f64,
+    seeds: usize,
+    memory_bytes: usize,
+    rr_sets: usize,
+}
+
+fn run_cell(
+    d: &Dataset,
+    algo: AlgoKind,
+    h: usize,
+    budget: f64,
+    rows: &mut Vec<ScaleRow>,
+) -> f64 {
+    let ads = campaigns::uniform_campaign(h, budget);
+    let flat: Vec<f32> = (0..d.graph.num_edges() as u32)
+        .map(|e| d.topic_probs.get(e, 0))
+        .collect();
+    let edge_probs = vec![flat; h];
+    let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
+    let problem = ProblemInstance::new(
+        &d.graph,
+        ads,
+        edge_probs,
+        ctp,
+        Attention::Uniform(1),
+        0.0,
+    );
+    let t0 = Instant::now();
+    let (alloc, stats) = match algo {
+        AlgoKind::Tirm => tirm_core::tirm_allocate(&problem, tirm_options(false, 0x5ca1e)),
+        AlgoKind::GreedyIrie => algo.run(&problem, false, 0x5ca1e),
+        _ => unreachable!("fig6 compares TIRM and GREEDY-IRIE only"),
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    alloc.validate(&problem).expect("valid allocation");
+    eprintln!(
+        "  {} {} h={h} B={budget:.0}: {:.1}s, {} seeds, {:.2} GB, {} RR sets",
+        d.kind.name(),
+        algo.name(),
+        secs,
+        alloc.total_seeds(),
+        stats.memory_bytes as f64 / 1e9,
+        stats.rr_sets_per_ad.iter().sum::<usize>()
+    );
+    rows.push(ScaleRow {
+        dataset: d.kind.name(),
+        algo: algo.name(),
+        h,
+        budget,
+        seconds: secs,
+        seeds: alloc.total_seeds(),
+        memory_bytes: stats.memory_bytes,
+        rr_sets: stats.rr_sets_per_ad.iter().sum(),
+    });
+    secs
+}
+
+fn main() {
+    let cfg = ScaleConfig::from_env();
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    let irie_on_lj = std::env::var("TIRM_FIG6_IRIE_LJ").is_ok_and(|v| v == "1");
+
+    for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+        let d = Dataset::generate(kind, &cfg, 0x5ca1e + kind as u64);
+        banner(
+            &format!(
+                "fig6: {} ({} nodes, {} edges)",
+                kind.name(),
+                d.graph.num_nodes(),
+                d.graph.num_edges()
+            ),
+            &cfg,
+        );
+        // Per-advertiser budgets, scaled like the paper's (5K on DBLP,
+        // 80K on LIVEJOURNAL, at their original sizes).
+        let base_budget = match kind {
+            DatasetKind::Dblp => 5_000.0 * d.size_ratio,
+            _ => 80_000.0 * d.size_ratio,
+        };
+        let algos: &[AlgoKind] = match kind {
+            DatasetKind::Dblp => &[AlgoKind::Tirm, AlgoKind::GreedyIrie],
+            _ if irie_on_lj => &[AlgoKind::Tirm, AlgoKind::GreedyIrie],
+            _ => &[AlgoKind::Tirm],
+        };
+
+        // (a)/(c): vary h with fixed budget.
+        let mut t = Table::new(&["h", "TIRM (s)", "IRIE (s)"]);
+        for h in [1usize, 5, 10, 15, 20] {
+            let mut cells = vec![h.to_string()];
+            for algo in [AlgoKind::Tirm, AlgoKind::GreedyIrie] {
+                if algos.contains(&algo) {
+                    let secs = run_cell(&d, algo, h, base_budget, &mut rows);
+                    cells.push(fnum(secs));
+                } else {
+                    cells.push("-".into());
+                }
+            }
+            t.row(cells);
+        }
+        println!(
+            "\nFig. 6 — {}: running time vs number of advertisers (B = {:.0})",
+            kind.name(),
+            base_budget
+        );
+        println!("{}", t.render());
+
+        // (b)/(d): vary budget with h = 5.
+        let mut t = Table::new(&["budget", "TIRM (s)", "IRIE (s)"]);
+        let sweep: Vec<f64> = match kind {
+            DatasetKind::Dblp => [2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0]
+                .iter()
+                .map(|b| b * d.size_ratio)
+                .collect(),
+            _ => [50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0]
+                .iter()
+                .map(|b| b * d.size_ratio)
+                .collect(),
+        };
+        for budget in sweep {
+            let mut cells = vec![fnum(budget)];
+            for algo in [AlgoKind::Tirm, AlgoKind::GreedyIrie] {
+                if algos.contains(&algo) {
+                    let secs = run_cell(&d, algo, 5, budget, &mut rows);
+                    cells.push(fnum(secs));
+                } else {
+                    cells.push("-".into());
+                }
+            }
+            t.row(cells);
+        }
+        println!(
+            "\nFig. 6 — {}: running time vs per-advertiser budget (h = 5)",
+            kind.name()
+        );
+        println!("{}", t.render());
+    }
+
+    let json: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "dataset": r.dataset, "algo": r.algo, "h": r.h,
+                "budget": r.budget, "seconds": r.seconds, "seeds": r.seeds,
+                "memory_bytes": r.memory_bytes, "rr_sets": r.rr_sets,
+            })
+        })
+        .collect();
+    write_json("fig6", &json);
+}

@@ -1,0 +1,232 @@
+//! Shared plumbing for the experiment binaries: algorithm registry,
+//! problem construction from workloads, and result output (aligned text
+//! tables on stdout + JSON rows under `target/experiments/`).
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+use tirm_core::{
+    evaluate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
+    AlgoStats, Allocation, Attention, Evaluation, GreedyIrieOptions, ProblemInstance,
+    TirmOptions,
+};
+use tirm_irie::IrieConfig;
+use tirm_topics::CtpTable;
+use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
+
+/// The four algorithms compared throughout §6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// MYOPIC baseline.
+    Myopic,
+    /// MYOPIC+ baseline.
+    MyopicPlus,
+    /// GREEDY-IRIE (the paper labels it "IRIE" in figures).
+    GreedyIrie,
+    /// TIRM (Algorithm 2).
+    Tirm,
+}
+
+impl AlgoKind {
+    /// All four, in the paper's legend order.
+    pub const ALL: [AlgoKind; 4] = [
+        AlgoKind::Myopic,
+        AlgoKind::MyopicPlus,
+        AlgoKind::GreedyIrie,
+        AlgoKind::Tirm,
+    ];
+
+    /// Figure-legend name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Myopic => "Myopic",
+            AlgoKind::MyopicPlus => "Myopic+",
+            AlgoKind::GreedyIrie => "IRIE",
+            AlgoKind::Tirm => "TIRM",
+        }
+    }
+
+    /// Runs the algorithm on `problem`.
+    pub fn run(
+        self,
+        problem: &ProblemInstance<'_>,
+        quality: bool,
+        seed: u64,
+    ) -> (Allocation, AlgoStats) {
+        match self {
+            AlgoKind::Myopic => myopic_allocate(problem),
+            AlgoKind::MyopicPlus => myopic_plus_allocate(problem),
+            AlgoKind::GreedyIrie => greedy_irie_allocate(
+                problem,
+                GreedyIrieOptions {
+                    irie: IrieConfig {
+                        // §6: α = 0.8 gave the best spread estimates on the
+                        // quality data sets; 0.7 on the scalability ones.
+                        alpha: if quality { 0.8 } else { 0.7 },
+                        ..IrieConfig::default()
+                    },
+                    max_total_seeds: None,
+                },
+            ),
+            AlgoKind::Tirm => tirm_allocate(problem, tirm_options(quality, seed)),
+        }
+    }
+}
+
+/// TIRM options per experiment family: ε = 0.1 for quality runs, 0.2 for
+/// scalability runs (§6), with per-ad sample caps keeping the harness
+/// inside laptop memory (documented in DESIGN.md; the cap only reduces
+/// estimation accuracy, never correctness).
+pub fn tirm_options(quality: bool, seed: u64) -> TirmOptions {
+    TirmOptions {
+        eps: if quality { 0.1 } else { 0.2 },
+        seed,
+        max_theta_per_ad: Some(if quality { 1_000_000 } else { 400_000 }),
+        ..TirmOptions::default()
+    }
+}
+
+/// Owns everything a quality-experiment problem instance borrows.
+pub struct QualityWorkload {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// Advertisers (budgets already scaled by the dataset's size ratio).
+    pub ads: Vec<tirm_core::Advertiser>,
+    /// CTPs `U[0.01, 0.03]`.
+    pub ctp: CtpTable,
+    /// Scale configuration in effect.
+    pub cfg: ScaleConfig,
+}
+
+impl QualityWorkload {
+    /// Builds the §6.1 setup for FLIXSTER or EPINIONS.
+    pub fn new(kind: DatasetKind, seed: u64) -> Self {
+        let cfg = ScaleConfig::from_env();
+        let dataset = Dataset::generate(kind, &cfg, seed);
+        let spec = campaigns::CampaignSpec::quality(kind);
+        // Budgets scale with graph size; `TIRM_BUDGET_FACTOR` applies an
+        // extra multiplier so the §4.1 working assumptions (p_i < 1 and
+        // seeds ≪ n) can be kept when running far below paper scale.
+        let factor: f64 = std::env::var("TIRM_BUDGET_FACTOR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let ads = campaigns::campaign(&spec, dataset.size_ratio * factor, seed ^ 0xada);
+        let ctp = CtpTable::uniform_random(
+            dataset.graph.num_nodes(),
+            ads.len(),
+            0.01,
+            0.03,
+            seed ^ 0xc7b,
+        );
+        QualityWorkload {
+            dataset,
+            ads,
+            ctp,
+            cfg,
+        }
+    }
+
+    /// Instantiates the problem at the given κ and λ.
+    pub fn problem(&self, kappa: u32, lambda: f64) -> ProblemInstance<'_> {
+        ProblemInstance::from_topic_model(
+            &self.dataset.graph,
+            &self.dataset.topic_probs,
+            self.ads.clone(),
+            self.ctp.clone(),
+            Attention::Uniform(kappa),
+            lambda,
+        )
+    }
+
+    /// Ground-truth MC evaluation at the configured run count.
+    pub fn evaluate(&self, problem: &ProblemInstance<'_>, alloc: &Allocation) -> Evaluation {
+        evaluate(problem, alloc, self.cfg.eval_runs, 0xe7a1, self.cfg.threads)
+    }
+}
+
+/// One output row of a quality experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct QualityRow {
+    /// Data set name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Attention bound κ.
+    pub kappa: u32,
+    /// Penalty λ.
+    pub lambda: f64,
+    /// MC-evaluated total regret (Eq. 4).
+    pub total_regret: f64,
+    /// Regret / total budget.
+    pub relative_regret: f64,
+    /// Distinct users targeted (Table 3 metric).
+    pub distinct_targeted: usize,
+    /// Total seeds allocated.
+    pub total_seeds: usize,
+    /// Allocation wall-clock seconds.
+    pub runtime_s: f64,
+    /// Algorithm memory bytes (Table 4 metric).
+    pub memory_bytes: usize,
+    /// Per-ad signed slack `Π_i − B_i` (Fig. 5 metric).
+    pub slack_per_ad: Vec<f64>,
+}
+
+/// Runs one (algorithm, κ, λ) cell and evaluates it.
+pub fn run_quality_cell(
+    w: &QualityWorkload,
+    algo: AlgoKind,
+    kappa: u32,
+    lambda: f64,
+    seed: u64,
+) -> QualityRow {
+    let problem = w.problem(kappa, lambda);
+    let (alloc, stats) = algo.run(&problem, true, seed);
+    alloc
+        .validate(&problem)
+        .expect("algorithm produced an invalid allocation");
+    let ev = w.evaluate(&problem, &alloc);
+    QualityRow {
+        dataset: w.dataset.kind.name().to_string(),
+        algo: algo.name().to_string(),
+        kappa,
+        lambda,
+        total_regret: ev.regret.total(),
+        relative_regret: ev.regret.relative_regret(),
+        distinct_targeted: alloc.distinct_targeted(),
+        total_seeds: alloc.total_seeds(),
+        runtime_s: stats.runtime.as_secs_f64(),
+        memory_bytes: stats.memory_bytes,
+        slack_per_ad: ev.regret.per_ad.iter().map(|a| a.signed_slack()).collect(),
+    }
+}
+
+/// Writes experiment rows as pretty-printed JSON under
+/// `target/experiments/<name>.json` (best-effort; failures only warn).
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warn: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let s = serde_json::to_string_pretty(rows).expect("serializable rows");
+            if let Err(e) = f.write_all(s.as_bytes()) {
+                eprintln!("warn: write {}: {e}", path.display());
+            } else {
+                eprintln!("[json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: create {}: {e}", path.display()),
+    }
+}
+
+/// Standard run header so logs are self-describing.
+pub fn banner(name: &str, cfg: &ScaleConfig) {
+    eprintln!(
+        "== {name} | scale={} eval_runs={} threads={} ==",
+        cfg.scale, cfg.eval_runs, cfg.threads
+    );
+}

@@ -1,0 +1,115 @@
+//! MYOPIC baseline (§6): assign every user her `κ_u` most relevant ads by
+//! expected direct revenue `δ(u,i)·cpe(i)`, ignoring virality and budgets.
+//! Allocation A of Fig. 1 follows this rule.
+
+use crate::allocation::Allocation;
+use crate::metrics::AlgoStats;
+use crate::problem::ProblemInstance;
+use std::time::Instant;
+use tirm_graph::NodeId;
+
+/// Runs MYOPIC. Every user with a positive-revenue ad gets assigned, so the
+/// number of distinct targeted users is `n` whenever all CTPs are positive
+/// (the Table 3 behaviour).
+pub fn myopic_allocate(problem: &ProblemInstance<'_>) -> (Allocation, AlgoStats) {
+    let start = Instant::now();
+    let h = problem.num_ads();
+    let n = problem.num_nodes();
+    let mut alloc = Allocation::empty(h, n);
+    // (score, ad) scratch reused per user.
+    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(h);
+    for u in 0..n as NodeId {
+        let k = problem.attention.of(u) as usize;
+        if k == 0 {
+            continue;
+        }
+        scored.clear();
+        for i in 0..h {
+            let rev = problem.direct_revenue(u, i);
+            if rev > 0.0 {
+                scored.push((rev, i));
+            }
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, i) in scored.iter().take(k) {
+            alloc.assign(u, i);
+        }
+    }
+    let stats = AlgoStats {
+        runtime: start.elapsed(),
+        seeds_per_ad: (0..h).map(|i| alloc.seeds(i).len()).collect(),
+        estimated_revenue: (0..h)
+            .map(|i| {
+                alloc
+                    .seeds(i)
+                    .iter()
+                    .map(|&u| problem.direct_revenue(u, i))
+                    .sum()
+            })
+            .collect(),
+        memory_bytes: 0,
+        rr_sets_per_ad: vec![],
+        oracle_calls: 0,
+    };
+    (alloc, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Advertiser, Attention};
+    use tirm_graph::generators;
+    use tirm_topics::{CtpTable, TopicDist};
+
+    #[test]
+    fn picks_highest_direct_revenue_ad() {
+        // Two ads: ad 0 has CTP 0.9 for everyone, ad 1 has 0.8 (Fig. 1
+        // shape). With κ = 1 everyone goes to ad 0.
+        let g = generators::path(6);
+        let ads = vec![
+            Advertiser::new(4.0, 1.0, TopicDist::single(1, 0)),
+            Advertiser::new(2.0, 1.0, TopicDist::single(1, 0)),
+        ];
+        let probs = vec![vec![0.2f32; g.num_edges()]; 2];
+        let ctp = CtpTable::direct(vec![vec![0.9; 6], vec![0.8; 6]]);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, stats) = myopic_allocate(&p);
+        assert_eq!(alloc.seeds(0).len(), 6);
+        assert_eq!(alloc.seeds(1).len(), 0);
+        assert_eq!(alloc.distinct_targeted(), 6);
+        alloc.validate(&p).unwrap();
+        assert!((stats.estimated_revenue[0] - 5.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpe_breaks_ctp_ties() {
+        // Same CTP but ad 1 pays double → ad 1 wins.
+        let g = generators::path(3);
+        let ads = vec![
+            Advertiser::new(1.0, 1.0, TopicDist::single(1, 0)),
+            Advertiser::new(1.0, 2.0, TopicDist::single(1, 0)),
+        ];
+        let probs = vec![vec![0.0f32; g.num_edges()]; 2];
+        let ctp = CtpTable::constant(3, 2, 0.5);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, _) = myopic_allocate(&p);
+        assert_eq!(alloc.seeds(1).len(), 3);
+        assert!(alloc.seeds(0).is_empty());
+    }
+
+    #[test]
+    fn kappa_takes_top_k() {
+        let g = generators::path(4);
+        let ads = (0..3)
+            .map(|_| Advertiser::new(1.0, 1.0, TopicDist::single(1, 0)))
+            .collect();
+        let probs = vec![vec![0.0f32; g.num_edges()]; 3];
+        let ctp = CtpTable::direct(vec![vec![0.3; 4], vec![0.2; 4], vec![0.1; 4]]);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(2), 0.0);
+        let (alloc, _) = myopic_allocate(&p);
+        assert_eq!(alloc.seeds(0).len(), 4);
+        assert_eq!(alloc.seeds(1).len(), 4);
+        assert_eq!(alloc.seeds(2).len(), 0, "κ=2 stops at the second ad");
+        alloc.validate(&p).unwrap();
+    }
+}

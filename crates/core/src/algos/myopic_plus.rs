@@ -1,0 +1,143 @@
+//! MYOPIC+ baseline (§6): budget-conscious but virality-blind. For each ad,
+//! users are ranked by CTP; seeds are taken in that order until the ad's
+//! budget is exhausted *by expected direct revenue*. Ads proceed
+//! round-robin, skipping users whose attention bound is spent.
+
+use crate::allocation::Allocation;
+use crate::metrics::AlgoStats;
+use crate::problem::ProblemInstance;
+use std::time::Instant;
+use tirm_graph::NodeId;
+
+/// Runs MYOPIC+.
+pub fn myopic_plus_allocate(problem: &ProblemInstance<'_>) -> (Allocation, AlgoStats) {
+    let start = Instant::now();
+    let h = problem.num_ads();
+    let n = problem.num_nodes();
+    let mut alloc = Allocation::empty(h, n);
+
+    // Per-ad CTP-descending user order.
+    let mut order: Vec<Vec<NodeId>> = Vec::with_capacity(h);
+    for i in 0..h {
+        let mut idx: Vec<NodeId> = (0..n as NodeId).collect();
+        idx.sort_by(|&a, &b| {
+            problem
+                .ctp
+                .get(b, i)
+                .partial_cmp(&problem.ctp.get(a, i))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        order.push(idx);
+    }
+    let mut cursor = vec![0usize; h];
+    let mut direct_revenue = vec![0.0f64; h];
+    let mut done = vec![false; h];
+    let mut remaining = h;
+
+    // Round-robin: each live ad takes its next affordable, attention-free
+    // user; an ad finishes when its expected direct revenue reaches the
+    // budget or it runs out of users.
+    while remaining > 0 {
+        for i in 0..h {
+            if done[i] {
+                continue;
+            }
+            let budget = problem.target_budget(i);
+            if direct_revenue[i] >= budget {
+                done[i] = true;
+                remaining -= 1;
+                continue;
+            }
+            // Advance to the next assignable user.
+            let mut took = false;
+            while cursor[i] < n {
+                let u = order[i][cursor[i]];
+                cursor[i] += 1;
+                if alloc.can_assign(problem, u, i) {
+                    alloc.assign(u, i);
+                    direct_revenue[i] += problem.direct_revenue(u, i);
+                    took = true;
+                    break;
+                }
+            }
+            if !took {
+                done[i] = true;
+                remaining -= 1;
+            }
+        }
+    }
+
+    let stats = AlgoStats {
+        runtime: start.elapsed(),
+        seeds_per_ad: (0..h).map(|i| alloc.seeds(i).len()).collect(),
+        estimated_revenue: direct_revenue,
+        memory_bytes: 0,
+        rr_sets_per_ad: vec![],
+        oracle_calls: 0,
+    };
+    (alloc, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Advertiser, Attention};
+    use tirm_graph::generators;
+    use tirm_topics::{CtpTable, TopicDist};
+
+    #[test]
+    fn stops_at_budget() {
+        // CTP 0.5, cpe 1 → each seed contributes 0.5 expected revenue.
+        // Budget 1.0 ⇒ exactly 2 seeds.
+        let g = generators::path(10);
+        let ads = vec![Advertiser::new(1.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.0f32; g.num_edges()]];
+        let ctp = CtpTable::constant(10, 1, 0.5);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, stats) = myopic_plus_allocate(&p);
+        assert_eq!(alloc.seeds(0).len(), 2);
+        assert!((stats.estimated_revenue[0] - 1.0).abs() < 1e-9);
+        alloc.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn prefers_high_ctp_users() {
+        let g = generators::path(4);
+        let ads = vec![Advertiser::new(0.5, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.0f32; g.num_edges()]];
+        let ctp = CtpTable::direct(vec![vec![0.1, 0.9, 0.2, 0.8]]);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, _) = myopic_plus_allocate(&p);
+        assert_eq!(alloc.seeds(0), &[1], "single best-CTP user suffices");
+    }
+
+    #[test]
+    fn round_robin_respects_attention() {
+        // Two identical ads, κ = 1, two users. Round-robin must split them.
+        let g = generators::path(2);
+        let ads = vec![
+            Advertiser::new(10.0, 1.0, TopicDist::single(1, 0)),
+            Advertiser::new(10.0, 1.0, TopicDist::single(1, 0)),
+        ];
+        let probs = vec![vec![0.0f32; g.num_edges()]; 2];
+        let ctp = CtpTable::direct(vec![vec![0.9, 0.8], vec![0.9, 0.8]]);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, _) = myopic_plus_allocate(&p);
+        assert_eq!(alloc.seeds(0).len() + alloc.seeds(1).len(), 2);
+        assert_eq!(alloc.seeds(0), &[0], "first ad takes the best user");
+        assert_eq!(alloc.seeds(1), &[1], "second ad gets the runner-up");
+        alloc.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn runs_out_of_users_gracefully() {
+        let g = generators::path(3);
+        let ads = vec![Advertiser::new(100.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.0f32; g.num_edges()]];
+        let ctp = CtpTable::constant(3, 1, 0.01);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, _) = myopic_plus_allocate(&p);
+        assert_eq!(alloc.seeds(0).len(), 3, "all users taken, budget unmet");
+    }
+}

@@ -1,0 +1,617 @@
+//! **TIRM** — Two-phase Iterative Regret Minimization (Algorithm 2), the
+//! paper's scalable allocator.
+//!
+//! Per ad `i`, TIRM keeps a collection `R_i` of random RR sets sampled
+//! under that ad's projected arc probabilities (CTPs are *not* baked into
+//! the samples — Theorem 5 shows multiplying marginal coverage by
+//! `δ(u, i)` is equivalent in expectation and avoids the ~1/CTP sample
+//! blow-up of RRC sampling). The greedy core mirrors Algorithm 1 but reads
+//! marginal revenues from coverage:
+//!
+//! `MG_i(v) = cpe(i) · n · δ(v,i) · score_i(v) / θ_i`.
+//!
+//! **Covered-set bookkeeping.** Algorithm 2 (line 12) removes covered RR
+//! sets outright, which is exact when seeds click with probability 1 (the
+//! §6.2 scalability setup). With realistic 1–3% CTPs a chosen seed only
+//! covers a set with probability `δ`, so the exact possible-world
+//! bookkeeping *decays* the set's weight by `(1 − δ)` instead
+//! ([`WeightedRrCollection`]); at `δ = 1` the two coincide. The literal
+//! hard-removal rule is kept behind [`TirmOptions::hard_cover`] and
+//! compared in the `ablation` harness — at paper scale the chosen seeds'
+//! reachability sets barely overlap and the difference vanishes, at
+//! miniature scale hard removal under-estimates revenue and overshoots.
+//!
+//! Seed-set sizes are unknown upfront (budgets are monetary), so TIRM
+//! starts each ad at `s_i = 1` and, whenever `|S_i|` reaches `s_i`, grows
+//! `s_i` by `⌊R_i(S_i)/MG_last⌋` (a safe underestimate thanks to
+//! submodularity), tops the collection up to `θ_i = max(L(s_i,ε), θ_i)`
+//! samples (Eq. 5) and refreshes existing seeds' coverage credit
+//! (Algorithm 4 `UpdateEstimates`).
+
+use crate::algos::DROP_TOL;
+use crate::allocation::Allocation;
+use crate::metrics::AlgoStats;
+use crate::problem::ProblemInstance;
+use crate::regret::ad_regret;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tirm_graph::NodeId;
+use tirm_rrset::heap::Verdict;
+use tirm_rrset::weighted::{score_key, WeightedRrCollection};
+use tirm_rrset::{KptEstimator, LazyMaxHeap, RrSampler, SampleBound};
+
+/// Options for TIRM.
+#[derive(Clone, Copy, Debug)]
+pub struct TirmOptions {
+    /// Accuracy parameter ε of the sample-size bound (0.1 in the paper's
+    /// quality experiments, 0.2 in the scalability experiments).
+    pub eps: f64,
+    /// Confidence parameter ℓ (failure probability `n^{-ℓ}`).
+    pub ell: f64,
+    /// RNG seed (whole run is deterministic given it).
+    pub seed: u64,
+    /// Hard per-ad cap on RR sets (memory guard); `None` = uncapped.
+    pub max_theta_per_ad: Option<usize>,
+    /// Safety cap on total seeds; `None` lets regret terminate alone.
+    pub max_total_seeds: Option<usize>,
+    /// Ablation: when true, candidate selection maximizes the actual regret
+    /// drop (scanning past the max-coverage node when it overshoots) rather
+    /// than Algorithm 3's pure max-coverage rule.
+    pub exact_drop_selection: bool,
+    /// Ablation: the paper's literal line-12 rule — remove covered sets
+    /// regardless of the covering seed's CTP (exact only at `δ = 1`).
+    pub hard_cover: bool,
+}
+
+impl Default for TirmOptions {
+    fn default() -> Self {
+        TirmOptions {
+            eps: 0.1,
+            ell: 1.0,
+            seed: 0x7153_11b5,
+            max_theta_per_ad: Some(4_000_000),
+            max_total_seeds: None,
+            exact_drop_selection: false,
+            hard_cover: false,
+        }
+    }
+}
+
+/// Per-ad sampling and coverage state.
+struct AdState<'a> {
+    sampler: RrSampler<'a>,
+    coll: WeightedRrCollection,
+    heap: LazyMaxHeap,
+    kpt: KptEstimator<'a>,
+    ws: tirm_rrset::SampleWorkspace,
+    rng: SmallRng,
+    /// Current seed-count estimate `s_i`.
+    s_est: usize,
+    /// Seeds in selection order: (node, decay δ applied, credited score).
+    seeds: Vec<(NodeId, f64, f64)>,
+    /// Estimated revenue `Π_i(S_i)`.
+    revenue: f64,
+    /// Marginal revenue of the most recent seed.
+    last_mg: f64,
+    /// No further regret-reducing candidate exists.
+    saturated: bool,
+    /// θ cap was hit (diagnostic).
+    capped: bool,
+}
+
+/// Runs TIRM (Algorithm 2). Returns the allocation and run statistics.
+pub fn tirm_allocate(
+    problem: &ProblemInstance<'_>,
+    opts: TirmOptions,
+) -> (Allocation, AlgoStats) {
+    let start = Instant::now();
+    let h = problem.num_ads();
+    let n = problem.num_nodes();
+    let nf = n as f64;
+    let mut alloc = Allocation::empty(h, n);
+    let mut oracle_calls = 0usize;
+
+    let mut bound = SampleBound::new(n, opts.eps);
+    bound.ell = opts.ell;
+    bound.max_theta = opts.max_theta_per_ad;
+
+    // Initialise per-ad state: s_i = 1, θ_i = L(1, ε), sample, build heap
+    // (Algorithm 2, lines 1–3).
+    let mut states: Vec<AdState<'_>> = Vec::with_capacity(h);
+    for i in 0..h {
+        let sampler = RrSampler::new(problem.graph, &problem.edge_probs[i]);
+        let mut st = AdState {
+            sampler,
+            coll: WeightedRrCollection::new(n),
+            heap: LazyMaxHeap::new(),
+            kpt: KptEstimator::new(sampler, opts.ell, opts.seed ^ (0xabcd + i as u64)),
+            ws: tirm_rrset::SampleWorkspace::new(n),
+            rng: SmallRng::seed_from_u64(opts.seed.wrapping_add(i as u64)),
+            s_est: 1,
+            seeds: Vec::new(),
+            revenue: 0.0,
+            last_mg: f64::INFINITY,
+            saturated: false,
+            capped: false,
+        };
+        let kpt1 = st.kpt.estimate(1);
+        let (theta, capped) = bound.theta(1, kpt1);
+        st.capped = capped;
+        for _ in 0..theta {
+            let set = st.sampler.sample(&mut st.ws, &mut st.rng);
+            st.coll.add_set(set);
+        }
+        oracle_calls += theta;
+        rebuild_heap(&mut st);
+        states.push(st);
+    }
+
+    // Main loop (Algorithm 2, lines 4–19).
+    loop {
+        if let Some(cap) = opts.max_total_seeds {
+            if alloc.total_seeds() >= cap {
+                break;
+            }
+        }
+        let mut best: Option<(usize, NodeId, f64, f64, f64)> = None; // ad, node, drop, mg, score
+        for (i, st) in states.iter_mut().enumerate() {
+            if st.saturated {
+                continue;
+            }
+            let cand = if opts.exact_drop_selection {
+                select_best_drop(problem, &alloc, st, i, nf, &mut oracle_calls)
+            } else {
+                select_best_node(problem, &alloc, st, i, &mut oracle_calls).map(|(v, score)| {
+                    let mg = marginal_revenue(problem, i, v, score, st.coll.num_sets(), nf);
+                    (v, score, mg)
+                })
+            };
+            let (v, score, mg) = match cand {
+                Some(c) => c,
+                None => {
+                    st.saturated = true;
+                    continue;
+                }
+            };
+            let budget = problem.target_budget(i);
+            let seeds_len = alloc.seeds(i).len();
+            let current = ad_regret(budget, st.revenue, problem.lambda, seeds_len);
+            let next = ad_regret(budget, st.revenue + mg, problem.lambda, seeds_len + 1);
+            let drop = current - next;
+            if drop <= DROP_TOL {
+                // The best candidate for this ad no longer reduces regret —
+                // the ad is saturated (Algorithm 1's per-pair constraint).
+                st.saturated = true;
+                continue;
+            }
+            if best.is_none_or(|(_, _, d, _, _)| drop > d) {
+                best = Some((i, v, drop, mg, score));
+            }
+        }
+        let (i, v, _drop, mg, _score) = match best {
+            Some(b) => b,
+            None => break,
+        };
+
+        // Commit (lines 10–12): assign, credit coverage, decay covered
+        // sets (hard removal when the ablation flag asks for it).
+        alloc.assign(v, i);
+        let st = &mut states[i];
+        let delta = problem.ctp.get(v, i) as f64;
+        let decay = if opts.hard_cover { 1.0 } else { delta };
+        let credited = st.coll.decay_node(v, decay);
+        st.revenue += mg;
+        st.last_mg = mg;
+        st.seeds.push((v, decay, credited));
+
+        // Seed-count growth + sample top-up (lines 14–19).
+        if alloc.seeds(i).len() == st.s_est {
+            grow_and_resample(problem, st, i, &bound, nf, &mut oracle_calls);
+        }
+    }
+
+    let stats = AlgoStats {
+        runtime: start.elapsed(),
+        seeds_per_ad: (0..h).map(|i| alloc.seeds(i).len()).collect(),
+        estimated_revenue: states.iter().map(|s| s.revenue).collect(),
+        memory_bytes: states.iter().map(|s| s.coll.memory_bytes()).sum(),
+        rr_sets_per_ad: states.iter().map(|s| s.coll.num_sets()).collect(),
+        oracle_calls,
+    };
+    (alloc, stats)
+}
+
+/// `MG_i(v) = cpe(i) · n · δ(v,i) · score / θ`.
+#[inline]
+fn marginal_revenue(
+    problem: &ProblemInstance<'_>,
+    ad: usize,
+    v: NodeId,
+    score: f64,
+    theta: usize,
+    nf: f64,
+) -> f64 {
+    problem.ads[ad].cpe * nf * problem.ctp.get(v, ad) as f64 * score / theta as f64
+}
+
+/// Algorithm 3 — `SelectBestNode`: the eligible node with maximum weighted
+/// coverage, via the lazy heap. The winner is *peeked*: it is re-pushed so
+/// the heap stays consistent if another ad wins this round.
+fn select_best_node(
+    problem: &ProblemInstance<'_>,
+    alloc: &Allocation,
+    st: &mut AdState<'_>,
+    ad: usize,
+    oracle_calls: &mut usize,
+) -> Option<(NodeId, f64)> {
+    *oracle_calls += 1;
+    let coll = &st.coll;
+    let got = st.heap.pop_best(|v, key| {
+        if !alloc.can_assign(problem, v, ad) {
+            return Verdict::Drop;
+        }
+        let cur = coll.score(v);
+        if cur <= 1e-12 {
+            return Verdict::Drop;
+        }
+        let cur_key = score_key(cur);
+        if cur_key != key {
+            Verdict::Refresh(cur_key)
+        } else {
+            Verdict::Take
+        }
+    });
+    if let Some((v, key)) = got {
+        st.heap.push(v, key); // peek semantics
+        Some((v, f64::from_bits(key)))
+    } else {
+        None
+    }
+}
+
+/// Ablation variant: scan candidates in decreasing coverage and return the
+/// one with the best *regret drop*. Early-stops when the next candidate's
+/// optimistic drop (≤ its marginal revenue) cannot beat the best found.
+fn select_best_drop(
+    problem: &ProblemInstance<'_>,
+    alloc: &Allocation,
+    st: &mut AdState<'_>,
+    ad: usize,
+    nf: f64,
+    oracle_calls: &mut usize,
+) -> Option<(NodeId, f64, f64)> {
+    let budget = problem.target_budget(ad);
+    let seeds_len = alloc.seeds(ad).len();
+    let current = ad_regret(budget, st.revenue, problem.lambda, seeds_len);
+    let theta = st.coll.num_sets();
+    let mut popped: Vec<(NodeId, u64)> = Vec::new();
+    let mut best: Option<(NodeId, f64, f64, f64)> = None; // v, score, mg, drop
+    loop {
+        *oracle_calls += 1;
+        let coll = &st.coll;
+        let got = st.heap.pop_best(|v, key| {
+            if !alloc.can_assign(problem, v, ad) {
+                return Verdict::Drop;
+            }
+            let cur = coll.score(v);
+            if cur <= 1e-12 {
+                return Verdict::Drop;
+            }
+            let cur_key = score_key(cur);
+            if cur_key != key {
+                Verdict::Refresh(cur_key)
+            } else {
+                Verdict::Take
+            }
+        });
+        let (v, key) = match got {
+            Some(x) => x,
+            None => break,
+        };
+        popped.push((v, key));
+        let score = f64::from_bits(key);
+        let mg = marginal_revenue(problem, ad, v, score, theta, nf);
+        let next = ad_regret(budget, st.revenue + mg, problem.lambda, seeds_len + 1);
+        let drop = current - next;
+        if best.as_ref().is_none_or(|&(_, _, _, d)| drop > d) {
+            best = Some((v, score, mg, drop));
+        }
+        if let Some(&(_, _, _, best_drop)) = best.as_ref() {
+            // Later candidates have smaller scores, hence smaller mg, and
+            // drop ≤ mg — stop once mg can no longer win.
+            if mg <= best_drop {
+                break;
+            }
+        }
+        if popped.len() > 64 {
+            break; // bounded scan; diminishing returns beyond this
+        }
+    }
+    for &(v, key) in &popped {
+        st.heap.push(v, key);
+    }
+    best.map(|(v, score, mg, _)| (v, score, mg))
+}
+
+/// Lines 14–19 of Algorithm 2 plus Algorithm 4 (`UpdateEstimates`).
+fn grow_and_resample(
+    problem: &ProblemInstance<'_>,
+    st: &mut AdState<'_>,
+    ad: usize,
+    bound: &SampleBound,
+    nf: f64,
+    oracle_calls: &mut usize,
+) {
+    let budget = problem.target_budget(ad);
+    let budget_regret = (budget - st.revenue).abs();
+    // s_i ← s_i + ⌊R_i(S_i)/MG_last⌋ (line 15). MG_last > 0 by construction.
+    let growth = if st.last_mg > 0.0 && st.revenue < budget {
+        (budget_regret / st.last_mg).floor() as usize
+    } else {
+        0
+    };
+    if growth == 0 {
+        return;
+    }
+    st.s_est += growth;
+
+    // θ_i ← max(L(s_i, ε), θ_i) (line 16) with the TIM+-style OPT lower
+    // bound: the larger of KPT(s_i) and the (1−ε)-discounted CTP-free
+    // union-coverage estimate of the current seed set (both are
+    // high-probability lower bounds on OPT_{s_i}).
+    let kpt = st.kpt.estimate(st.s_est);
+    let theta_now = st.coll.num_sets();
+    let union_est = nf * st.coll.union_coverage() as f64 / theta_now.max(1) as f64;
+    let opt_lb = kpt.max(union_est * (1.0 - bound.eps)).max(1.0);
+    let (theta_needed, capped) = bound.theta(st.s_est, opt_lb);
+    st.capped |= capped;
+    if theta_needed > theta_now {
+        let add = theta_needed - theta_now;
+        let first_new_sid = theta_now as u32;
+        for _ in 0..add {
+            let set = st.sampler.sample(&mut st.ws, &mut st.rng);
+            st.coll.add_set(set);
+        }
+        *oracle_calls += add;
+        // Algorithm 4: apply existing seeds (in selection order) to the
+        // fresh sets so future marginals stay marginal, crediting the
+        // extra coverage to each seed.
+        for k in 0..st.seeds.len() {
+            let (v, decay, credited) = st.seeds[k];
+            let extra = st.coll.decay_node_from(v, decay, first_new_sid);
+            st.seeds[k] = (v, decay, credited + extra);
+        }
+        // Π_i(S_i) recomputed against the enlarged collection (line 18).
+        let theta_new = st.coll.num_sets() as f64;
+        st.revenue = if decayed_estimates_exact(st) {
+            // Weighted mode: n/θ·Σ_R (1 − w_R) is the unbiased σ_ctp.
+            problem.ads[ad].cpe * nf * st.coll.deficit() / theta_new
+        } else {
+            // Hard-removal mode: the paper's Σ δ(v)·cov(v) bookkeeping.
+            st.seeds
+                .iter()
+                .map(|&(v, _, credited)| {
+                    problem.ads[ad].cpe
+                        * nf
+                        * problem.ctp.get(v, ad) as f64
+                        * credited
+                        / theta_new
+                })
+                .sum()
+        };
+        // Scores grew for everyone → lazy invalidation is unsound until
+        // the heap is rebuilt.
+        rebuild_heap(st);
+    }
+}
+
+/// True when the collection's decay deltas equal the seeds' CTPs (weighted
+/// mode), making the deficit estimator exact.
+fn decayed_estimates_exact(st: &AdState<'_>) -> bool {
+    // In hard-cover mode every decay was 1.0; CTPs below 1 then mismatch.
+    // (With genuinely all-1 CTPs the two branches agree anyway.)
+    st.seeds.iter().all(|&(_, decay, _)| decay < 1.0) || st.seeds.is_empty()
+}
+
+/// Fills the per-ad heap from current weighted scores.
+fn rebuild_heap(st: &mut AdState<'_>) {
+    let coll = &st.coll;
+    let n = coll.num_nodes();
+    st.heap.rebuild((0..n as NodeId).filter_map(|v| {
+        let s = coll.score(v);
+        (s > 1e-12).then(|| (v, score_key(s)))
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{myopic_allocate, myopic_plus_allocate};
+    use crate::eval::evaluate;
+    use crate::problem::{Advertiser, Attention};
+    use tirm_graph::generators;
+    use tirm_topics::{CtpTable, TopicDist};
+
+    fn opts(seed: u64) -> TirmOptions {
+        TirmOptions {
+            eps: 0.2,
+            seed,
+            max_theta_per_ad: Some(200_000),
+            ..TirmOptions::default()
+        }
+    }
+
+    #[test]
+    fn single_ad_star_reaches_budget() {
+        // Star: hub spread 1+99·0.3 = 30.7, leaves 1. Budget 50 keeps the
+        // paper's §4.1 working assumption p_i < 1 (no single node can
+        // overshoot the whole budget), so greedy can land near the target:
+        // hub + ~28 leaves ≈ 50.
+        let g = generators::star(100);
+        let ads = vec![Advertiser::new(50.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.3f32; g.num_edges()]];
+        let ctp = CtpTable::constant(100, 1, 1.0);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, stats) = tirm_allocate(&p, opts(1));
+        alloc.validate(&p).unwrap();
+        let ev = evaluate(&p, &alloc, 20_000, 9, 2);
+        assert!(
+            ev.regret.total() < 8.0,
+            "regret {} revenue {}",
+            ev.regret.total(),
+            ev.revenues[0]
+        );
+        assert!(
+            (stats.estimated_revenue[0] - ev.revenues[0]).abs()
+                < 0.25 * ev.revenues[0].max(1.0),
+            "estimate {} vs MC {}",
+            stats.estimated_revenue[0],
+            ev.revenues[0]
+        );
+    }
+
+    #[test]
+    fn estimate_unbiased_at_small_ctp() {
+        // The weighted-coverage estimator must track MC revenue closely
+        // even with overlapping cascades and tiny CTPs (this is exactly
+        // where hard removal under-estimates).
+        let g = generators::preferential_attachment(400, 6, 0.3, 3);
+        let ads = vec![Advertiser::new(4.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.15f32; g.num_edges()]];
+        let ctp = CtpTable::constant(400, 1, 0.05);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, stats) = tirm_allocate(&p, opts(5));
+        let ev = evaluate(&p, &alloc, 40_000, 3, 2);
+        let est = stats.estimated_revenue[0];
+        let mc = ev.revenues[0];
+        assert!(
+            (est - mc).abs() < 0.2 * mc.max(0.5) + 0.1,
+            "estimate {est} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn hard_cover_underestimates_under_overlap() {
+        // With tiny CTPs and overlapping cascades, the literal line-12
+        // rule must end up with MC revenue noticeably above its own
+        // estimate (the bias the weighted rule removes).
+        let g = generators::preferential_attachment(400, 6, 0.3, 3);
+        let ads = vec![Advertiser::new(6.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.15f32; g.num_edges()]];
+        let ctp = CtpTable::constant(400, 1, 0.05);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let mut o = opts(5);
+        o.hard_cover = true;
+        let (alloc, stats) = tirm_allocate(&p, o);
+        let ev = evaluate(&p, &alloc, 40_000, 3, 2);
+        assert!(
+            ev.revenues[0] > stats.estimated_revenue[0] * 1.02,
+            "hard removal should under-estimate: est {} vs MC {}",
+            stats.estimated_revenue[0],
+            ev.revenues[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::preferential_attachment(300, 3, 0.2, 5);
+        let ads = vec![Advertiser::new(15.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.1f32; g.num_edges()]];
+        let ctp = CtpTable::constant(300, 1, 1.0);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (a1, _) = tirm_allocate(&p, opts(42));
+        let (a2, _) = tirm_allocate(&p, opts(42));
+        assert_eq!(a1.seeds(0), a2.seeds(0));
+    }
+
+    #[test]
+    fn beats_myopic_baselines_on_regret() {
+        let g = generators::preferential_attachment(500, 4, 0.3, 7);
+        let h = 3;
+        let ads = (0..h)
+            .map(|_| Advertiser::new(12.0, 1.0, TopicDist::single(1, 0)))
+            .collect::<Vec<_>>();
+        let probs = vec![vec![0.05f32; g.num_edges()]; h];
+        let ctp = CtpTable::uniform_random(500, h, 0.05, 0.15, 3);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(2), 0.0);
+        let (tirm_alloc, _) = tirm_allocate(&p, opts(11));
+        let (myo_alloc, _) = myopic_allocate(&p);
+        let (myop_alloc, _) = myopic_plus_allocate(&p);
+        tirm_alloc.validate(&p).unwrap();
+        let runs = 4_000;
+        let r_tirm = evaluate(&p, &tirm_alloc, runs, 1, 2).regret.total();
+        let r_myo = evaluate(&p, &myo_alloc, runs, 1, 2).regret.total();
+        let r_myop = evaluate(&p, &myop_alloc, runs, 1, 2).regret.total();
+        assert!(
+            r_tirm < r_myo && r_tirm < r_myop,
+            "TIRM {r_tirm} vs MYOPIC {r_myo} / MYOPIC+ {r_myop}"
+        );
+    }
+
+    #[test]
+    fn lambda_reduces_seed_usage() {
+        let g = generators::preferential_attachment(400, 3, 0.2, 9);
+        let mk = |lambda: f64| {
+            let ads = vec![Advertiser::new(10.0, 1.0, TopicDist::single(1, 0))];
+            let probs = vec![vec![0.05f32; g.num_edges()]];
+            let ctp = CtpTable::constant(400, 1, 0.2);
+            ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), lambda)
+        };
+        let p0 = mk(0.0);
+        let p1 = mk(0.15);
+        let (a0, _) = tirm_allocate(&p0, opts(3));
+        let (a1, _) = tirm_allocate(&p1, opts(3));
+        assert!(
+            a1.total_seeds() <= a0.total_seeds(),
+            "λ>0 used {} seeds vs {} at λ=0",
+            a1.total_seeds(),
+            a0.total_seeds()
+        );
+    }
+
+    #[test]
+    fn attention_bound_respected_under_competition() {
+        let g = generators::star(50);
+        let h = 4;
+        let ads = (0..h)
+            .map(|_| Advertiser::new(8.0, 1.0, TopicDist::single(1, 0)))
+            .collect::<Vec<_>>();
+        let probs = vec![vec![0.4f32; g.num_edges()]; h];
+        let ctp = CtpTable::constant(50, h, 1.0);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (alloc, _) = tirm_allocate(&p, opts(5));
+        alloc.validate(&p).unwrap();
+        let hub_owners = (0..h).filter(|&i| alloc.seeds(i).contains(&0)).count();
+        assert!(hub_owners <= 1);
+    }
+
+    #[test]
+    fn exact_drop_ablation_not_worse() {
+        let g = generators::preferential_attachment(300, 3, 0.2, 13);
+        let ads = vec![Advertiser::new(10.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.08f32; g.num_edges()]];
+        let ctp = CtpTable::constant(300, 1, 1.0);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (a_std, _) = tirm_allocate(&p, opts(21));
+        let mut o = opts(21);
+        o.exact_drop_selection = true;
+        let (a_exact, _) = tirm_allocate(&p, o);
+        let r_std = evaluate(&p, &a_std, 8_000, 2, 2).regret.total();
+        let r_exact = evaluate(&p, &a_exact, 8_000, 2, 2).regret.total();
+        assert!(r_exact <= r_std * 1.5 + 1.0, "std {r_std} exact {r_exact}");
+    }
+
+    #[test]
+    fn reports_rr_memory() {
+        let g = generators::erdos_renyi(200, 800, 3);
+        let ads = vec![Advertiser::new(5.0, 1.0, TopicDist::single(1, 0))];
+        let probs = vec![vec![0.1f32; g.num_edges()]];
+        let ctp = CtpTable::constant(200, 1, 1.0);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0);
+        let (_, stats) = tirm_allocate(&p, opts(8));
+        assert!(stats.memory_bytes > 0);
+        assert_eq!(stats.rr_sets_per_ad.len(), 1);
+        assert!(stats.rr_sets_per_ad[0] > 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Seed-set allocations `S = (S_1, …, S_h)` and validity checking.
+
+use crate::problem::ProblemInstance;
+use tirm_graph::NodeId;
+
+/// An allocation of seed users to advertisers, together with per-user
+/// assignment counts for O(1) attention-bound checks.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    seed_sets: Vec<Vec<NodeId>>,
+    assigned: Vec<u32>,
+}
+
+impl Allocation {
+    /// Empty allocation for `h` ads over `n` users.
+    pub fn empty(h: usize, n: usize) -> Self {
+        Allocation {
+            seed_sets: vec![Vec::new(); h],
+            assigned: vec![0; n],
+        }
+    }
+
+    /// Number of advertisers.
+    #[inline]
+    pub fn num_ads(&self) -> usize {
+        self.seed_sets.len()
+    }
+
+    /// Seed set `S_i` in selection order.
+    #[inline]
+    pub fn seeds(&self, ad: usize) -> &[NodeId] {
+        &self.seed_sets[ad]
+    }
+
+    /// All seed sets.
+    pub fn seed_sets(&self) -> &[Vec<NodeId>] {
+        &self.seed_sets
+    }
+
+    /// Number of ads user `u` is currently a seed for.
+    #[inline]
+    pub fn assigned_count(&self, u: NodeId) -> u32 {
+        self.assigned[u as usize]
+    }
+
+    /// Whether `u` can still take another ad under its attention bound and
+    /// is not already a seed of `ad`.
+    pub fn can_assign(&self, problem: &ProblemInstance<'_>, u: NodeId, ad: usize) -> bool {
+        self.assigned[u as usize] < problem.attention.of(u) && !self.seed_sets[ad].contains(&u)
+    }
+
+    /// Adds `u` to `S_ad`. Panics in debug builds if `u` is already there.
+    pub fn assign(&mut self, u: NodeId, ad: usize) {
+        debug_assert!(
+            !self.seed_sets[ad].contains(&u),
+            "node {u} already seeded for ad {ad}"
+        );
+        self.seed_sets[ad].push(u);
+        self.assigned[u as usize] += 1;
+    }
+
+    /// Total number of seeds over all ads (`Σ_i |S_i|`).
+    pub fn total_seeds(&self) -> usize {
+        self.seed_sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of *distinct* users targeted at least once — the Table 3
+    /// metric.
+    pub fn distinct_targeted(&self) -> usize {
+        self.assigned.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Checks validity against the instance's attention bounds (§3:
+    /// an allocation is valid iff every user is a seed of at most `κ_u`
+    /// ads) and that no ad seeds the same user twice.
+    pub fn validate(&self, problem: &ProblemInstance<'_>) -> Result<(), String> {
+        if self.seed_sets.len() != problem.num_ads() {
+            return Err("ad count mismatch".into());
+        }
+        let n = problem.num_nodes();
+        let mut counts = vec![0u32; n];
+        for (i, set) in self.seed_sets.iter().enumerate() {
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            if sorted.len() != before {
+                return Err(format!("ad {i} seeds a user twice"));
+            }
+            for &u in set {
+                if (u as usize) >= n {
+                    return Err(format!("seed {u} out of range"));
+                }
+                counts[u as usize] += 1;
+            }
+        }
+        if counts != self.assigned {
+            return Err("assigned counters out of sync".into());
+        }
+        for u in 0..n as NodeId {
+            if counts[u as usize] > problem.attention.of(u) {
+                return Err(format!(
+                    "user {u} assigned {} ads, attention bound {}",
+                    counts[u as usize],
+                    problem.attention.of(u)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Advertiser, Attention};
+    use tirm_graph::generators::path;
+    use tirm_graph::DiGraph;
+    use tirm_topics::{CtpTable, TopicDist};
+
+    fn problem(g: &DiGraph, kappa: u32) -> ProblemInstance<'_> {
+        let h = 2;
+        let ads = (0..h)
+            .map(|_| Advertiser::new(5.0, 1.0, TopicDist::single(1, 0)))
+            .collect();
+        let probs = vec![vec![0.1; g.num_edges()]; h];
+        let ctp = CtpTable::constant(g.num_nodes(), h, 1.0);
+        ProblemInstance::new(g, ads, probs, ctp, Attention::Uniform(kappa), 0.0)
+    }
+
+    #[test]
+    fn assignment_bookkeeping() {
+        let g = path(4);
+        let p = problem(&g, 2);
+        let mut a = Allocation::empty(2, 4);
+        assert!(a.can_assign(&p, 0, 0));
+        a.assign(0, 0);
+        assert!(!a.can_assign(&p, 0, 0), "already seeded for ad 0");
+        assert!(a.can_assign(&p, 0, 1), "attention 2 allows a second ad");
+        a.assign(0, 1);
+        assert!(!a.can_assign(&p, 0, 1));
+        assert_eq!(a.assigned_count(0), 2);
+        assert_eq!(a.total_seeds(), 2);
+        assert_eq!(a.distinct_targeted(), 1);
+        a.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_attention_violation() {
+        let g = path(4);
+        let p = problem(&g, 1);
+        let mut a = Allocation::empty(2, 4);
+        a.assign(1, 0);
+        a.assign(1, 1); // violates κ = 1
+        let err = a.validate(&p).unwrap_err();
+        assert!(err.contains("attention bound"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let g = path(4);
+        let p = problem(&g, 5);
+        let mut a = Allocation::empty(2, 4);
+        a.seed_sets_mut_for_test().push(2);
+        a.seed_sets_mut_for_test().push(2);
+        assert!(a.validate(&p).is_err());
+    }
+
+    impl Allocation {
+        fn seed_sets_mut_for_test(&mut self) -> &mut Vec<NodeId> {
+            &mut self.seed_sets[0]
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The REGRET-MINIMIZATION problem instance (Problem 1, §3).
+
+use tirm_graph::{DiGraph, NodeId};
+use tirm_topics::{CtpTable, TopicDist, TopicEdgeProbs};
+
+/// One advertiser `a_i`: an ad with topic distribution `γ_i`, a campaign
+/// budget `B_i` and a cost-per-engagement `cpe(i)`.
+#[derive(Clone, Debug)]
+pub struct Advertiser {
+    /// Campaign budget `B_i` — the maximum the advertiser will pay.
+    pub budget: f64,
+    /// Cost-per-engagement `cpe(i)` paid to the host per click.
+    pub cpe: f64,
+    /// Topic distribution `γ_i` of the ad.
+    pub topics: TopicDist,
+}
+
+impl Advertiser {
+    /// Convenience constructor.
+    pub fn new(budget: f64, cpe: f64, topics: TopicDist) -> Self {
+        assert!(budget >= 0.0 && budget.is_finite());
+        assert!(cpe > 0.0 && cpe.is_finite());
+        Advertiser { budget, cpe, topics }
+    }
+}
+
+/// Per-user attention bounds `κ_u` (§3): the maximum number of ads the host
+/// may promote to a user.
+#[derive(Clone, Debug)]
+pub enum Attention {
+    /// Same bound for everyone (the paper's experiments use κ ∈ 1..=5).
+    Uniform(u32),
+    /// Personalised per-user bounds ("the host can even personalize this
+    /// number depending on users' activity").
+    PerUser(Vec<u32>),
+}
+
+impl Attention {
+    /// `κ_u`.
+    #[inline]
+    pub fn of(&self, u: NodeId) -> u32 {
+        match self {
+            Attention::Uniform(k) => *k,
+            Attention::PerUser(v) => v[u as usize],
+        }
+    }
+}
+
+/// A fully specified REGRET-MINIMIZATION instance.
+///
+/// `edge_probs[i]` holds the *projected* per-arc probabilities `p^i_{u,v}`
+/// of ad `i` (Eq. 1 already applied), so the propagation engines never need
+/// topic arithmetic in their hot loops.
+pub struct ProblemInstance<'a> {
+    /// The social graph (arc `(u,v)`: `v` follows `u`).
+    pub graph: &'a DiGraph,
+    /// The advertisers `a_1 … a_h`.
+    pub ads: Vec<Advertiser>,
+    /// Per-ad projected arc probabilities.
+    pub edge_probs: Vec<Vec<f32>>,
+    /// Click-through probabilities `δ(u, i)`.
+    pub ctp: CtpTable,
+    /// Attention bounds `κ_u`.
+    pub attention: Attention,
+    /// Seed-set size penalty `λ ≥ 0` (Eq. 3).
+    pub lambda: f64,
+    /// Budget boost `β ≥ 0` (§3 Discussion): regret is measured against
+    /// `B'_i = (1 + β)·B_i`, letting the host trade a bounded amount of
+    /// free service for extra revenue. `β = 0` recovers Problem 1 verbatim.
+    pub beta: f64,
+}
+
+impl<'a> ProblemInstance<'a> {
+    /// Builds an instance from pre-projected probabilities.
+    pub fn new(
+        graph: &'a DiGraph,
+        ads: Vec<Advertiser>,
+        edge_probs: Vec<Vec<f32>>,
+        ctp: CtpTable,
+        attention: Attention,
+        lambda: f64,
+    ) -> Self {
+        assert!(!ads.is_empty(), "need at least one advertiser");
+        assert_eq!(ads.len(), edge_probs.len(), "one probability vector per ad");
+        assert_eq!(ctp.num_ads(), ads.len(), "CTP table must cover every ad");
+        assert_eq!(ctp.num_nodes(), graph.num_nodes());
+        for p in &edge_probs {
+            assert_eq!(p.len(), graph.num_edges(), "probability vector length");
+        }
+        if let Attention::PerUser(v) = &attention {
+            assert_eq!(v.len(), graph.num_nodes());
+        }
+        assert!(lambda >= 0.0 && lambda.is_finite());
+        ProblemInstance {
+            graph,
+            ads,
+            edge_probs,
+            ctp,
+            attention,
+            lambda,
+            beta: 0.0,
+        }
+    }
+
+    /// Builds an instance by projecting a per-topic probability table
+    /// through each ad's topic distribution (Eq. 1).
+    pub fn from_topic_model(
+        graph: &'a DiGraph,
+        topic_probs: &TopicEdgeProbs,
+        ads: Vec<Advertiser>,
+        ctp: CtpTable,
+        attention: Attention,
+        lambda: f64,
+    ) -> Self {
+        assert_eq!(topic_probs.num_edges(), graph.num_edges());
+        let edge_probs = ads
+            .iter()
+            .map(|a| topic_probs.project(&a.topics))
+            .collect();
+        Self::new(graph, ads, edge_probs, ctp, attention, lambda)
+    }
+
+    /// Sets the budget boost `β` (builder style).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!(beta >= 0.0 && beta.is_finite());
+        self.beta = beta;
+        self
+    }
+
+    /// Number of advertisers `h`.
+    #[inline]
+    pub fn num_ads(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// Number of users `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The (possibly boosted) target budget `B'_i = (1 + β)·B_i`.
+    #[inline]
+    pub fn target_budget(&self, ad: usize) -> f64 {
+        (1.0 + self.beta) * self.ads[ad].budget
+    }
+
+    /// Expected *direct* revenue of promoting ad `i` to `u` with no network
+    /// effect: `δ(u,i)·cpe(i)` — MYOPIC's ranking key and the λ-assumption
+    /// quantity of Theorem 2.
+    #[inline]
+    pub fn direct_revenue(&self, u: NodeId, ad: usize) -> f64 {
+        self.ctp.get(u, ad) as f64 * self.ads[ad].cpe
+    }
+
+    /// Checks Theorem 2's λ assumption: `λ ≤ δ(u,i)·cpe(i)` for all pairs.
+    pub fn lambda_assumption_holds(&self) -> bool {
+        let min_cpe = self
+            .ads
+            .iter()
+            .map(|a| a.cpe)
+            .fold(f64::INFINITY, f64::min);
+        self.lambda <= self.ctp.min_ctp() as f64 * min_cpe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tirm_graph::generators;
+    use tirm_topics::genprob;
+
+    fn tiny<'a>(g: &'a DiGraph) -> ProblemInstance<'a> {
+        let ads = vec![
+            Advertiser::new(10.0, 1.0, TopicDist::single(2, 0)),
+            Advertiser::new(5.0, 2.0, TopicDist::single(2, 1)),
+        ];
+        let tp = genprob::replicate_across_topics(&vec![0.2; g.num_edges()], 2);
+        let ctp = CtpTable::uniform_random(g.num_nodes(), 2, 0.01, 0.03, 1);
+        ProblemInstance::from_topic_model(g, &tp, ads, ctp, Attention::Uniform(1), 0.0)
+    }
+
+    #[test]
+    fn projection_wires_through() {
+        let g = generators::path(5);
+        let p = tiny(&g);
+        assert_eq!(p.num_ads(), 2);
+        assert_eq!(p.edge_probs[0].len(), g.num_edges());
+        assert!((p.edge_probs[0][0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boosted_budget() {
+        let g = generators::path(5);
+        let p = tiny(&g).with_beta(0.25);
+        assert!((p.target_budget(0) - 12.5).abs() < 1e-12);
+        assert!((p.target_budget(1) - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_assumption_check() {
+        let g = generators::path(5);
+        let mut p = tiny(&g);
+        p.lambda = 0.005; // min direct revenue = 0.01·1 = 0.01
+        assert!(p.lambda_assumption_holds());
+        p.lambda = 0.5;
+        assert!(!p.lambda_assumption_holds());
+    }
+
+    #[test]
+    fn attention_variants() {
+        let a = Attention::Uniform(3);
+        assert_eq!(a.of(7), 3);
+        let b = Attention::PerUser(vec![1, 2, 5]);
+        assert_eq!(b.of(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability vector per ad")]
+    fn mismatched_probs_rejected() {
+        let g = generators::path(3);
+        let ads = vec![Advertiser::new(1.0, 1.0, TopicDist::single(1, 0))];
+        let ctp = CtpTable::constant(3, 1, 1.0);
+        ProblemInstance::new(&g, ads, vec![], ctp, Attention::Uniform(1), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Linear Threshold (LT) diffusion — the second classical model of Kempe
+//! et al. [19], included as an extension (§7 of the paper invites other
+//! propagation models; every piece of the TIRM pipeline except the arc
+//! semantics is model-agnostic).
+//!
+//! Under LT every node `v` draws a threshold `θ_v ~ U[0,1]`; `v` activates
+//! once the weight of its active in-neighbours reaches `θ_v`, where arc
+//! weights satisfy `Σ_{u ∈ N_in(v)} b_{u,v} ≤ 1`. The equivalent live-edge
+//! ("triggering") view picks **at most one** incoming arc per node — arc
+//! `(u,v)` with probability `b_{u,v}`, none with the remainder — and
+//! activates everything reachable from the seeds, which is also what the
+//! LT reverse-reachable sampler exploits: a reverse walk that follows one
+//! sampled in-arc per node.
+
+use rand::Rng;
+use tirm_graph::{DiGraph, NodeId};
+
+use crate::cascade::CascadeWorkspace;
+
+/// Validates LT weights: `Σ_in b ≤ 1 (+ε)` for every node.
+pub fn validate_lt_weights(g: &DiGraph, weights: &[f32]) -> Result<(), String> {
+    if weights.len() != g.num_edges() {
+        return Err("weight vector length mismatch".into());
+    }
+    for v in 0..g.num_nodes() as NodeId {
+        let sum: f64 = g.in_edges(v).map(|(e, _)| weights[e as usize] as f64).sum();
+        if sum > 1.0 + 1e-4 {
+            return Err(format!("node {v}: incoming LT weights sum to {sum} > 1"));
+        }
+    }
+    Ok(())
+}
+
+/// One forward LT cascade via the live-edge (triggering set) view:
+/// each node pre-samples its single live in-arc lazily, then standard BFS.
+/// Returns the number of activated nodes. Optional `ctp` gates seed
+/// acceptance exactly as in the IC-CTP semantics.
+pub fn simulate_lt_once<R: Rng>(
+    g: &DiGraph,
+    weights: &[f32],
+    seeds: &[NodeId],
+    ctp: Option<&[f32]>,
+    ws: &mut CascadeWorkspace,
+    rng: &mut R,
+) -> usize {
+    debug_assert_eq!(weights.len(), g.num_edges());
+    // Live-edge view run *forward* needs the chosen in-arc of every node;
+    // sampling lazily per visited node keeps it O(activated · degree).
+    // We instead run the standard threshold process, which is equivalent
+    // and needs no per-node arc choice: accumulate active in-weight and
+    // compare against a lazily drawn threshold.
+    ws.begin_public();
+    let mut thresholds: Vec<f32> = Vec::new(); // lazily indexed by order of first touch
+    let mut tidx = vec![u32::MAX; g.num_nodes()];
+    let mut weight_in = vec![0.0f32; g.num_nodes()];
+    let mut activated = 0usize;
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if ws.is_marked_public(s) {
+            continue;
+        }
+        let accepts = match ctp {
+            Some(d) => rng.gen::<f32>() < d[s as usize],
+            None => true,
+        };
+        if accepts {
+            ws.mark_public(s);
+            frontier.push(s);
+            activated += 1;
+        }
+    }
+    let mut threshold_of = |v: NodeId, thresholds: &mut Vec<f32>, rng: &mut R| -> f32 {
+        let i = &mut tidx[v as usize];
+        if *i == u32::MAX {
+            *i = thresholds.len() as u32;
+            thresholds.push(rng.gen::<f32>());
+        }
+        thresholds[*i as usize]
+    };
+    while let Some(u) = frontier.pop() {
+        for (e, v) in g.out_edges(u) {
+            if ws.is_marked_public(v) {
+                continue;
+            }
+            weight_in[v as usize] += weights[e as usize];
+            let t = threshold_of(v, &mut thresholds, rng);
+            if weight_in[v as usize] >= t {
+                ws.mark_public(v);
+                frontier.push(v);
+                activated += 1;
+            }
+        }
+    }
+    activated
+}
+
+/// Monte-Carlo LT spread estimate.
+pub fn mc_lt_spread(
+    g: &DiGraph,
+    weights: &[f32],
+    seeds: &[NodeId],
+    ctp: Option<&[f32]>,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    assert!(runs > 0);
+    let mut ws = CascadeWorkspace::new(g.num_nodes());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..runs {
+        total += simulate_lt_once(g, weights, seeds, ctp, &mut ws, &mut rng);
+    }
+    total as f64 / runs as f64
+}
+
+/// Samples one LT reverse-reachable set: starting from a uniform root,
+/// repeatedly follow *one* sampled in-arc (arc `(u,v)` with probability
+/// `b_{u,v}`, stop with probability `1 − Σ b`). The set of visited nodes
+/// is the LT RR set (Tang et al. §6 use exactly this walk).
+pub fn sample_lt_rr_set<R: Rng>(
+    g: &DiGraph,
+    weights: &[f32],
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    let n = g.num_nodes();
+    let mut current = rng.gen_range(0..n) as NodeId;
+    out.push(current);
+    loop {
+        // Pick one in-arc with prob proportional to its weight; stop with
+        // the leftover probability mass.
+        let mut x = rng.gen::<f32>();
+        let mut next = None;
+        for (e, u) in g.in_edges(current) {
+            let w = weights[e as usize];
+            if x < w {
+                next = Some(u);
+                break;
+            }
+            x -= w;
+        }
+        match next {
+            Some(u) if !out.contains(&u) => {
+                out.push(u);
+                current = u;
+            }
+            _ => break, // stopped, or walked into a cycle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tirm_graph::generators;
+    use tirm_topics::genprob::weighted_cascade;
+
+    #[test]
+    fn weight_validation() {
+        let g = generators::star(4); // 0 → {1,2,3}; each leaf indeg 1
+        assert!(validate_lt_weights(&g, &vec![1.0; 3]).is_ok());
+        let g2 = tirm_graph::DiGraph::from_edges(3, vec![(0, 2), (1, 2)]);
+        assert!(validate_lt_weights(&g2, &vec![0.7, 0.7]).is_err());
+        assert!(validate_lt_weights(&g2, &vec![0.5, 0.5]).is_ok());
+        assert!(validate_lt_weights(&g2, &vec![0.5]).is_err());
+    }
+
+    #[test]
+    fn deterministic_path_with_full_weights() {
+        // Weights 1 on a path: LT activates the whole suffix, like IC p=1.
+        let g = generators::path(6);
+        let w = vec![1.0f32; g.num_edges()];
+        let s = mc_lt_spread(&g, &w, &[0], None, 200, 3);
+        assert_eq!(s, 6.0);
+        let s2 = mc_lt_spread(&g, &w, &[3], None, 200, 3);
+        assert_eq!(s2, 3.0);
+    }
+
+    #[test]
+    fn lt_matches_closed_form_on_single_arc() {
+        // One arc 0→1 with weight b: P(1 activates | 0 seeded) = b.
+        let g = tirm_graph::DiGraph::from_edges(2, vec![(0u32, 1u32)]);
+        let b = 0.35f32;
+        let s = mc_lt_spread(&g, &[b], &[0], None, 200_000, 7);
+        assert!((s - (1.0 + b as f64)).abs() < 0.01, "spread {s}");
+    }
+
+    #[test]
+    fn ctp_gates_lt_seeds() {
+        let g = generators::star(5);
+        let w = vec![1.0f32; g.num_edges()];
+        let ctp = vec![0.5f32; 5];
+        let s = mc_lt_spread(&g, &w, &[0], Some(&ctp), 100_000, 9);
+        assert!((s - 2.5).abs() < 0.05, "spread {s}"); // 0.5 · 5
+    }
+
+    #[test]
+    fn rr_walk_estimates_lt_spread() {
+        // Proposition-1 analogue for LT: n·P(u ∈ RR) = σ_lt({u}).
+        let g = generators::preferential_attachment(150, 3, 0.5, 4);
+        let w = weighted_cascade(&g); // WC weights are valid LT weights
+        validate_lt_weights(&g, &w).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        let samples = 150_000;
+        let mut hits = vec![0u32; 150];
+        for _ in 0..samples {
+            sample_lt_rr_set(&g, &w, &mut rng, &mut out);
+            for &v in &out {
+                hits[v as usize] += 1;
+            }
+        }
+        // Check the top node's estimate against MC.
+        let (best, _) = hits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &h)| h)
+            .unwrap();
+        let est = 150.0 * hits[best] as f64 / samples as f64;
+        let mc = mc_lt_spread(&g, &w, &[best as NodeId], None, 60_000, 5);
+        assert!(
+            (est - mc).abs() < 0.15 * mc.max(1.0),
+            "RR estimate {est} vs MC {mc} for node {best}"
+        );
+    }
+
+    #[test]
+    fn lt_rr_set_terminates_on_cycles() {
+        // 0 ⇄ 1 with weight 1 both ways: walk must stop at the cycle.
+        let g = tirm_graph::DiGraph::from_edges(2, vec![(0u32, 1u32), (1u32, 0u32)]);
+        let w = vec![1.0f32; 2];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            sample_lt_rr_set(&g, &w, &mut rng, &mut out);
+            assert!(out.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Monte-Carlo spread estimation, sequential and parallel.
+
+use crate::cascade::{simulate_once, simulate_once_collect, CascadeWorkspace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tirm_graph::{DiGraph, NodeId};
+
+/// Sequential MC estimate of `σ(S)` over `runs` cascades.
+///
+/// Deterministic for a fixed `(graph, probs, seeds, ctp, runs, seed)` tuple.
+pub fn mc_spread(
+    g: &DiGraph,
+    probs: &[f32],
+    seeds: &[NodeId],
+    ctp: Option<&[f32]>,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(runs > 0);
+    let mut ws = CascadeWorkspace::new(g.num_nodes());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..runs {
+        total += simulate_once(g, probs, seeds, ctp, &mut ws, &mut rng);
+    }
+    total as f64 / runs as f64
+}
+
+/// Per-node activation probability estimates (Fig. 1 style output).
+pub fn mc_activation_probs(
+    g: &DiGraph,
+    probs: &[f32],
+    seeds: &[NodeId],
+    ctp: Option<&[f32]>,
+    runs: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(runs > 0);
+    let n = g.num_nodes();
+    let mut ws = CascadeWorkspace::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hits = vec![0u64; n];
+    for _ in 0..runs {
+        simulate_once_collect(g, probs, seeds, ctp, &mut ws, &mut rng, &mut hits);
+    }
+    hits.into_iter().map(|h| h as f64 / runs as f64).collect()
+}
+
+/// Parallel MC estimate: `runs` cascades split over `threads` workers, each
+/// with its own RNG stream (`seed + worker_index`), summed at the end.
+/// Result is deterministic for fixed inputs *including* `threads`.
+pub fn mc_spread_parallel(
+    g: &DiGraph,
+    probs: &[f32],
+    seeds: &[NodeId],
+    ctp: Option<&[f32]>,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    assert!(runs > 0 && threads > 0);
+    if threads == 1 || runs < 256 {
+        return mc_spread(g, probs, seeds, ctp, runs, seed);
+    }
+    let per = runs / threads;
+    let extra = runs % threads;
+    let totals = parking_lot::Mutex::new(0u64);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let my_runs = per + usize::from(t < extra);
+            if my_runs == 0 {
+                continue;
+            }
+            let totals = &totals;
+            scope.spawn(move |_| {
+                let mut ws = CascadeWorkspace::new(g.num_nodes());
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let mut local = 0u64;
+                for _ in 0..my_runs {
+                    local += simulate_once(g, probs, seeds, ctp, &mut ws, &mut rng) as u64;
+                }
+                *totals.lock() += local;
+            });
+        }
+    })
+    .expect("cascade worker panicked");
+    totals.into_inner() as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_spread;
+    use tirm_graph::generators;
+
+    #[test]
+    fn mc_matches_exact_on_small_graph() {
+        let g = generators::path(5);
+        let probs = vec![0.6f32; g.num_edges()];
+        let ctp = vec![0.5f32; 5];
+        let truth = exact_spread(&g, &probs, &[0, 2], Some(&ctp));
+        let est = mc_spread(&g, &probs, &[0, 2], Some(&ctp), 60_000, 42);
+        assert!(
+            (est - truth).abs() < 0.03,
+            "MC {est} vs exact {truth}"
+        );
+    }
+
+    #[test]
+    fn parallel_agrees_with_truth() {
+        let g = generators::star(20);
+        let probs = vec![0.25f32; g.num_edges()];
+        let truth = exact_spread_star(20, 0.25);
+        let est = mc_spread_parallel(&g, &probs, &[0], None, 40_000, 9, 4);
+        assert!((est - truth).abs() < 0.05, "{est} vs {truth}");
+    }
+
+    /// Star with hub seed: σ = 1 + (n−1)p (closed form avoids the exact
+    /// enumerator's arc limit).
+    fn exact_spread_star(n: usize, p: f64) -> f64 {
+        1.0 + (n as f64 - 1.0) * p
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generators::erdos_renyi(50, 200, 1);
+        let probs = vec![0.1f32; g.num_edges()];
+        let a = mc_spread(&g, &probs, &[0, 1], None, 500, 7);
+        let b = mc_spread(&g, &probs, &[0, 1], None, 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activation_probs_sum_to_spread() {
+        let g = generators::path(4);
+        let probs = vec![0.5f32; 3];
+        let a = mc_activation_probs(&g, &probs, &[0], None, 20_000, 3);
+        let s = mc_spread(&g, &probs, &[0], None, 20_000, 3);
+        let sum: f64 = a.iter().sum();
+        assert!((sum - s).abs() < 1e-9, "same RNG stream must agree");
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_nothing() {
+        let g = generators::path(3);
+        let probs = vec![1.0f32; 2];
+        assert_eq!(mc_spread(&g, &probs, &[], None, 100, 1), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the diffusion engines: estimator consistency,
+//! probability-monotonicity and CTP scaling laws.
+
+use proptest::prelude::*;
+use tirm_diffusion::{exact_spread, mc_spread};
+use tirm_graph::DiGraph;
+
+fn arb_small_graph() -> impl Strategy<Value = (DiGraph, Vec<f32>)> {
+    proptest::collection::vec((0u32..6, 0u32..6, 0.0f32..1.0), 1..10).prop_map(|triples| {
+        let edges: Vec<(u32, u32)> = triples
+            .iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|&(u, v, _)| (u, v))
+            .collect();
+        let g = DiGraph::from_edges(6, edges);
+        // Probabilities re-derived per canonical edge id for determinism.
+        let probs = (0..g.num_edges())
+            .map(|e| 0.05 + 0.9 * ((e * 53 % 89) as f32 / 89.0))
+            .collect();
+        (g, probs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spread_bounded_by_node_count((g, probs) in arb_small_graph()) {
+        let s = exact_spread(&g, &probs, &[0, 1], None);
+        prop_assert!(s >= 0.0 && s <= g.num_nodes() as f64 + 1e-9);
+        // Seeds with CTP 1 always click: spread ≥ #distinct seeds.
+        prop_assert!(s >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn raising_probabilities_raises_spread((g, probs) in arb_small_graph()) {
+        let lower = exact_spread(&g, &probs, &[0], None);
+        let raised: Vec<f32> = probs.iter().map(|p| (p + 0.05).min(1.0)).collect();
+        let higher = exact_spread(&g, &raised, &[0], None);
+        prop_assert!(higher >= lower - 1e-9, "{higher} < {lower}");
+    }
+
+    #[test]
+    fn uniform_ctp_scales_single_seed_spread(
+        (g, probs) in arb_small_graph(),
+        d in 0.1f32..0.9,
+    ) {
+        // With a single seed, scaling its CTP scales the whole spread
+        // (Lemma 1 with S = ∅).
+        let full = exact_spread(&g, &probs, &[0], None);
+        let ctp = vec![d; 6];
+        let scaled = exact_spread(&g, &probs, &[0], Some(&ctp));
+        prop_assert!((scaled - d as f64 * full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_converges_to_exact((g, probs) in arb_small_graph(), seed in 0u64..16) {
+        let truth = exact_spread(&g, &probs, &[0, 2], None);
+        let est = mc_spread(&g, &probs, &[0, 2], None, 30_000, seed);
+        // 30k runs on ≤ 6 nodes: 5σ ≈ 0.07 at worst-case variance.
+        prop_assert!((est - truth).abs() < 0.12, "MC {est} vs exact {truth}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Mutable edge-list accumulator that finalises into a [`DiGraph`].
+
+use crate::csr::{DiGraph, EdgeId, NodeId};
+
+/// Collects arcs, then sorts, deduplicates, strips self-loops and builds the
+/// dual-direction CSR in one pass.
+///
+/// Duplicate arcs are merged (the propagation models treat an arc as a single
+/// influence channel; multiplicity would silently square probabilities).
+/// Self-loops carry no influence semantics in the IC family and are dropped.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes
+    /// (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes < u32::MAX as usize,
+            "node count exceeds u32 id space"
+        );
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            keep_self_loops: false,
+        }
+    }
+
+    /// Pre-reserves capacity for `m` arcs.
+    pub fn with_capacity(num_nodes: usize, m: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of arcs currently buffered (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no arcs are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds arc `u → v` (information flows from `u` to follower `v`).
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.num_nodes, "source {u} out of range");
+        debug_assert!((v as usize) < self.num_nodes, "target {v} out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Adds both `u → v` and `v → u` (used when directing undirected data
+    /// sets such as DBLP, per §6.1 of the paper).
+    #[inline]
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Grows the node count (ids are dense; this only moves the upper bound).
+    pub fn ensure_nodes(&mut self, n: usize) {
+        assert!(n < u32::MAX as usize);
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Finalises into an immutable [`DiGraph`].
+    pub fn build(mut self) -> DiGraph {
+        let n = self.num_nodes;
+        if !self.keep_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+        assert!(m <= u32::MAX as usize, "edge count exceeds u32 id space");
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        // Sorted edge list *is* the out-CSR payload.
+        let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // Reverse direction: counting sort by target, remembering forward ids.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_edge_ids = vec![0 as EdgeId; m];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let slot = cursor[v as usize] as usize;
+            in_sources[slot] = u;
+            in_edge_ids[slot] = e as EdgeId;
+            cursor[v as usize] += 1;
+        }
+
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(1, 1); // self-loop
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn undirected_inserts_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn ensure_nodes_extends_id_space() {
+        let mut b = GraphBuilder::new(1);
+        b.ensure_nodes(5);
+        b.add_edge(4, 0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.has_edge(4, 0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Compressed-sparse-row digraph with forward and reverse adjacency.
+
+/// Node identifier. `u32` keeps adjacency arrays compact (the paper's largest
+/// graph, LIVEJOURNAL, has 4.8M nodes — far below `u32::MAX`).
+pub type NodeId = u32;
+
+/// Canonical edge identifier: the position of the arc in the forward
+/// (out-adjacency) CSR ordering. Reverse adjacency stores, for every
+/// in-neighbour position, the canonical id of the corresponding arc so that
+/// per-edge attribute vectors (e.g. per-ad influence probabilities) can be
+/// shared between forward simulation and reverse-reachable sampling.
+pub type EdgeId = u32;
+
+/// An immutable directed graph in CSR form.
+///
+/// Both directions are materialised:
+/// * `out_offsets`/`out_targets` — forward adjacency, defining edge ids;
+/// * `in_offsets`/`in_sources`/`in_edge_ids` — reverse adjacency, each entry
+///   carrying the canonical [`EdgeId`] of the arc it mirrors.
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_sources: Vec<NodeId>,
+    pub(crate) in_edge_ids: Vec<EdgeId>,
+}
+
+impl DiGraph {
+    /// Builds a graph from an arc list. Arcs are deduplicated and self-loops
+    /// removed; see [`crate::GraphBuilder`] for the full pipeline.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut b = crate::GraphBuilder::new(num_nodes);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of arcs `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `u` (number of followers that see `u`'s posts).
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]) as usize
+    }
+
+    /// In-degree of `v` (number of users `v` follows).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Iterates over `u`'s out-arcs as `(edge_id, target)` pairs.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        (lo..hi).map(move |i| (i as EdgeId, self.out_targets[i]))
+    }
+
+    /// Iterates over `v`'s in-arcs as `(edge_id, source)` pairs, where
+    /// `edge_id` is the canonical (forward) id of the arc `source → v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        (lo..hi).map(move |i| (self.in_edge_ids[i], self.in_sources[i]))
+    }
+
+    /// Out-neighbour slice of `u` (targets only).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbour slice of `v` (sources only).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Returns the canonical id of arc `(u, v)` if present (binary search on
+    /// the sorted out-adjacency of `u`).
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        self.out_targets[lo..hi]
+            .binary_search(&v)
+            .ok()
+            .map(|p| (lo + p) as EdgeId)
+    }
+
+    /// True iff arc `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// Source and target of a canonical edge id. `O(log n)` (binary search on
+    /// the offset array for the source); intended for diagnostics, not hot
+    /// loops — hot loops already know the endpoint they iterate from.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let v = self.out_targets[e as usize];
+        // Find u: the largest u with out_offsets[u] <= e.
+        let u = match self.out_offsets.binary_search(&e) {
+            Ok(mut i) => {
+                // Skip empty adjacency runs mapping to the same offset.
+                while i + 1 < self.out_offsets.len() && self.out_offsets[i + 1] == e {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (u as NodeId, v)
+    }
+
+    /// Iterates over all arcs as `(edge_id, source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.out_edges(u).map(move |(e, v)| (e, u, v)))
+    }
+
+    /// Total bytes held by the adjacency arrays (used for memory reporting).
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.out_offsets.len()
+            + self.out_targets.len()
+            + self.in_offsets.len()
+            + self.in_sources.len()
+            + self.in_edge_ids.len())
+    }
+
+    /// Reverses the graph: arc `(u,v)` becomes `(v,u)`. Useful for tests and
+    /// for treating an undirected edge list as bidirectional flow.
+    pub fn reversed(&self) -> DiGraph {
+        let edges: Vec<(NodeId, NodeId)> = self.edges().map(|(_, u, v)| (v, u)).collect();
+        DiGraph::from_edges(self.num_nodes(), edges)
+    }
+
+    /// Internal consistency check: offsets monotone, reverse adjacency
+    /// mirrors forward adjacency exactly. Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.in_offsets.len() != n + 1 {
+            return Err("in_offsets length mismatch".into());
+        }
+        for w in self.out_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("out_offsets not monotone".into());
+            }
+        }
+        for w in self.in_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("in_offsets not monotone".into());
+            }
+        }
+        if *self.out_offsets.last().unwrap() as usize != self.out_targets.len() {
+            return Err("out_offsets tail mismatch".into());
+        }
+        if *self.in_offsets.last().unwrap() as usize != self.in_sources.len() {
+            return Err("in_offsets tail mismatch".into());
+        }
+        if self.in_sources.len() != self.out_targets.len() {
+            return Err("edge count mismatch between directions".into());
+        }
+        if self.in_edge_ids.len() != self.in_sources.len() {
+            return Err("in_edge_ids length mismatch".into());
+        }
+        // Every reverse entry must name a real forward arc.
+        for v in 0..n as NodeId {
+            for (e, u) in self.in_edges(v) {
+                if self.out_targets[e as usize] != v {
+                    return Err(format!("in-edge id {e} of node {v} maps to wrong target"));
+                }
+                let lo = self.out_offsets[u as usize];
+                let hi = self.out_offsets[u as usize + 1];
+                if e < lo || e >= hi {
+                    return Err(format!("in-edge id {e} not within source {u}'s range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        let g = diamond();
+        for (e, u, v) in g.edges().collect::<Vec<_>>() {
+            assert_eq!(g.edge_id(u, v), Some(e));
+            assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+        assert_eq!(g.edge_id(3, 0), None);
+        assert!(!g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn in_edges_carry_canonical_ids() {
+        let g = diamond();
+        let mut seen: Vec<(EdgeId, NodeId)> = g.in_edges(3).collect();
+        seen.sort_unstable();
+        let e13 = g.edge_id(1, 3).unwrap();
+        let e23 = g.edge_id(2, 3).unwrap();
+        let mut want = vec![(e13, 1), (e23, 2)];
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn reversed_flips_arcs() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(3, 2));
+        assert!(!r.has_edge(0, 1));
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let g = DiGraph::from_edges(3, Vec::<(NodeId, NodeId)>::new());
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(1), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_endpoints_with_empty_runs() {
+        // Node 1 has no out-edges; make sure the offset binary search still
+        // attributes edges correctly around it.
+        let g = DiGraph::from_edges(4, vec![(0, 2), (2, 3), (3, 0)]);
+        for (e, u, v) in g.edges().collect::<Vec<_>>() {
+            assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+    }
+}

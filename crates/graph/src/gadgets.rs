@@ -1,0 +1,118 @@
+//! Hand-constructed graphs from the paper: the Fig. 1 toy network and the
+//! 3-PARTITION reduction gadget from the proof of Theorem 1.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{DiGraph, NodeId};
+
+/// The six-node toy network of Fig. 1 together with its edge influence
+/// probabilities (identical across all four ads in the example).
+///
+/// Arcs: `v1→v3 (0.2)`, `v2→v3 (0.2)`, `v3→v4 (0.5)`, `v3→v5 (0.5)`,
+/// `v4→v6 (0.1)`, `v5→v6 (0.1)`. Nodes are zero-indexed (`v1 = 0`).
+pub fn fig1_toy() -> (DiGraph, Vec<f32>) {
+    let mut b = GraphBuilder::new(6);
+    // (source, target, probability)
+    let arcs: [(NodeId, NodeId, f32); 6] = [
+        (0, 2, 0.2),
+        (1, 2, 0.2),
+        (2, 3, 0.5),
+        (2, 4, 0.5),
+        (3, 5, 0.1),
+        (4, 5, 0.1),
+    ];
+    for &(u, v, _) in &arcs {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    let mut probs = vec![0.0f32; g.num_edges()];
+    for &(u, v, p) in &arcs {
+        let e = g.edge_id(u, v).expect("arc present");
+        probs[e as usize] = p;
+    }
+    (g, probs)
+}
+
+/// Output of [`three_partition_gadget`]: the reduction instance of Thm. 1.
+#[derive(Clone, Debug)]
+pub struct ThreePartitionInstance {
+    /// Bipartite digraph: "U" node `i` fans out to `x_i − 1` private "V"
+    /// leaves with influence probability 1 on every arc.
+    pub graph: DiGraph,
+    /// Dense node ids of the "U" nodes, aligned with the input numbers.
+    pub u_nodes: Vec<NodeId>,
+    /// Common advertiser budget `C/m` (CPE 1, attention bound 1).
+    pub budget: f64,
+    /// Number of advertisers `m`.
+    pub num_advertisers: usize,
+}
+
+/// Builds the REGRET-MINIMIZATION instance from the Theorem 1 reduction for
+/// a 3-PARTITION input `xs` (|xs| = 3m, Σxs = C, each `x ∈ (C/4m, C/2m)`).
+///
+/// The instance has a zero-regret allocation iff `xs` is a YES instance;
+/// tests use it to probe greedy behaviour on (in)feasible instances.
+///
+/// # Panics
+/// If `xs.len()` is not a positive multiple of 3 or any `x < 1`.
+pub fn three_partition_gadget(xs: &[u64]) -> ThreePartitionInstance {
+    assert!(!xs.is_empty() && xs.len().is_multiple_of(3), "need 3m numbers");
+    assert!(xs.iter().all(|&x| x >= 1), "numbers must be positive");
+    let m = xs.len() / 3;
+    let c: u64 = xs.iter().sum();
+    let total_nodes: u64 = xs.iter().sum(); // each x_i contributes 1 U node + (x_i −1) leaves
+    let mut b = GraphBuilder::new(total_nodes as usize);
+    let mut u_nodes = Vec::with_capacity(xs.len());
+    let mut next: NodeId = 0;
+    for &x in xs {
+        let u = next;
+        u_nodes.push(u);
+        next += 1;
+        for _ in 0..(x - 1) {
+            b.add_edge(u, next);
+            next += 1;
+        }
+    }
+    ThreePartitionInstance {
+        graph: b.build(),
+        u_nodes,
+        budget: c as f64 / m as f64,
+        num_advertisers: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let (g, probs) = fig1_toy();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.in_degree(2), 2); // v3 has two parents
+        assert_eq!(g.in_degree(5), 2); // v6 has two parents
+        let e = g.edge_id(2, 3).unwrap();
+        assert!((probs[e as usize] - 0.5).abs() < 1e-7);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gadget_structure() {
+        // YES instance: {1,2,3, 2,2,2} m=2, C=12, per-advertiser budget 6.
+        let inst = three_partition_gadget(&[1, 2, 3, 2, 2, 2]);
+        assert_eq!(inst.num_advertisers, 2);
+        assert!((inst.budget - 6.0).abs() < 1e-12);
+        assert_eq!(inst.graph.num_nodes(), 12);
+        // U node for x=1 has no leaves; x=3 has two.
+        assert_eq!(inst.graph.out_degree(inst.u_nodes[0]), 0);
+        assert_eq!(inst.graph.out_degree(inst.u_nodes[2]), 2);
+        // Leaves have no out-edges: total edges = Σ(x_i − 1) = C − 3m.
+        assert_eq!(inst.graph.num_edges(), 12 - 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 3m numbers")]
+    fn gadget_rejects_bad_arity() {
+        three_partition_gadget(&[1, 2]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # tirm-graph
+//!
+//! Directed social-graph substrate for the `tirm` workspace: a compact
+//! compressed-sparse-row (CSR) digraph with both forward and reverse
+//! adjacency, deterministic random-graph generators shaped like the four
+//! networks used in the paper's evaluation (FLIXSTER, EPINIONS, DBLP,
+//! LIVEJOURNAL), edge-list IO, summary statistics, and the small
+//! hand-constructed gadgets used by the paper (the Fig. 1 toy network and
+//! the 3-PARTITION reduction of Theorem 1).
+//!
+//! Arc semantics follow the paper (§3): an arc `(u, v)` means *v follows u*,
+//! i.e. information flows from `u` to `v`.
+//!
+//! ```
+//! use tirm_graph::{GraphBuilder, DiGraph};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(0, 2);
+//! b.add_edge(2, 3);
+//! let g: DiGraph = b.build();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.out_degree(0), 2);
+//! assert_eq!(g.in_degree(3), 1);
+//! ```
+
+mod builder;
+mod csr;
+pub mod gadgets;
+pub mod generators;
+pub mod io;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{DiGraph, EdgeId, NodeId};
+pub use stats::GraphStats;
+
+/// Convenience alias used across the workspace: a list of `(source, target)`
+/// arcs with `u32` node ids.
+pub type EdgeList = Vec<(NodeId, NodeId)>;

@@ -1,0 +1,155 @@
+//! Summary statistics used to print the paper's Table 1 analogue and to
+//! sanity-check generated workloads.
+
+use crate::csr::{DiGraph, NodeId};
+
+/// Degree and size summary of a digraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of arcs.
+    pub edges: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean degree (arcs per node).
+    pub mean_degree: f64,
+    /// Fraction of arcs that are reciprocated (both `(u,v)` and `(v,u)`).
+    pub reciprocity: f64,
+    /// Number of nodes with no arcs at all.
+    pub isolated_nodes: usize,
+    /// Gini coefficient of the in-degree distribution — a scale-free
+    /// follower graph scores high (≳0.5), a lattice low.
+    pub in_degree_gini: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics in `O(n log n + m log(deg))`.
+    pub fn compute(g: &DiGraph) -> GraphStats {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut isolated = 0usize;
+        let mut reciprocal = 0usize;
+        let mut in_degs: Vec<usize> = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let od = g.out_degree(u);
+            let id = g.in_degree(u);
+            max_out = max_out.max(od);
+            max_in = max_in.max(id);
+            if od + id == 0 {
+                isolated += 1;
+            }
+            in_degs.push(id);
+            for (_, v) in g.out_edges(u) {
+                if g.has_edge(v, u) {
+                    reciprocal += 1;
+                }
+            }
+        }
+        in_degs.sort_unstable();
+        let gini = gini(&in_degs);
+        GraphStats {
+            nodes: n,
+            edges: m,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            mean_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            reciprocity: if m == 0 {
+                0.0
+            } else {
+                reciprocal as f64 / m as f64
+            },
+            isolated_nodes: isolated,
+            in_degree_gini: gini,
+        }
+    }
+}
+
+/// Gini coefficient of a sorted non-negative sample; 0 = uniform,
+/// → 1 = all mass on one element.
+fn gini(sorted: &[usize]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = sorted.iter().map(|&x| x as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        weighted += (i as f64 + 1.0) * x as f64;
+    }
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} edges={} mean_deg={:.2} max_out={} max_in={} recip={:.3} gini_in={:.3}",
+            self.nodes,
+            self.edges,
+            self.mean_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.reciprocity,
+            self.in_degree_gini
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn star_stats() {
+        let s = generators::star(11);
+        let st = GraphStats::compute(&s);
+        assert_eq!(st.nodes, 11);
+        assert_eq!(st.edges, 10);
+        assert_eq!(st.max_out_degree, 10);
+        assert_eq!(st.max_in_degree, 1);
+        assert_eq!(st.reciprocity, 0.0);
+        assert_eq!(st.isolated_nodes, 0);
+    }
+
+    #[test]
+    fn clique_is_fully_reciprocal() {
+        let g = generators::clique(6);
+        let st = GraphStats::compute(&g);
+        assert!((st.reciprocity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!((gini(&[5, 5, 5, 5])).abs() < 1e-12);
+        // All mass on one node out of many → close to 1.
+        let mut v = vec![0usize; 99];
+        v.push(1000);
+        v.sort_unstable();
+        assert!(gini(&v) > 0.95);
+    }
+
+    #[test]
+    fn power_law_graph_scores_high_gini() {
+        let g = generators::preferential_attachment(3000, 4, 0.2, 1);
+        let st = GraphStats::compute(&g);
+        let ws = generators::watts_strogatz(3000, 4, 0.05, 1);
+        let st2 = GraphStats::compute(&ws);
+        assert!(
+            st.in_degree_gini > st2.in_degree_gini + 0.2,
+            "PA gini {} should dominate WS gini {}",
+            st.in_degree_gini,
+            st2.in_degree_gini
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the graph substrate: CSR invariants, builder
+//! semantics, IO round-trips and generator contracts.
+
+use proptest::prelude::*;
+use tirm_graph::{generators, io, DiGraph, GraphBuilder, NodeId};
+
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..max_m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_invariants_hold((n, edges) in arb_edges(40, 160)) {
+        let g = DiGraph::from_edges(n as usize, edges.clone());
+        prop_assert!(g.validate().is_ok());
+        // Degree sums both equal the edge count.
+        let out_sum: usize = (0..n).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..n).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        // No self loops survive the builder.
+        for (_, u, v) in g.edges() {
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent((n, edges) in arb_edges(25, 120)) {
+        let g1 = DiGraph::from_edges(n as usize, edges.clone());
+        // Feeding the canonical edge list back in yields the same graph.
+        let round: Vec<(NodeId, NodeId)> = g1.edges().map(|(_, u, v)| (u, v)).collect();
+        let g2 = DiGraph::from_edges(n as usize, round.clone());
+        let round2: Vec<(NodeId, NodeId)> = g2.edges().map(|(_, u, v)| (u, v)).collect();
+        prop_assert_eq!(round, round2);
+    }
+
+    #[test]
+    fn reverse_twice_is_identity((n, edges) in arb_edges(25, 120)) {
+        let g = DiGraph::from_edges(n as usize, edges);
+        let rr = g.reversed().reversed();
+        let a: Vec<_> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        let b: Vec<_> = rr.edges().map(|(_, u, v)| (u, v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn io_round_trip_preserves_arcs((n, edges) in arb_edges(25, 120)) {
+        let g = DiGraph::from_edges(n as usize, edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let (g2, original) = io::read_edge_list(&buf[..], false).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        let mut a: Vec<(u64, u64)> =
+            g.edges().map(|(_, u, v)| (u as u64, v as u64)).collect();
+        let mut b: Vec<(u64, u64)> = g2
+            .edges()
+            .map(|(_, u, v)| (original[u as usize], original[v as usize]))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_id_is_a_bijection((n, edges) in arb_edges(30, 150)) {
+        let g = DiGraph::from_edges(n as usize, edges);
+        for (e, u, v) in g.edges() {
+            prop_assert_eq!(g.edge_id(u, v), Some(e));
+            prop_assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn generators_respect_node_counts(n in 16usize..200, seed in 0u64..64) {
+        let er = generators::erdos_renyi(n, n, seed);
+        prop_assert_eq!(er.num_nodes(), n);
+        prop_assert!(er.validate().is_ok());
+        let pa = generators::preferential_attachment(n, 3, 0.2, seed);
+        prop_assert_eq!(pa.num_nodes(), n);
+        prop_assert!(pa.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_undirected_symmetric((n, edges) in arb_edges(20, 60)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v) in &edges {
+            b.add_undirected(u, v);
+        }
+        let g = b.build();
+        for (_, u, v) in g.edges().collect::<Vec<_>>() {
+            prop_assert!(g.has_edge(v, u), "missing reciprocal of ({u},{v})");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Growing collection of RR sets with marginal-coverage bookkeeping.
+//!
+//! This is the Max-Cover substrate shared by TIM's seed selection and
+//! TIRM's `SelectBestNode` (Algorithm 3): it maintains, for every node,
+//! the number of *uncovered* sets containing it, supports covering all
+//! sets containing a chosen seed (Algorithm 2, line 12), and reports its
+//! exact memory footprint for the Table 4 reproduction.
+
+use tirm_graph::NodeId;
+
+/// Flat-stored RR-set collection with an inverted node → set-id index.
+#[derive(Clone, Debug)]
+pub struct RrCollection {
+    n: usize,
+    /// `offsets[i]..offsets[i+1]` delimits set `i` in `nodes`.
+    offsets: Vec<u32>,
+    /// Flattened membership lists.
+    nodes: Vec<NodeId>,
+    /// Whether set `i` has been covered by a chosen seed.
+    covered: Vec<bool>,
+    /// Per node: number of uncovered sets containing it (marginal coverage).
+    cov: Vec<u32>,
+    /// Inverted index: node → ids of sets containing it.
+    index: Vec<Vec<u32>>,
+    num_covered: usize,
+}
+
+impl RrCollection {
+    /// Empty collection over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RrCollection {
+            n,
+            offsets: vec![0],
+            nodes: Vec::new(),
+            covered: Vec::new(),
+            cov: vec![0; n],
+            index: vec![Vec::new(); n],
+            num_covered: 0,
+        }
+    }
+
+    /// Number of nodes the collection is defined over.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of sets ever added (θ in the paper's notation).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Number of sets currently covered by chosen seeds.
+    #[inline]
+    pub fn num_covered(&self) -> usize {
+        self.num_covered
+    }
+
+    /// Adds one RR set (a list of member nodes; duplicates are the
+    /// sampler's responsibility to avoid). Returns its set id.
+    pub fn add_set(&mut self, members: &[NodeId]) -> u32 {
+        let sid = self.covered.len() as u32;
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len() as u32);
+        self.covered.push(false);
+        for &v in members {
+            self.cov[v as usize] += 1;
+            self.index[v as usize].push(sid);
+        }
+        sid
+    }
+
+    /// Members of set `sid`.
+    #[inline]
+    pub fn set(&self, sid: u32) -> &[NodeId] {
+        let lo = self.offsets[sid as usize] as usize;
+        let hi = self.offsets[sid as usize + 1] as usize;
+        &self.nodes[lo..hi]
+    }
+
+    /// Marginal coverage of `v`: the number of *uncovered* sets containing
+    /// it. `n · cov(v) / θ` estimates the marginal spread of adding `v`.
+    #[inline]
+    pub fn cov(&self, v: NodeId) -> u32 {
+        self.cov[v as usize]
+    }
+
+    /// Whether set `sid` is covered.
+    #[inline]
+    pub fn is_covered(&self, sid: u32) -> bool {
+        self.covered[sid as usize]
+    }
+
+    /// Covers every uncovered set containing `v` (the seed just chosen),
+    /// decrementing the marginal coverage of all their members.
+    /// Returns how many sets were newly covered (== `cov(v)` beforehand).
+    pub fn cover_node(&mut self, v: NodeId) -> u32 {
+        let sids = std::mem::take(&mut self.index[v as usize]);
+        let mut newly = 0u32;
+        for &sid in &sids {
+            if self.covered[sid as usize] {
+                continue;
+            }
+            self.covered[sid as usize] = true;
+            self.num_covered += 1;
+            newly += 1;
+            let lo = self.offsets[sid as usize] as usize;
+            let hi = self.offsets[sid as usize + 1] as usize;
+            for i in lo..hi {
+                let w = self.nodes[i] as usize;
+                debug_assert!(self.cov[w] > 0);
+                self.cov[w] -= 1;
+            }
+        }
+        self.index[v as usize] = sids;
+        newly
+    }
+
+    /// Counts the sets with id ≥ `from_sid` that contain `v` and are still
+    /// uncovered — used by TIRM's `UpdateEstimates` (Algorithm 4) to credit
+    /// freshly sampled sets to already-chosen seeds.
+    pub fn count_uncovered_from(&self, v: NodeId, from_sid: u32) -> u32 {
+        self.index[v as usize]
+            .iter()
+            .filter(|&&sid| sid >= from_sid && !self.covered[sid as usize])
+            .count() as u32
+    }
+
+    /// Node with maximum marginal coverage among those passing `eligible`;
+    /// linear scan fallback used by plain TIM and by tests (TIRM uses the
+    /// lazy heap instead).
+    pub fn argmax_cov(&self, mut eligible: impl FnMut(NodeId) -> bool) -> Option<(NodeId, u32)> {
+        let mut best: Option<(NodeId, u32)> = None;
+        for v in 0..self.n as NodeId {
+            let c = self.cov[v as usize];
+            if c == 0 || !eligible(v) {
+                continue;
+            }
+            if best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((v, c));
+            }
+        }
+        best
+    }
+
+    /// Exact bytes held by this collection (flat lists, flags, counters,
+    /// inverted index) — the Table 4 memory metric.
+    pub fn memory_bytes(&self) -> usize {
+        let index_bytes: usize = self
+            .index
+            .iter()
+            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum();
+        self.nodes.capacity() * 4
+            + self.offsets.capacity() * 4
+            + self.covered.capacity()
+            + self.cov.capacity() * 4
+            + index_bytes
+    }
+
+    /// Sum of set sizes (total node entries) — a size diagnostic.
+    pub fn total_entries(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_collection() -> RrCollection {
+        let mut c = RrCollection::new(5);
+        c.add_set(&[0, 1]);
+        c.add_set(&[1, 2]);
+        c.add_set(&[3]);
+        c.add_set(&[1, 3, 4]);
+        c
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let c = sample_collection();
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.cov(1), 3);
+        assert_eq!(c.cov(0), 1);
+        assert_eq!(c.cov(3), 2);
+        assert_eq!(c.cov(4), 1);
+    }
+
+    #[test]
+    fn cover_node_updates_marginals() {
+        let mut c = sample_collection();
+        let newly = c.cover_node(1);
+        assert_eq!(newly, 3);
+        assert_eq!(c.num_covered(), 3);
+        assert_eq!(c.cov(1), 0);
+        assert_eq!(c.cov(0), 0, "set {{0,1}} is covered");
+        assert_eq!(c.cov(2), 0);
+        assert_eq!(c.cov(3), 1, "only set {{3}} remains");
+        // Covering again is a no-op.
+        assert_eq!(c.cover_node(1), 0);
+        // Covering 3 covers the last set.
+        assert_eq!(c.cover_node(3), 1);
+        assert_eq!(c.num_covered(), 4);
+    }
+
+    #[test]
+    fn argmax_respects_eligibility() {
+        let c = sample_collection();
+        assert_eq!(c.argmax_cov(|_| true), Some((1, 3)));
+        let best = c.argmax_cov(|v| v != 1).unwrap();
+        assert_eq!(best, (3, 2));
+        assert_eq!(c.argmax_cov(|_| false), None);
+    }
+
+    #[test]
+    fn count_uncovered_from_boundary() {
+        let mut c = sample_collection();
+        assert_eq!(c.count_uncovered_from(1, 0), 3);
+        assert_eq!(c.count_uncovered_from(1, 1), 2);
+        assert_eq!(c.count_uncovered_from(1, 3), 1);
+        c.cover_node(2); // covers set 1
+        assert_eq!(c.count_uncovered_from(1, 1), 1);
+    }
+
+    #[test]
+    fn set_retrieval_and_entries() {
+        let c = sample_collection();
+        assert_eq!(c.set(3), &[1, 3, 4]);
+        assert_eq!(c.total_entries(), 8);
+        assert!(c.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tirm-rrset
+//!
+//! Reverse-reachable (RR) set machinery (§5 of the paper):
+//!
+//! * [`sampler`] — random RR-set generation by reverse BFS with per-arc
+//!   coin flips, plus the CTP-aware **RRC** variant of §5.2 (node-level
+//!   acceptance coins; blocked nodes still propagate).
+//! * [`collection`] — flat storage for a growing collection of RR sets
+//!   with an inverted node→set index, marginal coverage counts, and
+//!   `cover` operations (the Max-Cover primitive TIM and TIRM both use).
+//! * [`heap`] — lazy max-heaps for CELF-style best-node selection.
+//! * [`tim`] — the TIM sample-size machinery: KPT estimation,
+//!   `λ(s, ε)` / `L(s, ε)` bounds (Eq. 5) and a complete TIM influence
+//!   maximizer used for validation and as a substrate baseline.
+//! * [`special`] — `ln Γ`, `ln C(n, s)` helpers the bounds need.
+
+pub mod collection;
+pub mod heap;
+pub mod sampler;
+pub mod special;
+pub mod tim;
+pub mod weighted;
+
+pub use collection::RrCollection;
+pub use heap::LazyMaxHeap;
+pub use sampler::{RrSampler, SampleWorkspace};
+pub use tim::{tim_select, KptEstimator, SampleBound, TimResult};
+pub use weighted::{score_key, WeightedRrCollection};

@@ -1,0 +1,239 @@
+//! Random reverse-reachable set generation.
+//!
+//! A random RR set is produced by choosing a root `w` uniformly from `V`
+//! and walking arcs *backwards*, keeping each arc `(v, u)` live with
+//! probability `p_{v,u}` (§5.1). The set contains every node that reaches
+//! `w` through live arcs — intuitively, the users whose adoption would
+//! have reached `w`.
+//!
+//! The CTP-aware **RRC** variant (§5.2) additionally flips one node-level
+//! coin per discovered node with its click-through probability `δ(v)`:
+//! nodes failing the coin cannot be *seeds* for this sample (they are not
+//! added to the set) but still transmit (they stay on the BFS frontier).
+
+use rand::Rng;
+use tirm_graph::{DiGraph, NodeId};
+
+/// Scratch buffers shared by consecutive samples (epoch-stamped marks).
+#[derive(Clone, Debug)]
+pub struct SampleWorkspace {
+    epoch: u32,
+    mark: Vec<u32>,
+    queue: Vec<NodeId>,
+    out: Vec<NodeId>,
+}
+
+impl SampleWorkspace {
+    /// Workspace for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SampleWorkspace {
+            epoch: 0,
+            mark: vec![0; n],
+            queue: Vec::with_capacity(256),
+            out: Vec::with_capacity(64),
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        self.out.clear();
+    }
+}
+
+/// Samples RR / RRC sets for one ad (one projected probability vector).
+/// Holds only borrows, so it is `Copy` — pass it around freely.
+#[derive(Clone, Copy)]
+pub struct RrSampler<'a> {
+    g: &'a DiGraph,
+    probs: &'a [f32],
+}
+
+impl<'a> RrSampler<'a> {
+    /// Creates a sampler over `g` with per-arc probabilities `probs`
+    /// (indexed by canonical edge id).
+    pub fn new(g: &'a DiGraph, probs: &'a [f32]) -> Self {
+        assert_eq!(probs.len(), g.num_edges());
+        RrSampler { g, probs }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        self.g
+    }
+
+    /// Samples one classic RR set into `ws.out` and returns it as a slice.
+    /// The root is always a member (it trivially reaches itself).
+    pub fn sample<'w, R: Rng>(&self, ws: &'w mut SampleWorkspace, rng: &mut R) -> &'w [NodeId] {
+        let n = self.g.num_nodes();
+        ws.begin();
+        let root = rng.gen_range(0..n) as NodeId;
+        ws.mark[root as usize] = ws.epoch;
+        ws.queue.push(root);
+        ws.out.push(root);
+        let mut head = 0;
+        while head < ws.queue.len() {
+            let u = ws.queue[head];
+            head += 1;
+            for (e, v) in self.g.in_edges(u) {
+                if ws.mark[v as usize] == ws.epoch {
+                    continue;
+                }
+                let p = self.probs[e as usize];
+                if p > 0.0 && rng.gen::<f32>() < p {
+                    ws.mark[v as usize] = ws.epoch;
+                    ws.queue.push(v);
+                    ws.out.push(v);
+                }
+            }
+        }
+        &ws.out
+    }
+
+    /// Samples one **RRC** set (§5.2): node-level CTP coins decide set
+    /// membership; failed nodes still relay influence.
+    pub fn sample_rrc<'w, R: Rng>(
+        &self,
+        ctp: &[f32],
+        ws: &'w mut SampleWorkspace,
+        rng: &mut R,
+    ) -> &'w [NodeId] {
+        let n = self.g.num_nodes();
+        debug_assert_eq!(ctp.len(), n);
+        ws.begin();
+        let root = rng.gen_range(0..n) as NodeId;
+        ws.mark[root as usize] = ws.epoch;
+        ws.queue.push(root);
+        if rng.gen::<f32>() < ctp[root as usize] {
+            ws.out.push(root);
+        }
+        let mut head = 0;
+        while head < ws.queue.len() {
+            let u = ws.queue[head];
+            head += 1;
+            for (e, v) in self.g.in_edges(u) {
+                if ws.mark[v as usize] == ws.epoch {
+                    continue;
+                }
+                let p = self.probs[e as usize];
+                if p > 0.0 && rng.gen::<f32>() < p {
+                    ws.mark[v as usize] = ws.epoch;
+                    ws.queue.push(v);
+                    if rng.gen::<f32>() < ctp[v as usize] {
+                        ws.out.push(v);
+                    }
+                }
+            }
+        }
+        &ws.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tirm_graph::generators;
+
+    #[test]
+    fn rr_set_always_contains_root_and_respects_reachability() {
+        // Path 0→1→2 with p=1: RR set of root r is {0..=r}.
+        let g = generators::path(3);
+        let probs = vec![1.0f32; 2];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let set = s.sample(&mut ws, &mut rng).to_vec();
+            let root = set[0];
+            let mut want: Vec<NodeId> = (0..=root).collect();
+            let mut got = set.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "root {root}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_yields_singletons() {
+        let g = generators::clique(10);
+        let probs = vec![0.0f32; g.num_edges()];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut ws, &mut rng).len(), 1);
+        }
+    }
+
+    #[test]
+    fn node_frequency_estimates_spread() {
+        // Proposition 1: n·E[F_R({u})] = σ_ic({u}). For a star hub with
+        // p = 0.3 and n = 21: σ({hub}) = 1 + 20·0.3 = 7.
+        let n = 21usize;
+        let g = generators::star(n);
+        let probs = vec![0.3f32; g.num_edges()];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples = 60_000;
+        let mut hub_hits = 0usize;
+        for _ in 0..samples {
+            if s.sample(&mut ws, &mut rng).contains(&0) {
+                hub_hits += 1;
+            }
+        }
+        let est = n as f64 * hub_hits as f64 / samples as f64;
+        assert!((est - 7.0).abs() < 0.15, "estimated {est}, want 7");
+    }
+
+    #[test]
+    fn rrc_membership_scaled_by_ctp() {
+        // Same star; hub CTP 0.5 ⇒ σ_ctp({hub}) = 0.5·7 = 3.5 (Lemma 2).
+        let n = 21usize;
+        let g = generators::star(n);
+        let probs = vec![0.3f32; g.num_edges()];
+        let mut ctp = vec![1.0f32; n];
+        ctp[0] = 0.5;
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(n);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let samples = 60_000;
+        let mut hub_hits = 0usize;
+        for _ in 0..samples {
+            if s.sample_rrc(&ctp, &mut ws, &mut rng).contains(&0) {
+                hub_hits += 1;
+            }
+        }
+        let est = n as f64 * hub_hits as f64 / samples as f64;
+        assert!((est - 3.5).abs() < 0.12, "estimated {est}, want 3.5");
+    }
+
+    #[test]
+    fn rrc_blocked_nodes_still_relay() {
+        // Path 0→1→2, p=1, δ(1)=0, δ(0)=δ(2)=1. RR sets rooted at 2 must
+        // still contain 0 (1 relays even though it can't seed).
+        let g = generators::path(3);
+        let probs = vec![1.0f32; 2];
+        let ctp = vec![1.0f32, 0.0, 1.0];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_root2 = false;
+        for _ in 0..200 {
+            let set = s.sample_rrc(&ctp, &mut ws, &mut rng).to_vec();
+            if ws.queue[0] == 2 {
+                saw_root2 = true;
+                assert!(set.contains(&0), "0 must relay through blocked 1");
+                assert!(!set.contains(&1), "1 is CTP-blocked");
+            }
+        }
+        assert!(saw_root2, "root 2 never sampled in 200 draws");
+    }
+}

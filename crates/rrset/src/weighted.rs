@@ -1,0 +1,276 @@
+//! CTP-weighted RR-set coverage.
+//!
+//! Algorithm 2 (line 12) of the paper removes every RR set covered by a
+//! freshly chosen seed. That is exact when seeds click with probability 1
+//! (the scalability setup, §6.2): a covering seed then activates the
+//! set's root for sure. With click-through probabilities `δ ≪ 1`,
+//! however, a chosen seed only "covers" a set with probability `δ` — the
+//! exact possible-world bookkeeping multiplies the set's weight by
+//! `(1 − δ)` instead of dropping it:
+//!
+//! * set weight `w_R = Π_{s ∈ S ∩ R} (1 − δ(s))` — probability that no
+//!   already-chosen seed in `R` clicks;
+//! * node score `score(v) = Σ_{R ∋ v} w_R` — so the exact marginal revenue
+//!   of candidate `v` is `cpe · n · δ(v) · score(v) / θ`;
+//! * `deficit = Σ_R (1 − w_R)` — so `n · deficit / θ` estimates
+//!   `σ_ctp(S)` without bias (each root clicks iff some seed in its RR
+//!   set clicks: probability `1 − w_R`).
+//!
+//! At `δ = 1` weights drop to 0 and this degenerates to the paper's
+//! hard removal, so the weighted collection strictly generalises
+//! [`crate::RrCollection`]. The difference at small CTPs is measured by
+//! the `ablation` harness binary.
+
+use tirm_graph::NodeId;
+
+/// RR-set collection with per-set survival weights.
+#[derive(Clone, Debug)]
+pub struct WeightedRrCollection {
+    n: usize,
+    offsets: Vec<u32>,
+    nodes: Vec<NodeId>,
+    /// Survival weight `w_R` per set (1 until a seed in it is chosen).
+    weights: Vec<f64>,
+    /// `score[v] = Σ_{R ∋ v} w_R`.
+    score: Vec<f64>,
+    /// Inverted index node → set ids.
+    index: Vec<Vec<u32>>,
+    /// `Σ_R (1 − w_R)`.
+    deficit: f64,
+    /// Number of sets containing at least one chosen seed (weight < 1) —
+    /// `n·touched/θ` estimates the CTP-free spread `σ_ic(S)`, used as an
+    /// `OPT_s` lower-bound proxy for the θ formula.
+    touched: usize,
+}
+
+impl WeightedRrCollection {
+    /// Empty collection over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedRrCollection {
+            n,
+            offsets: vec![0],
+            nodes: Vec::new(),
+            weights: Vec::new(),
+            score: vec![0.0; n],
+            index: vec![Vec::new(); n],
+            deficit: 0.0,
+            touched: 0,
+        }
+    }
+
+    /// Number of nodes the collection is defined over.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of sets added (θ).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Adds one RR set with weight 1; returns its id.
+    pub fn add_set(&mut self, members: &[NodeId]) -> u32 {
+        let sid = self.weights.len() as u32;
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len() as u32);
+        self.weights.push(1.0);
+        for &v in members {
+            self.score[v as usize] += 1.0;
+            self.index[v as usize].push(sid);
+        }
+        sid
+    }
+
+    /// Current score of `v` (weighted marginal coverage).
+    #[inline]
+    pub fn score(&self, v: NodeId) -> f64 {
+        self.score[v as usize]
+    }
+
+    /// `Σ_R (1 − w_R)`; `n·deficit/θ` estimates `σ_ctp(S)` unbiasedly.
+    #[inline]
+    pub fn deficit(&self) -> f64 {
+        self.deficit
+    }
+
+    /// Number of sets touched by at least one seed; `n·touched/θ`
+    /// estimates the CTP-free spread `σ_ic(S)` of the chosen seed set.
+    #[inline]
+    pub fn union_coverage(&self) -> usize {
+        self.touched
+    }
+
+    /// Commits seed `v` with click probability `delta`: every set
+    /// containing `v` keeps only a `(1 − δ)` share of its weight
+    /// (`δ = 1` reproduces the paper's hard removal). Returns `v`'s score
+    /// before the decay (its weighted coverage at selection time).
+    pub fn decay_node(&mut self, v: NodeId, delta: f64) -> f64 {
+        self.decay_node_from(v, delta, 0)
+    }
+
+    /// Like [`Self::decay_node`] but only touches sets with id ≥
+    /// `from_sid` — TIRM's `UpdateEstimates` (Algorithm 4) uses this to
+    /// apply existing seeds to freshly sampled sets only. Returns `v`'s
+    /// weighted score restricted to the touched id range, *before* decay.
+    pub fn decay_node_from(&mut self, v: NodeId, delta: f64, from_sid: u32) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&delta));
+        let keep = 1.0 - delta;
+        let mut before = 0.0f64;
+        let sids = std::mem::take(&mut self.index[v as usize]);
+        for &sid in &sids {
+            if sid < from_sid {
+                continue;
+            }
+            let w = self.weights[sid as usize];
+            if w <= 0.0 {
+                continue;
+            }
+            before += w;
+            let dw = w * delta;
+            if dw > 0.0 {
+                if w >= 1.0 {
+                    self.touched += 1;
+                }
+                self.weights[sid as usize] = w * keep;
+                self.deficit += dw;
+                let lo = self.offsets[sid as usize] as usize;
+                let hi = self.offsets[sid as usize + 1] as usize;
+                for i in lo..hi {
+                    self.score[self.nodes[i] as usize] -= dw;
+                }
+            }
+        }
+        self.index[v as usize] = sids;
+        before
+    }
+
+    /// Node with maximum score among eligible ones (linear scan; TIRM uses
+    /// the lazy heap instead).
+    pub fn argmax_score(&self, mut eligible: impl FnMut(NodeId) -> bool) -> Option<(NodeId, f64)> {
+        let mut best: Option<(NodeId, f64)> = None;
+        for v in 0..self.n as NodeId {
+            let s = self.score[v as usize];
+            if s <= 1e-12 || !eligible(v) {
+                continue;
+            }
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((v, s));
+            }
+        }
+        best
+    }
+
+    /// Exact bytes held (Table 4 metric).
+    pub fn memory_bytes(&self) -> usize {
+        let index_bytes: usize = self
+            .index
+            .iter()
+            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum();
+        self.nodes.capacity() * 4
+            + self.offsets.capacity() * 4
+            + self.weights.capacity() * 8
+            + self.score.capacity() * 8
+            + index_bytes
+    }
+
+    /// Sum of set sizes.
+    pub fn total_entries(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Encodes a non-negative score as a heap key preserving order
+/// (IEEE-754 doubles of equal sign compare like their bit patterns).
+#[inline]
+pub fn score_key(score: f64) -> u64 {
+    debug_assert!(score >= 0.0);
+    score.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedRrCollection {
+        let mut c = WeightedRrCollection::new(4);
+        c.add_set(&[0, 1]);
+        c.add_set(&[1, 2]);
+        c.add_set(&[1]);
+        c
+    }
+
+    #[test]
+    fn scores_count_sets() {
+        let c = sample();
+        assert_eq!(c.score(1), 3.0);
+        assert_eq!(c.score(0), 1.0);
+        assert_eq!(c.score(3), 0.0);
+        assert_eq!(c.deficit(), 0.0);
+    }
+
+    #[test]
+    fn full_delta_equals_hard_removal() {
+        let mut c = sample();
+        let before = c.decay_node(1, 1.0);
+        assert_eq!(before, 3.0);
+        assert_eq!(c.score(1), 0.0);
+        assert_eq!(c.score(0), 0.0);
+        assert_eq!(c.score(2), 0.0);
+        assert_eq!(c.deficit(), 3.0);
+    }
+
+    #[test]
+    fn partial_delta_decays() {
+        let mut c = sample();
+        c.decay_node(1, 0.5);
+        // Every set containing 1 halves; scores follow.
+        assert!((c.score(1) - 1.5).abs() < 1e-12);
+        assert!((c.score(0) - 0.5).abs() < 1e-12);
+        assert!((c.deficit() - 1.5).abs() < 1e-12);
+        // Second decay by 0.5 halves the survivors again.
+        c.decay_node(1, 0.5);
+        assert!((c.score(1) - 0.75).abs() < 1e-12);
+        assert!((c.deficit() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deficit_matches_inclusion_exclusion() {
+        // Set {0,1} with δ(0)=0.3 then δ(1)=0.2:
+        // 1 − (1−0.3)(1−0.2) = 0.44.
+        let mut c = WeightedRrCollection::new(2);
+        c.add_set(&[0, 1]);
+        c.decay_node(0, 0.3);
+        c.decay_node(1, 0.2);
+        assert!((c.deficit() - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_from_only_touches_new_sets() {
+        let mut c = sample(); // sets 0..3 contain node 1
+        let first_new = c.num_sets() as u32;
+        c.add_set(&[1, 3]);
+        c.decay_node_from(1, 0.5, first_new);
+        // Old sets untouched, new set halved.
+        assert!((c.deficit() - 0.5).abs() < 1e-12);
+        assert!((c.score(3) - 0.5).abs() < 1e-12);
+        assert!((c.score(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_memory() {
+        let c = sample();
+        assert_eq!(c.argmax_score(|_| true).map(|(v, _)| v), Some(1));
+        assert_eq!(c.argmax_score(|v| v != 1).map(|(v, _)| v), Some(0));
+        assert!(c.memory_bytes() > 0);
+        assert_eq!(c.total_entries(), 5);
+    }
+
+    #[test]
+    fn score_key_orders() {
+        assert!(score_key(2.0) > score_key(1.5));
+        assert!(score_key(0.1) > score_key(0.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the RR-set machinery: coverage-count conservation,
+//! weighted-decay algebra, heap laws and sampler contracts.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tirm_graph::{generators, NodeId};
+use tirm_rrset::heap::Verdict;
+use tirm_rrset::{LazyMaxHeap, RrCollection, RrSampler, SampleWorkspace, WeightedRrCollection};
+
+fn arb_sets(n: u32, max_sets: usize) -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..n, 1..=(n as usize).min(6)),
+        1..max_sets,
+    )
+    .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cover_counts_are_conserved(sets in arb_sets(12, 24), picks in proptest::collection::vec(0u32..12, 1..6)) {
+        let mut c = RrCollection::new(12);
+        for s in &sets {
+            c.add_set(s);
+        }
+        // Invariant: cov(v) == number of uncovered sets containing v.
+        let check = |c: &RrCollection, sets: &[Vec<NodeId>]| {
+            for v in 0..12u32 {
+                let want = sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, s)| !c.is_covered(*i as u32) && s.contains(&v))
+                    .count() as u32;
+                assert_eq!(c.cov(v), want, "node {v}");
+            }
+        };
+        check(&c, &sets);
+        for &p in &picks {
+            c.cover_node(p);
+            check(&c, &sets);
+        }
+        prop_assert!(c.num_covered() <= c.num_sets());
+    }
+
+    #[test]
+    fn weighted_deficit_equals_inclusion_exclusion(
+        sets in arb_sets(10, 16),
+        deltas in proptest::collection::vec((0u32..10, 0.05f64..0.95), 1..5),
+    ) {
+        let mut c = WeightedRrCollection::new(10);
+        for s in &sets {
+            c.add_set(s);
+        }
+        // Apply decays, then verify deficit = Σ_R (1 − Π (1−δ_v)^{hits}).
+        let mut applied: Vec<(u32, f64)> = Vec::new();
+        for &(v, d) in &deltas {
+            c.decay_node(v, d);
+            applied.push((v, d));
+        }
+        let mut want = 0.0f64;
+        for s in &sets {
+            let mut w = 1.0f64;
+            for &(v, d) in &applied {
+                if s.contains(&v) {
+                    w *= 1.0 - d;
+                }
+            }
+            want += 1.0 - w;
+        }
+        prop_assert!((c.deficit() - want).abs() < 1e-9, "{} vs {}", c.deficit(), want);
+        // Scores are never negative (up to float fuzz).
+        for v in 0..10u32 {
+            prop_assert!(c.score(v) > -1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_scores_match_definition(
+        sets in arb_sets(10, 16),
+        deltas in proptest::collection::vec((0u32..10, 0.05f64..0.95), 0..4),
+    ) {
+        let mut c = WeightedRrCollection::new(10);
+        for s in &sets {
+            c.add_set(s);
+        }
+        let mut applied: Vec<(u32, f64)> = Vec::new();
+        for &(v, d) in &deltas {
+            c.decay_node(v, d);
+            applied.push((v, d));
+        }
+        for v in 0..10u32 {
+            let mut want = 0.0f64;
+            for s in &sets {
+                if !s.contains(&v) {
+                    continue;
+                }
+                let mut w = 1.0f64;
+                for &(u, d) in &applied {
+                    if s.contains(&u) {
+                        w *= 1.0 - d;
+                    }
+                }
+                want += w;
+            }
+            prop_assert!((c.score(v) - want).abs() < 1e-9, "node {v}: {} vs {want}", c.score(v));
+        }
+    }
+
+    #[test]
+    fn lazy_heap_pops_in_nonincreasing_order(keys in proptest::collection::vec(0u64..1000, 1..40)) {
+        let mut h = LazyMaxHeap::build(keys.iter().enumerate().map(|(i, &k)| (i as NodeId, k)));
+        let mut last = u64::MAX;
+        while let Some((_, k)) = h.pop_best(|_, _| Verdict::Take) {
+            prop_assert!(k <= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn rr_sets_contain_only_ancestors(seed in 0u64..64) {
+        // On a path with p = 1, the RR set of root r is exactly {0..=r} —
+        // any sampled set must be a prefix ending at its root.
+        let g = generators::path(12);
+        let probs = vec![1.0f32; g.num_edges()];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(12);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let set = s.sample(&mut ws, &mut rng).to_vec();
+            let root = set[0];
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            let want: Vec<NodeId> = (0..=root).collect();
+            prop_assert_eq!(sorted, want);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Click-through probabilities `δ(u, i)` — the probability that user `u`
+//! clicks ad `i` when shown it as a promoted post with no social proof.
+//!
+//! The paper derives `δ(u,i)` by projecting per-topic seed click
+//! probabilities `p^z_{H,u}` through the ad's topic distribution (§3), but
+//! its quality experiments simply sample `δ(u,i) ~ U[0.01, 0.03]` (§6).
+//! Both routes are provided.
+
+use crate::dist::TopicDist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tirm_graph::NodeId;
+
+/// Per-topic seed click probabilities `p^z_{H,u}`, node-major
+/// (`probs[u·K + z]`).
+#[derive(Clone, Debug)]
+pub struct NodeTopicProbs {
+    k: usize,
+    probs: Vec<f32>,
+}
+
+impl NodeTopicProbs {
+    /// All-zero table for `n` nodes, `k` topics.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0);
+        NodeTopicProbs {
+            k,
+            probs: vec![0.0; n * k],
+        }
+    }
+
+    /// Builds by evaluating `f(node, topic)`.
+    pub fn from_fn(n: usize, k: usize, mut f: impl FnMut(NodeId, usize) -> f32) -> Self {
+        let mut t = NodeTopicProbs::new(n, k);
+        for u in 0..n {
+            for z in 0..k {
+                t.set(u as NodeId, z, f(u as NodeId, z));
+            }
+        }
+        t
+    }
+
+    /// Number of topics.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.probs.len() / self.k
+    }
+
+    /// Sets `p^z_{H,u}`.
+    #[inline]
+    pub fn set(&mut self, u: NodeId, z: usize, p: f32) {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.probs[u as usize * self.k + z] = p;
+    }
+
+    /// Reads `p^z_{H,u}`.
+    #[inline]
+    pub fn get(&self, u: NodeId, z: usize) -> f32 {
+        self.probs[u as usize * self.k + z]
+    }
+
+    /// Projects through an ad's topic distribution, yielding `δ(·, i)`.
+    pub fn project(&self, ad: &TopicDist) -> Vec<f32> {
+        assert_eq!(ad.k(), self.k, "ad lives in a different topic space");
+        let n = self.num_nodes();
+        let w = ad.weights();
+        let mut out = vec![0.0f32; n];
+        for u in 0..n {
+            let row = &self.probs[u * self.k..(u + 1) * self.k];
+            let acc: f32 = w.iter().zip(row).map(|(wz, pz)| wz * pz).sum();
+            out[u] = acc.clamp(0.0, 1.0);
+        }
+        out
+    }
+}
+
+/// The materialised `δ(u, i)` table: one probability vector per ad.
+#[derive(Clone, Debug)]
+pub struct CtpTable {
+    per_ad: Vec<Vec<f32>>,
+}
+
+impl CtpTable {
+    /// Wraps explicit per-ad CTP vectors (all must share the node count).
+    pub fn direct(per_ad: Vec<Vec<f32>>) -> Self {
+        assert!(!per_ad.is_empty(), "need at least one ad");
+        let n = per_ad[0].len();
+        assert!(
+            per_ad.iter().all(|v| v.len() == n),
+            "all ads must cover the same node set"
+        );
+        CtpTable { per_ad }
+    }
+
+    /// Projects per-topic seed probabilities through each ad (§3 route).
+    pub fn from_topics(seed_probs: &NodeTopicProbs, ads: &[TopicDist]) -> Self {
+        CtpTable::direct(ads.iter().map(|a| seed_probs.project(a)).collect())
+    }
+
+    /// The §6 route: `δ(u,i) ~ U[lo, hi]` i.i.d. for all user–ad pairs
+    /// (the paper uses `[0.01, 0.03]`, "in keeping with real-life CTPs").
+    pub fn uniform_random(n: usize, h: usize, lo: f32, hi: f32, seed: u64) -> Self {
+        assert!(h > 0 && (0.0..=1.0).contains(&lo) && (lo..=1.0).contains(&hi));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let per_ad = (0..h)
+            .map(|_| (0..n).map(|_| rng.gen_range(lo..=hi)).collect())
+            .collect();
+        CtpTable { per_ad }
+    }
+
+    /// Constant CTP for every pair (the scalability experiments use 1).
+    pub fn constant(n: usize, h: usize, value: f32) -> Self {
+        assert!((0.0..=1.0).contains(&value));
+        CtpTable {
+            per_ad: vec![vec![value; n]; h],
+        }
+    }
+
+    /// Number of ads `h`.
+    #[inline]
+    pub fn num_ads(&self) -> usize {
+        self.per_ad.len()
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.per_ad[0].len()
+    }
+
+    /// `δ(u, i)`.
+    #[inline]
+    pub fn get(&self, u: NodeId, ad: usize) -> f32 {
+        self.per_ad[ad][u as usize]
+    }
+
+    /// Full CTP vector of ad `i`.
+    #[inline]
+    pub fn ad(&self, ad: usize) -> &[f32] {
+        &self.per_ad[ad]
+    }
+
+    /// Smallest CTP in the table (used by λ-assumption checks: Theorem 2
+    /// assumes `λ ≤ δ(u,i)·cpe(i)` for all pairs).
+    pub fn min_ctp(&self) -> f32 {
+        self.per_ad
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Bytes held by the table.
+    pub fn memory_bytes(&self) -> usize {
+        self.per_ad.iter().map(|v| v.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_within_bounds_and_deterministic() {
+        let a = CtpTable::uniform_random(100, 3, 0.01, 0.03, 7);
+        let b = CtpTable::uniform_random(100, 3, 0.01, 0.03, 7);
+        for ad in 0..3 {
+            for u in 0..100 {
+                let p = a.get(u, ad);
+                assert!((0.01..=0.03).contains(&p));
+                assert_eq!(p, b.get(u, ad));
+            }
+        }
+        assert!(a.min_ctp() >= 0.01);
+    }
+
+    #[test]
+    fn topic_projection_route() {
+        // Node 0 clicks only topic-0 ads, node 1 only topic-1 ads.
+        let probs = NodeTopicProbs::from_fn(2, 2, |u, z| if u as usize == z { 0.8 } else { 0.0 });
+        let ads = vec![TopicDist::single(2, 0), TopicDist::single(2, 1)];
+        let t = CtpTable::from_topics(&probs, &ads);
+        assert!((t.get(0, 0) - 0.8).abs() < 1e-6);
+        assert_eq!(t.get(0, 1), 0.0);
+        assert_eq!(t.get(1, 0), 0.0);
+        assert!((t.get(1, 1) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_table() {
+        let t = CtpTable::constant(5, 2, 1.0);
+        assert_eq!(t.num_ads(), 2);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.get(4, 1), 1.0);
+        assert_eq!(t.min_ctp(), 1.0);
+        assert_eq!(t.memory_bytes(), 2 * 5 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn direct_rejects_ragged() {
+        CtpTable::direct(vec![vec![0.1; 3], vec![0.1; 4]]);
+    }
+
+    #[test]
+    fn mixed_topic_ad_interpolates() {
+        let probs = NodeTopicProbs::from_fn(1, 2, |_, z| if z == 0 { 0.9 } else { 0.1 });
+        let ad = TopicDist::new(vec![0.5, 0.5]).unwrap();
+        let t = CtpTable::from_topics(&probs, &[ad]);
+        assert!((t.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,25 @@
+//! # tirm-workloads
+//!
+//! Synthetic workloads shaped like the paper's evaluation setup (§6):
+//!
+//! * [`datasets`] — generators for FLIXSTER-, EPINIONS-, DBLP- and
+//!   LIVEJOURNAL-like networks with matching degree structure and the
+//!   §6 probability models (topic-concentrated, exponential, weighted
+//!   cascade). Real data sets are proprietary/remote; DESIGN.md §3
+//!   documents why these stand-ins preserve the experiments' behaviour.
+//! * [`campaigns`] — advertiser generators matching Table 2 (budgets,
+//!   CPEs) and the §6 topic-skew (`γ_i` = 0.91 own topic, 0.01 others).
+//! * [`toy`] — the Fig. 1 gadget as a ready-made problem instance,
+//!   including the paper's hand-built allocations A and B.
+//! * [`scale`] — environment-driven scaling (`TIRM_SCALE`,
+//!   `TIRM_EVAL_RUNS`, `TIRM_THREADS`) so the same harness runs on a
+//!   laptop or a large server.
+
+pub mod campaigns;
+pub mod datasets;
+pub mod scale;
+pub mod toy;
+
+pub use campaigns::{campaign, CampaignSpec};
+pub use datasets::{Dataset, DatasetKind};
+pub use scale::ScaleConfig;

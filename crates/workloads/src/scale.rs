@@ -1,0 +1,92 @@
+//! Environment-driven experiment scaling.
+//!
+//! The paper ran on a 65 GB Xeon server; this harness must also run on a
+//! laptop-class container. Every dataset has a *default* scale chosen so
+//! the full table/figure sweep completes in minutes; setting `TIRM_SCALE`
+//! (a multiplier, e.g. `5.0` to approach paper-sized graphs) raises it.
+
+/// Scaling configuration resolved from the environment once per process.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Multiplier applied to each dataset's default node count.
+    pub scale: f64,
+    /// Monte-Carlo cascades per evaluation (paper: 10 000).
+    pub eval_runs: usize,
+    /// Worker threads for evaluation.
+    pub threads: usize,
+}
+
+impl ScaleConfig {
+    /// Reads `TIRM_SCALE`, `TIRM_EVAL_RUNS`, `TIRM_THREADS` with defaults
+    /// `1.0`, `10_000`, available parallelism.
+    pub fn from_env() -> Self {
+        ScaleConfig {
+            scale: env_f64("TIRM_SCALE", 1.0).max(0.001),
+            eval_runs: env_usize("TIRM_EVAL_RUNS", 10_000).max(10),
+            threads: env_usize("TIRM_THREADS", default_threads()).max(1),
+        }
+    }
+
+    /// Applies the multiplier to a default node count, clamping to ≥ 64.
+    pub fn nodes(&self, default_nodes: usize) -> usize {
+        ((default_nodes as f64 * self.scale) as usize).max(64)
+    }
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            scale: 1.0,
+            eval_runs: 10_000,
+            threads: default_threads(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ScaleConfig::default();
+        assert_eq!(c.eval_runs, 10_000);
+        assert!(c.threads >= 1);
+        assert_eq!(c.nodes(1000), 1000);
+    }
+
+    #[test]
+    fn nodes_scaling_clamps() {
+        let c = ScaleConfig {
+            scale: 0.001,
+            eval_runs: 100,
+            threads: 1,
+        };
+        assert_eq!(c.nodes(10_000), 64);
+        let big = ScaleConfig {
+            scale: 2.0,
+            ..c
+        };
+        assert_eq!(big.nodes(10_000), 20_000);
+    }
+}

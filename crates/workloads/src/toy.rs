@@ -1,0 +1,130 @@
+//! The Fig. 1 worked example as a ready-made problem instance.
+//!
+//! Four ads `a, b, c, d` share the same arc probabilities; CTPs are
+//! `δ(u,a) = 0.9`, `δ(u,b) = 0.8`, `δ(u,c) = 0.7`, `δ(u,d) = 0.6` for all
+//! six users; budgets `(4, 2, 2, 1)`, CPE 1, κ = 1.
+
+use tirm_core::{Advertiser, Allocation, Attention, ProblemInstance};
+use tirm_graph::{gadgets, DiGraph};
+use tirm_topics::{CtpTable, TopicDist};
+
+/// Owns the toy graph and its probabilities so instances can borrow them.
+pub struct Fig1 {
+    /// The six-node network.
+    pub graph: DiGraph,
+    /// Shared arc probabilities (same for all four ads).
+    pub probs: Vec<f32>,
+}
+
+impl Fig1 {
+    /// Builds the gadget.
+    pub fn new() -> Self {
+        let (graph, probs) = gadgets::fig1_toy();
+        Fig1 { graph, probs }
+    }
+
+    /// The problem instance with the given penalty λ (Examples 1–2 use
+    /// λ = 0 and λ = 0.1).
+    pub fn problem(&self, lambda: f64) -> ProblemInstance<'_> {
+        let ctps = [0.9f32, 0.8, 0.7, 0.6];
+        let budgets = [4.0f64, 2.0, 2.0, 1.0];
+        let ads = budgets
+            .iter()
+            .map(|&b| Advertiser::new(b, 1.0, TopicDist::single(1, 0)))
+            .collect();
+        let edge_probs = vec![self.probs.clone(); 4];
+        let ctp = CtpTable::direct(
+            ctps.iter().map(|&d| vec![d; 6]).collect::<Vec<_>>(),
+        );
+        ProblemInstance::new(
+            &self.graph,
+            ads,
+            edge_probs,
+            ctp,
+            Attention::Uniform(1),
+            lambda,
+        )
+    }
+
+    /// The paper's Allocation A: every user gets ad `a` (MYOPIC's output).
+    pub fn allocation_a(&self) -> Allocation {
+        let mut al = Allocation::empty(4, 6);
+        for u in 0..6 {
+            al.assign(u, 0);
+        }
+        al
+    }
+
+    /// The paper's Allocation B: `⟨v1,a⟩,⟨v2,a⟩,⟨v3,b⟩,⟨v4,c⟩,⟨v5,c⟩,⟨v6,d⟩`.
+    pub fn allocation_b(&self) -> Allocation {
+        let mut al = Allocation::empty(4, 6);
+        al.assign(0, 0);
+        al.assign(1, 0);
+        al.assign(2, 1);
+        al.assign(3, 2);
+        al.assign(4, 2);
+        al.assign(5, 3);
+        al
+    }
+}
+
+impl Default for Fig1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tirm_diffusion::exact_activation_probs;
+
+    /// Exact expected clicks of every (allocation, ad) pair, summed.
+    fn exact_total_clicks(fig: &Fig1, alloc: &Allocation) -> f64 {
+        let p = fig.problem(0.0);
+        (0..4)
+            .map(|i| {
+                let seeds = alloc.seeds(i);
+                if seeds.is_empty() {
+                    return 0.0;
+                }
+                exact_activation_probs(&fig.graph, &fig.probs, seeds, Some(p.ctp.ad(i)))
+                    .iter()
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn allocation_a_expected_clicks_match_paper() {
+        // Paper: 5.55 (computed with an independence approximation at v6;
+        // the exact value differs by < 0.01).
+        let fig = Fig1::new();
+        let total = exact_total_clicks(&fig, &fig.allocation_a());
+        assert!((total - 5.55).abs() < 0.02, "got {total}");
+    }
+
+    #[test]
+    fn allocation_b_expected_clicks_match_paper() {
+        // Paper: 6.3 (same caveat).
+        let fig = Fig1::new();
+        let total = exact_total_clicks(&fig, &fig.allocation_b());
+        assert!((total - 6.3).abs() < 0.05, "got {total}");
+    }
+
+    #[test]
+    fn allocation_b_beats_a() {
+        let fig = Fig1::new();
+        let a = exact_total_clicks(&fig, &fig.allocation_a());
+        let b = exact_total_clicks(&fig, &fig.allocation_b());
+        assert!(b > a, "virality-aware allocation must win: {b} vs {a}");
+    }
+
+    #[test]
+    fn both_allocations_valid() {
+        let fig = Fig1::new();
+        let p = fig.problem(0.0);
+        fig.allocation_a().validate(&p).unwrap();
+        fig.allocation_b().validate(&p).unwrap();
+    }
+}

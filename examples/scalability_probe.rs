@@ -1,0 +1,68 @@
+//! Scalability probe: TIRM on a DBLP-shaped co-authorship network under
+//! the §6.2 stress setup (Weighted-Cascade, CPE = CTP = 1, κ = 1, full
+//! competition), sweeping the number of advertisers.
+//!
+//! ```sh
+//! TIRM_SCALE=2 cargo run --release --example scalability_probe
+//! ```
+
+use std::time::Instant;
+use tirm::core::report::{fnum, Table};
+use tirm::{tirm_allocate, Attention, ProblemInstance, TirmOptions};
+use tirm_topics::CtpTable;
+use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
+
+fn main() {
+    if std::env::var("TIRM_SCALE").is_err() {
+        std::env::set_var("TIRM_SCALE", "0.5");
+    }
+    let cfg = ScaleConfig::from_env();
+    let d = Dataset::generate(DatasetKind::Dblp, &cfg, 31);
+    let budget = 5_000.0 * d.size_ratio;
+    println!(
+        "DBLP-like: {} nodes, {} arcs; per-advertiser budget {:.0}",
+        d.graph.num_nodes(),
+        d.graph.num_edges(),
+        budget
+    );
+
+    let flat: Vec<f32> = (0..d.graph.num_edges() as u32)
+        .map(|e| d.topic_probs.get(e, 0))
+        .collect();
+
+    let mut t = Table::new(&["h", "seconds", "seeds", "RR sets", "memory MB"]);
+    for h in [1usize, 2, 4, 8] {
+        let ads = campaigns::uniform_campaign(h, budget);
+        let edge_probs = vec![flat.clone(); h];
+        let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
+        let problem = ProblemInstance::new(
+            &d.graph,
+            ads,
+            edge_probs,
+            ctp,
+            Attention::Uniform(1),
+            0.0,
+        );
+        let t0 = Instant::now();
+        let (alloc, stats) = tirm_allocate(
+            &problem,
+            TirmOptions {
+                eps: 0.2,
+                seed: 8,
+                max_theta_per_ad: Some(400_000),
+                ..TirmOptions::default()
+            },
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        t.row(vec![
+            h.to_string(),
+            fnum(secs),
+            alloc.total_seeds().to_string(),
+            stats.rr_sets_per_ad.iter().sum::<usize>().to_string(),
+            fnum(stats.memory_bytes as f64 / 1e6),
+        ]);
+        println!("h={h}: {secs:.1}s, {} seeds", alloc.total_seeds());
+    }
+    println!("\n{}", t.render());
+    println!("expected shape (paper Fig. 6): near-linear growth in h");
+}

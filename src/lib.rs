@@ -1,0 +1,27 @@
+//! # tirm — Viral Marketing Meets Social Advertising
+//!
+//! Umbrella crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of *"Viral Marketing Meets Social Advertising: Ad Allocation
+//! with Minimum Regret"* (Aslay, Lu, Bonchi, Goyal, Lakshmanan — VLDB 2015).
+//!
+//! The workspace implements:
+//! * the TIC-CTP propagation model on a CSR social graph,
+//! * the REGRET-MINIMIZATION problem (budgets, CPEs, attention bounds,
+//!   seed-size penalty λ),
+//! * the paper's algorithms — MYOPIC, MYOPIC+, GREEDY (Alg. 1),
+//!   GREEDY-IRIE and the scalable **TIRM** (Alg. 2) built on
+//!   reverse-reachable set sampling,
+//! * Monte-Carlo and exact evaluation, plus the full experiment harness
+//!   regenerating every table and figure of the paper's §6.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use tirm_core as core;
+pub use tirm_diffusion as diffusion;
+pub use tirm_graph as graph;
+pub use tirm_irie as irie;
+pub use tirm_rrset as rrset;
+pub use tirm_topics as topics;
+pub use tirm_workloads as workloads;
+
+pub use tirm_core::prelude::*;

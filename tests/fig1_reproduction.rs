@@ -1,0 +1,110 @@
+//! End-to-end reproduction of the paper's Fig. 1 / Examples 1–2, checking
+//! the exact possible-world engine, the Monte-Carlo engine, and the regret
+//! arithmetic against the paper's published numbers.
+
+use tirm::RegretReport;
+use tirm_diffusion::{exact_activation_probs, mc_activation_probs};
+use tirm_workloads::toy::Fig1;
+
+fn clicks(fig: &Fig1, alloc: &tirm::Allocation) -> Vec<f64> {
+    let p = fig.problem(0.0);
+    (0..4)
+        .map(|i| {
+            let seeds = alloc.seeds(i);
+            if seeds.is_empty() {
+                0.0
+            } else {
+                exact_activation_probs(&fig.graph, &fig.probs, seeds, Some(p.ctp.ad(i)))
+                    .iter()
+                    .sum()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn allocation_a_per_node_probabilities() {
+    // Paper (Fig. 1): Pr[click(v1,a)] = Pr[click(v2,a)] = 0.9,
+    // v3 = 0.93, v4 = v5 = 0.95, v6 = 0.92 (independence approximation).
+    let fig = Fig1::new();
+    let p = fig.problem(0.0);
+    let a = fig.allocation_a();
+    let probs = exact_activation_probs(&fig.graph, &fig.probs, a.seeds(0), Some(p.ctp.ad(0)));
+    assert!((probs[0] - 0.9).abs() < 1e-6);
+    assert!((probs[1] - 0.9).abs() < 1e-6);
+    assert!((probs[2] - 0.9328).abs() < 1e-3, "v3: {}", probs[2]);
+    assert!((probs[3] - 0.9466).abs() < 2e-3, "v4: {}", probs[3]);
+    // v6: paper says 0.92 under independence; exact is within 0.01.
+    assert!((probs[5] - 0.92).abs() < 0.01, "v6: {}", probs[5]);
+}
+
+#[test]
+fn allocation_b_per_node_probabilities() {
+    // Paper: v3 clicks a w.p. 0.33 (social influence only), v4/v5 0.16.
+    let fig = Fig1::new();
+    let p = fig.problem(0.0);
+    let b = fig.allocation_b();
+    let probs_a =
+        exact_activation_probs(&fig.graph, &fig.probs, b.seeds(0), Some(p.ctp.ad(0)));
+    assert!((probs_a[2] - 0.3276).abs() < 1e-3, "v3 via a: {}", probs_a[2]);
+    assert!((probs_a[3] - 0.1638).abs() < 1e-3, "v4 via a: {}", probs_a[3]);
+    // Ad b seeded at v3: direct 0.8, v4/v5 get 0.4.
+    let probs_b =
+        exact_activation_probs(&fig.graph, &fig.probs, b.seeds(1), Some(p.ctp.ad(1)));
+    assert!((probs_b[2] - 0.8).abs() < 1e-6);
+    assert!((probs_b[3] - 0.4).abs() < 1e-6);
+}
+
+#[test]
+fn totals_and_regrets_match_paper() {
+    let fig = Fig1::new();
+    let a_clicks = clicks(&fig, &fig.allocation_a());
+    let b_clicks = clicks(&fig, &fig.allocation_b());
+    let total_a: f64 = a_clicks.iter().sum();
+    let total_b: f64 = b_clicks.iter().sum();
+    assert!((total_a - 5.55).abs() < 0.02, "A total {total_a}");
+    assert!((total_b - 6.30).abs() < 0.05, "B total {total_b}");
+
+    let budgets = [4.0, 2.0, 2.0, 1.0];
+    let seeds_a = [6usize, 0, 0, 0];
+    let seeds_b = [2usize, 1, 2, 1];
+    for (lambda, want_a, want_b) in [(0.0, 6.6, 2.7), (0.1, 7.2, 3.3)] {
+        let ra = RegretReport::new(
+            (0..4).map(|i| (budgets[i], a_clicks[i], seeds_a[i])),
+            lambda,
+        );
+        let rb = RegretReport::new(
+            (0..4).map(|i| (budgets[i], b_clicks[i], seeds_b[i])),
+            lambda,
+        );
+        // The paper rounds click totals to one decimal before computing
+        // regret, so allow ~0.1 slack.
+        assert!((ra.total() - want_a).abs() < 0.12, "λ={lambda} A: {}", ra.total());
+        assert!((rb.total() - want_b).abs() < 0.12, "λ={lambda} B: {}", rb.total());
+        assert!(rb.total() < ra.total());
+    }
+}
+
+#[test]
+fn monte_carlo_agrees_with_exact() {
+    let fig = Fig1::new();
+    let p = fig.problem(0.0);
+    let b = fig.allocation_b();
+    let exact = exact_activation_probs(&fig.graph, &fig.probs, b.seeds(0), Some(p.ctp.ad(0)));
+    let mc = mc_activation_probs(
+        &fig.graph,
+        &fig.probs,
+        b.seeds(0),
+        Some(p.ctp.ad(0)),
+        200_000,
+        13,
+    );
+    for v in 0..6 {
+        assert!(
+            (exact[v] - mc[v]).abs() < 0.01,
+            "node {v}: exact {} mc {}",
+            exact[v],
+            mc[v]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests (proptest) on cross-crate invariants: spread
+//! monotonicity/submodularity under the exact engine, Lemma 1, projection
+//! algebra, allocation validity of every algorithm on random instances.
+
+use proptest::prelude::*;
+use tirm::{
+    myopic_allocate, myopic_plus_allocate, tirm_allocate, Advertiser, Attention,
+    ProblemInstance, TirmOptions,
+};
+use tirm_diffusion::exact_spread;
+use tirm_graph::{DiGraph, NodeId};
+use tirm_topics::{CtpTable, TopicDist, TopicEdgeProbs};
+
+/// Strategy: a random digraph with ≤ 10 arcs (exact-enumeration friendly)
+/// over 6 nodes, plus per-arc probabilities.
+fn small_graph() -> impl Strategy<Value = (DiGraph, Vec<f32>)> {
+    proptest::collection::vec((0u32..6, 0u32..6), 1..10).prop_map(|pairs| {
+        let edges: Vec<(NodeId, NodeId)> =
+            pairs.into_iter().filter(|(u, v)| u != v).collect();
+        let g = DiGraph::from_edges(6, edges);
+        let m = g.num_edges();
+        // Deterministic pseudo-probabilities from edge ids.
+        let probs = (0..m).map(|e| 0.1 + 0.8 * ((e * 37 % 97) as f32 / 97.0)).collect();
+        (g, probs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spread_is_monotone((g, probs) in small_graph(), extra in 0u32..6) {
+        let s1 = exact_spread(&g, &probs, &[0], None);
+        let s2 = exact_spread(&g, &probs, &[0, extra], None);
+        prop_assert!(s2 >= s1 - 1e-9, "monotonicity: {s1} -> {s2}");
+    }
+
+    #[test]
+    fn spread_is_submodular((g, probs) in small_graph(), x in 1u32..6) {
+        // MG(x | ∅) ≥ MG(x | {0}).
+        let empty = 0.0;
+        let sx = exact_spread(&g, &probs, &[x], None);
+        let s0 = exact_spread(&g, &probs, &[0], None);
+        let s0x = exact_spread(&g, &probs, &[0, x], None);
+        prop_assert!(
+            (sx - empty) + 1e-9 >= s0x - s0,
+            "submodularity: {} vs {}", sx, s0x - s0
+        );
+    }
+
+    #[test]
+    fn lemma_1_identity_holds((g, probs) in small_graph(), u in 1u32..6, d in 0.05f32..0.95) {
+        let mut ctp = vec![1.0f32; 6];
+        ctp[u as usize] = d;
+        let s = [0u32];
+        let su = [0u32, u];
+        let lhs = d as f64 * (exact_spread(&g, &probs, &su, None)
+            - exact_spread(&g, &probs, &s, None));
+        let rhs = exact_spread(&g, &probs, &su, Some(&ctp))
+            - exact_spread(&g, &probs, &s, Some(&ctp));
+        prop_assert!((lhs - rhs).abs() < 1e-9, "Lemma 1: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn projection_is_bounded_convex(
+        w0 in 0.0f32..1.0,
+        p0 in 0.0f32..1.0,
+        p1 in 0.0f32..1.0,
+    ) {
+        let mut tp = TopicEdgeProbs::new(1, 2);
+        tp.set(0, 0, p0);
+        tp.set(0, 1, p1);
+        let ad = TopicDist::new(vec![w0, 1.0 - w0]).unwrap();
+        let proj = tp.project(&ad)[0];
+        let lo = p0.min(p1) - 1e-6;
+        let hi = p0.max(p1) + 1e-6;
+        prop_assert!(proj >= lo && proj <= hi, "{proj} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn all_algorithms_emit_valid_allocations(
+        seed in 0u64..200,
+        kappa in 1u32..4,
+        budget in 1.0f64..12.0,
+    ) {
+        let g = tirm_graph::generators::erdos_renyi(30, 90, seed);
+        let h = 2usize;
+        let ads = (0..h)
+            .map(|_| Advertiser::new(budget, 1.0, TopicDist::single(1, 0)))
+            .collect::<Vec<_>>();
+        let probs = vec![vec![0.15f32; g.num_edges()]; h];
+        let ctp = CtpTable::uniform_random(30, h, 0.1, 0.6, seed);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(kappa), 0.0);
+
+        let (a, _) = myopic_allocate(&p);
+        prop_assert!(a.validate(&p).is_ok());
+        let (a, _) = myopic_plus_allocate(&p);
+        prop_assert!(a.validate(&p).is_ok());
+        let (a, _) = tirm_allocate(&p, TirmOptions {
+            eps: 0.3,
+            seed,
+            max_theta_per_ad: Some(20_000),
+            ..TirmOptions::default()
+        });
+        prop_assert!(a.validate(&p).is_ok());
+    }
+}
