@@ -22,6 +22,21 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| run_quality_cell(&w, AlgoKind::MyopicPlus, 1, 0.0, 7).total_regret)
     });
     group.finish();
+
+    // Allocation-only (no MC evaluation): TIRM with serial vs parallel
+    // RR-set sampling, isolating the sampling engine's contribution.
+    let mut group = c.benchmark_group("tirm_allocation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for threads in [1usize, 4] {
+        group.bench_function(format!("epinions_q_{threads}t").as_str(), |b| {
+            let problem = w.problem(1, 0.0);
+            let mut opts = tirm_bench::tirm_options(true, 7);
+            opts.threads = threads;
+            b.iter(|| tirm_core::tirm_allocate(&problem, opts).1.total_seeds())
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_end_to_end);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tirm_rrset::{RrSampler, SampleWorkspace};
+use tirm_rrset::{ParallelSampler, RrCollection, RrSampler, SampleWorkspace, SamplingConfig};
 use tirm_workloads::{Dataset, DatasetKind, ScaleConfig};
 
 fn bench_rr_sampling(c: &mut Criterion) {
@@ -50,6 +50,37 @@ fn bench_rr_sampling(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.finish();
+
+    // Parallel engine throughput: the same θ batch drawn at 1 / 4 / all
+    // cores through ParallelSampler (arena sharding + ordered merge).
+    let theta = 20_000usize;
+    let mut g = c.benchmark_group("rr_sampling_parallel");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.throughput(criterion::Throughput::Elements(theta as u64));
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize, 2, 4, hw];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        g.bench_function(format!("sample_{theta}_rr_sets_{threads}t").as_str(), |b| {
+            b.iter_batched(
+                || {
+                    // Fresh engine + collection: measure the full batch cost.
+                    let engine = ParallelSampler::new(SamplingConfig::new(threads, 7), n);
+                    (engine, RrCollection::new(n))
+                },
+                |(mut engine, mut coll)| {
+                    engine.sample_into(&sampler, theta, &mut coll);
+                    coll.num_sets()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 

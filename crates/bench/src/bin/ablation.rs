@@ -25,7 +25,14 @@ fn main() {
     let mut json = Vec::new();
 
     // --- 1. selection rule + 3. θ cap ------------------------------------
-    let mut t = Table::new(&["variant", "total regret", "seeds", "RR sets", "mem GB", "secs"]);
+    let mut t = Table::new(&[
+        "variant",
+        "total regret",
+        "seeds",
+        "RR sets",
+        "mem GB",
+        "secs",
+    ]);
     let base = TirmOptions {
         eps: 0.1,
         seed: 0xab1a,
@@ -135,8 +142,14 @@ fn main() {
     }
     let ratio = rr_members as f64 / rrc_members.max(1) as f64;
     println!("\nAblation 4 — RRC vs RR sampling economics ({samples} samples each)");
-    println!("  mean RR-set size : {:.3}", rr_members as f64 / samples as f64);
-    println!("  mean RRC-set size: {:.3}", rrc_members as f64 / samples as f64);
+    println!(
+        "  mean RR-set size : {:.3}",
+        rr_members as f64 / samples as f64
+    );
+    println!(
+        "  mean RRC-set size: {:.3}",
+        rrc_members as f64 / samples as f64
+    );
     println!("  membership ratio : {ratio:.1}x (≈ 1/E[CTP]; §5.2 predicts ~50x at 1–3% CTPs)");
     json.push(serde_json::json!({
         "experiment": "rrc_vs_rr",

@@ -49,13 +49,7 @@ fn main() {
         );
         for lambda in [0.0, 0.1] {
             let report = RegretReport::new(
-                (0..4).map(|i| {
-                    (
-                        [4.0, 2.0, 2.0, 1.0][i],
-                        revenues[i],
-                        alloc.seeds(i).len(),
-                    )
-                }),
+                (0..4).map(|i| ([4.0, 2.0, 2.0, 1.0][i], revenues[i], alloc.seeds(i).len())),
                 lambda,
             );
             println!("regret (lambda = {lambda}): {:.3}", report.total());

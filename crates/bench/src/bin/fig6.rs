@@ -30,27 +30,14 @@ struct ScaleRow {
     rr_sets: usize,
 }
 
-fn run_cell(
-    d: &Dataset,
-    algo: AlgoKind,
-    h: usize,
-    budget: f64,
-    rows: &mut Vec<ScaleRow>,
-) -> f64 {
+fn run_cell(d: &Dataset, algo: AlgoKind, h: usize, budget: f64, rows: &mut Vec<ScaleRow>) -> f64 {
     let ads = campaigns::uniform_campaign(h, budget);
     let flat: Vec<f32> = (0..d.graph.num_edges() as u32)
         .map(|e| d.topic_probs.get(e, 0))
         .collect();
     let edge_probs = vec![flat; h];
     let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
-    let problem = ProblemInstance::new(
-        &d.graph,
-        ads,
-        edge_probs,
-        ctp,
-        Attention::Uniform(1),
-        0.0,
-    );
+    let problem = ProblemInstance::new(&d.graph, ads, edge_probs, ctp, Attention::Uniform(1), 0.0);
     let t0 = Instant::now();
     let (alloc, stats) = match algo {
         AlgoKind::Tirm => tirm_core::tirm_allocate(&problem, tirm_options(false, 0x5ca1e)),

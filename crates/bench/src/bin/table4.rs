@@ -21,14 +21,7 @@ fn measure(d: &Dataset, algo: AlgoKind, h: usize, budget: f64) -> usize {
         .collect();
     let edge_probs = vec![flat; h];
     let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
-    let problem = ProblemInstance::new(
-        &d.graph,
-        ads,
-        edge_probs,
-        ctp,
-        Attention::Uniform(1),
-        0.0,
-    );
+    let problem = ProblemInstance::new(&d.graph, ads, edge_probs, ctp, Attention::Uniform(1), 0.0);
     let (_, stats) = match algo {
         AlgoKind::Tirm => tirm_core::tirm_allocate(&problem, tirm_options(false, 0x7ab4)),
         _ => algo.run(&problem, false, 0x7ab4),

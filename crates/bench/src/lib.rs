@@ -7,8 +7,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use tirm_core::{
     evaluate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
-    AlgoStats, Allocation, Attention, Evaluation, GreedyIrieOptions, ProblemInstance,
-    TirmOptions,
+    AlgoStats, Allocation, Attention, Evaluation, GreedyIrieOptions, ProblemInstance, TirmOptions,
 };
 use tirm_irie::IrieConfig;
 use tirm_topics::CtpTable;
@@ -201,25 +200,36 @@ pub fn run_quality_cell(
     }
 }
 
+/// Root directory for experiment JSON output. Overridable via
+/// `TIRM_EXPERIMENTS_DIR`; defaults to `target/experiments` so results are
+/// cleaned together with build artefacts.
+pub fn experiments_dir() -> PathBuf {
+    std::env::var_os("TIRM_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
 /// Writes experiment rows as pretty-printed JSON under
-/// `target/experiments/<name>.json` (best-effort; failures only warn).
-pub fn write_json<T: Serialize>(name: &str, rows: &T) {
-    let dir = PathBuf::from("target/experiments");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warn: cannot create {}: {e}", dir.display());
-        return;
-    }
+/// [`experiments_dir()`]`/<name>.json`, creating the directory if missing.
+/// Returns the written path; IO failures are surfaced as errors.
+pub fn try_write_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    match std::fs::File::create(&path) {
-        Ok(mut f) => {
-            let s = serde_json::to_string_pretty(rows).expect("serializable rows");
-            if let Err(e) = f.write_all(s.as_bytes()) {
-                eprintln!("warn: write {}: {e}", path.display());
-            } else {
-                eprintln!("[json] {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warn: create {}: {e}", path.display()),
+    let mut f = std::fs::File::create(&path)?;
+    let s = serde_json::to_string_pretty(rows)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    f.write_all(s.as_bytes())?;
+    Ok(path)
+}
+
+/// [`try_write_json`] for the experiment binaries: logs the written path,
+/// or the error with a non-fatal warning (a figure harness should still
+/// print its table when the filesystem is read-only).
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    match try_write_json(name, rows) {
+        Ok(path) => eprintln!("[json] {}", path.display()),
+        Err(e) => eprintln!("warn: writing {name}.json failed: {e}"),
     }
 }
 

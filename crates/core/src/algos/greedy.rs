@@ -20,14 +20,12 @@ use tirm_diffusion::SpreadOracle;
 use tirm_graph::NodeId;
 
 /// Options for the greedy allocator.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct GreedyOptions {
     /// Safety cap on total seeds (guards pathological oracles); `None`
     /// lets the regret criterion terminate alone.
     pub max_total_seeds: Option<usize>,
 }
-
 
 #[allow(clippy::needless_range_loop)] // parallel arrays indexed by ad id
 /// Runs Algorithm 1 with the supplied spread oracle.
@@ -63,8 +61,7 @@ pub fn greedy_allocate<O: SpreadOracle>(
             let budget = problem.target_budget(ad);
             let cpe = problem.ads[ad].cpe;
             let seeds_len = alloc.seeds(ad).len();
-            let current_regret =
-                ad_regret(budget, cpe * spread[ad], problem.lambda, seeds_len);
+            let current_regret = ad_regret(budget, cpe * spread[ad], problem.lambda, seeds_len);
             for u in 0..n as NodeId {
                 if !alloc.can_assign(problem, u, ad) {
                     continue;

@@ -19,8 +19,7 @@ use tirm_graph::NodeId;
 use tirm_irie::{Irie, IrieConfig};
 
 /// Options for GREEDY-IRIE.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct GreedyIrieOptions {
     /// IRIE iteration parameters (α, iteration counts). The paper tunes
     /// α = 0.8 for quality runs and 0.7 for scalability runs.
@@ -28,7 +27,6 @@ pub struct GreedyIrieOptions {
     /// Safety cap on total seeds.
     pub max_total_seeds: Option<usize>,
 }
-
 
 /// Runs GREEDY-IRIE.
 pub fn greedy_irie_allocate(
@@ -70,12 +68,7 @@ pub fn greedy_irie_allocate(
                 }
                 let mg_rev = cpe * iries[ad].marginal(u, problem.ctp.get(u, ad));
                 oracle_calls += 1;
-                let next = ad_regret(
-                    budget,
-                    revenue[ad] + mg_rev,
-                    problem.lambda,
-                    seeds_len + 1,
-                );
+                let next = ad_regret(budget, revenue[ad] + mg_rev, problem.lambda, seeds_len + 1);
                 let drop = current - next;
                 if drop > DROP_TOL && ad_best.is_none_or(|(_, d, _)| drop > d) {
                     ad_best = Some((u, drop, mg_rev));
@@ -118,11 +111,7 @@ mod tests {
     use tirm_graph::generators;
     use tirm_topics::{CtpTable, TopicDist};
 
-    fn star_instance(
-        g: &tirm_graph::DiGraph,
-        budget: f64,
-        lambda: f64,
-    ) -> ProblemInstance<'_> {
+    fn star_instance(g: &tirm_graph::DiGraph, budget: f64, lambda: f64) -> ProblemInstance<'_> {
         let ads = vec![Advertiser::new(budget, 1.0, TopicDist::single(1, 0))];
         let probs = vec![vec![0.5f32; g.num_edges()]];
         let ctp = CtpTable::constant(g.num_nodes(), 1, 1.0);

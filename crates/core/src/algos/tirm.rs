@@ -33,13 +33,13 @@ use crate::allocation::Allocation;
 use crate::metrics::AlgoStats;
 use crate::problem::ProblemInstance;
 use crate::regret::ad_regret;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::time::Instant;
 use tirm_graph::NodeId;
 use tirm_rrset::heap::Verdict;
 use tirm_rrset::weighted::{score_key, WeightedRrCollection};
-use tirm_rrset::{KptEstimator, LazyMaxHeap, RrSampler, SampleBound};
+use tirm_rrset::{
+    KptEstimator, LazyMaxHeap, ParallelSampler, RrSampler, SampleBound, SamplingConfig,
+};
 
 /// Options for TIRM.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +51,11 @@ pub struct TirmOptions {
     pub ell: f64,
     /// RNG seed (whole run is deterministic given it).
     pub seed: u64,
+    /// Worker threads for RR-set sampling (KPT estimation batches and
+    /// θ-sample top-ups run through the [`ParallelSampler`] engine).
+    /// `1` (the default) reproduces the serial path bit-for-bit; outputs
+    /// are deterministic for every fixed `(seed, threads)` pair.
+    pub threads: usize,
     /// Hard per-ad cap on RR sets (memory guard); `None` = uncapped.
     pub max_theta_per_ad: Option<usize>,
     /// Safety cap on total seeds; `None` lets regret terminate alone.
@@ -70,6 +75,7 @@ impl Default for TirmOptions {
             eps: 0.1,
             ell: 1.0,
             seed: 0x7153_11b5,
+            threads: 1,
             max_theta_per_ad: Some(4_000_000),
             max_total_seeds: None,
             exact_drop_selection: false,
@@ -84,8 +90,9 @@ struct AdState<'a> {
     coll: WeightedRrCollection,
     heap: LazyMaxHeap,
     kpt: KptEstimator<'a>,
-    ws: tirm_rrset::SampleWorkspace,
-    rng: SmallRng,
+    /// Sampling engine for this ad's collection (persistent per-shard RNG
+    /// streams across the initial batch and every top-up).
+    engine: ParallelSampler,
     /// Current seed-count estimate `s_i`.
     s_est: usize,
     /// Seeds in selection order: (node, decay δ applied, credited score).
@@ -101,10 +108,7 @@ struct AdState<'a> {
 }
 
 /// Runs TIRM (Algorithm 2). Returns the allocation and run statistics.
-pub fn tirm_allocate(
-    problem: &ProblemInstance<'_>,
-    opts: TirmOptions,
-) -> (Allocation, AlgoStats) {
+pub fn tirm_allocate(problem: &ProblemInstance<'_>, opts: TirmOptions) -> (Allocation, AlgoStats) {
     let start = Instant::now();
     let h = problem.num_ads();
     let n = problem.num_nodes();
@@ -121,13 +125,16 @@ pub fn tirm_allocate(
     let mut states: Vec<AdState<'_>> = Vec::with_capacity(h);
     for i in 0..h {
         let sampler = RrSampler::new(problem.graph, &problem.edge_probs[i]);
+        let kpt_config = SamplingConfig::new(opts.threads, opts.seed ^ (0xabcd + i as u64));
         let mut st = AdState {
             sampler,
             coll: WeightedRrCollection::new(n),
             heap: LazyMaxHeap::new(),
-            kpt: KptEstimator::new(sampler, opts.ell, opts.seed ^ (0xabcd + i as u64)),
-            ws: tirm_rrset::SampleWorkspace::new(n),
-            rng: SmallRng::seed_from_u64(opts.seed.wrapping_add(i as u64)),
+            kpt: KptEstimator::with_config(sampler, opts.ell, kpt_config),
+            engine: ParallelSampler::new(
+                SamplingConfig::new(opts.threads, opts.seed.wrapping_add(i as u64)),
+                n,
+            ),
             s_est: 1,
             seeds: Vec::new(),
             revenue: 0.0,
@@ -138,10 +145,7 @@ pub fn tirm_allocate(
         let kpt1 = st.kpt.estimate(1);
         let (theta, capped) = bound.theta(1, kpt1);
         st.capped = capped;
-        for _ in 0..theta {
-            let set = st.sampler.sample(&mut st.ws, &mut st.rng);
-            st.coll.add_set(set);
-        }
+        st.engine.sample_into(&st.sampler, theta, &mut st.coll);
         oracle_calls += theta;
         rebuild_heap(&mut st);
         states.push(st);
@@ -369,10 +373,7 @@ fn grow_and_resample(
     if theta_needed > theta_now {
         let add = theta_needed - theta_now;
         let first_new_sid = theta_now as u32;
-        for _ in 0..add {
-            let set = st.sampler.sample(&mut st.ws, &mut st.rng);
-            st.coll.add_set(set);
-        }
+        st.engine.sample_into(&st.sampler, add, &mut st.coll);
         *oracle_calls += add;
         // Algorithm 4: apply existing seeds (in selection order) to the
         // fresh sets so future marginals stay marginal, crediting the
@@ -392,11 +393,7 @@ fn grow_and_resample(
             st.seeds
                 .iter()
                 .map(|&(v, _, credited)| {
-                    problem.ads[ad].cpe
-                        * nf
-                        * problem.ctp.get(v, ad) as f64
-                        * credited
-                        / theta_new
+                    problem.ads[ad].cpe * nf * problem.ctp.get(v, ad) as f64 * credited / theta_new
                 })
                 .sum()
         };
@@ -463,8 +460,7 @@ mod tests {
             ev.revenues[0]
         );
         assert!(
-            (stats.estimated_revenue[0] - ev.revenues[0]).abs()
-                < 0.25 * ev.revenues[0].max(1.0),
+            (stats.estimated_revenue[0] - ev.revenues[0]).abs() < 0.25 * ev.revenues[0].max(1.0),
             "estimate {} vs MC {}",
             stats.estimated_revenue[0],
             ev.revenues[0]
@@ -523,6 +519,32 @@ mod tests {
         let (a1, _) = tirm_allocate(&p, opts(42));
         let (a2, _) = tirm_allocate(&p, opts(42));
         assert_eq!(a1.seeds(0), a2.seeds(0));
+    }
+
+    #[test]
+    fn parallel_sampling_deterministic_and_comparable() {
+        let g = generators::preferential_attachment(300, 3, 0.2, 5);
+        let mk = || {
+            let ads = vec![Advertiser::new(15.0, 1.0, TopicDist::single(1, 0))];
+            let probs = vec![vec![0.1f32; g.num_edges()]];
+            let ctp = CtpTable::constant(300, 1, 1.0);
+            ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(1), 0.0)
+        };
+        let p = mk();
+        let mut par = opts(42);
+        par.threads = 4;
+        // Same (seed, threads) ⇒ identical allocation.
+        let (a1, _) = tirm_allocate(&p, par);
+        let (a2, _) = tirm_allocate(&p, par);
+        assert_eq!(a1.seeds(0), a2.seeds(0));
+        // Parallel sampling must not change solution quality materially.
+        let (serial, _) = tirm_allocate(&p, opts(42));
+        let r_par = evaluate(&p, &a1, 8_000, 3, 2).regret.total();
+        let r_ser = evaluate(&p, &serial, 8_000, 3, 2).regret.total();
+        assert!(
+            r_par <= r_ser * 1.5 + 1.0,
+            "parallel regret {r_par} vs serial {r_ser}"
+        );
     }
 
     #[test]

@@ -22,14 +22,15 @@ pub mod regret;
 pub mod report;
 
 pub use algos::{
-    greedy_allocate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate,
-    tirm_allocate, GreedyIrieOptions, GreedyOptions, TirmOptions,
+    greedy_allocate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
+    GreedyIrieOptions, GreedyOptions, TirmOptions,
 };
 pub use allocation::Allocation;
-pub use eval::{default_threads, evaluate, Evaluation, DEFAULT_EVAL_RUNS};
+pub use eval::{default_threads, evaluate, evaluate_rr, Evaluation, DEFAULT_EVAL_RUNS};
 pub use metrics::AlgoStats;
 pub use problem::{Advertiser, Attention, ProblemInstance};
 pub use regret::{ad_regret, budget_regret, AdRegret, RegretReport};
+pub use tirm_rrset::SamplingConfig;
 
 /// Glob-import convenience: `use tirm_core::prelude::*;`.
 pub mod prelude {

@@ -20,7 +20,11 @@ impl Advertiser {
     pub fn new(budget: f64, cpe: f64, topics: TopicDist) -> Self {
         assert!(budget >= 0.0 && budget.is_finite());
         assert!(cpe > 0.0 && cpe.is_finite());
-        Advertiser { budget, cpe, topics }
+        Advertiser {
+            budget,
+            cpe,
+            topics,
+        }
     }
 }
 
@@ -113,10 +117,7 @@ impl<'a> ProblemInstance<'a> {
         lambda: f64,
     ) -> Self {
         assert_eq!(topic_probs.num_edges(), graph.num_edges());
-        let edge_probs = ads
-            .iter()
-            .map(|a| topic_probs.project(&a.topics))
-            .collect();
+        let edge_probs = ads.iter().map(|a| topic_probs.project(&a.topics)).collect();
         Self::new(graph, ads, edge_probs, ctp, attention, lambda)
     }
 
@@ -155,11 +156,7 @@ impl<'a> ProblemInstance<'a> {
 
     /// Checks Theorem 2's λ assumption: `λ ≤ δ(u,i)·cpe(i)` for all pairs.
     pub fn lambda_assumption_holds(&self) -> bool {
-        let min_cpe = self
-            .ads
-            .iter()
-            .map(|a| a.cpe)
-            .fold(f64::INFINITY, f64::min);
+        let min_cpe = self.ads.iter().map(|a| a.cpe).fold(f64::INFINITY, f64::min);
         self.lambda <= self.ctp.min_ctp() as f64 * min_cpe
     }
 }

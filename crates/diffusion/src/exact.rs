@@ -19,12 +19,7 @@ pub const MAX_EXACT_EDGES: usize = 20;
 ///
 /// # Panics
 /// If the graph has more than [`MAX_EXACT_EDGES`] arcs.
-pub fn exact_spread(
-    g: &DiGraph,
-    probs: &[f32],
-    seeds: &[NodeId],
-    ctp: Option<&[f32]>,
-) -> f64 {
+pub fn exact_spread(g: &DiGraph, probs: &[f32], seeds: &[NodeId], ctp: Option<&[f32]>) -> f64 {
     exact_activation_probs(g, probs, seeds, ctp).iter().sum()
 }
 
@@ -158,8 +153,8 @@ mod tests {
         //             = 0.25 + 0.25 − 0.0625 = 0.4375.
         assert!((a[3] - 0.4375).abs() < 1e-12, "got {}", a[3]);
         let indep = 1.0 - (1.0 - 0.5 * 0.5f64).powi(2); // 0.4375 too here!
-        // For the symmetric diamond independence happens to agree; perturb
-        // to expose the correlation.
+                                                        // For the symmetric diamond independence happens to agree; perturb
+                                                        // to expose the correlation.
         let mut probs2 = probs.clone();
         let e01 = g.edge_id(0, 1).unwrap() as usize;
         probs2[e01] = 0.9;

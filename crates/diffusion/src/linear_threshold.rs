@@ -119,12 +119,7 @@ pub fn mc_lt_spread(
 /// repeatedly follow *one* sampled in-arc (arc `(u,v)` with probability
 /// `b_{u,v}`, stop with probability `1 − Σ b`). The set of visited nodes
 /// is the LT RR set (Tang et al. §6 use exactly this walk).
-pub fn sample_lt_rr_set<R: Rng>(
-    g: &DiGraph,
-    weights: &[f32],
-    rng: &mut R,
-    out: &mut Vec<NodeId>,
-) {
+pub fn sample_lt_rr_set<R: Rng>(g: &DiGraph, weights: &[f32], rng: &mut R, out: &mut Vec<NodeId>) {
     out.clear();
     let n = g.num_nodes();
     let mut current = rng.gen_range(0..n) as NodeId;
@@ -163,11 +158,11 @@ mod tests {
     #[test]
     fn weight_validation() {
         let g = generators::star(4); // 0 → {1,2,3}; each leaf indeg 1
-        assert!(validate_lt_weights(&g, &vec![1.0; 3]).is_ok());
+        assert!(validate_lt_weights(&g, &[1.0; 3]).is_ok());
         let g2 = tirm_graph::DiGraph::from_edges(3, vec![(0, 2), (1, 2)]);
-        assert!(validate_lt_weights(&g2, &vec![0.7, 0.7]).is_err());
-        assert!(validate_lt_weights(&g2, &vec![0.5, 0.5]).is_ok());
-        assert!(validate_lt_weights(&g2, &vec![0.5]).is_err());
+        assert!(validate_lt_weights(&g2, &[0.7, 0.7]).is_err());
+        assert!(validate_lt_weights(&g2, &[0.5, 0.5]).is_ok());
+        assert!(validate_lt_weights(&g2, &[0.5]).is_err());
     }
 
     #[test]
@@ -216,11 +211,7 @@ mod tests {
             }
         }
         // Check the top node's estimate against MC.
-        let (best, _) = hits
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &h)| h)
-            .unwrap();
+        let (best, _) = hits.iter().enumerate().max_by_key(|&(_, &h)| h).unwrap();
         let est = 150.0 * hits[best] as f64 / samples as f64;
         let mc = mc_lt_spread(&g, &w, &[best as NodeId], None, 60_000, 5);
         assert!(

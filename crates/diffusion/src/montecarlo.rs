@@ -49,6 +49,9 @@ pub fn mc_activation_probs(
 /// Parallel MC estimate: `runs` cascades split over `threads` workers, each
 /// with its own RNG stream (`seed + worker_index`), summed at the end.
 /// Result is deterministic for fixed inputs *including* `threads`.
+///
+/// Built on `std::thread::scope` — workers borrow the graph directly and
+/// produce independent partial sums, so no locking is needed.
 pub fn mc_spread_parallel(
     g: &DiGraph,
     probs: &[f32],
@@ -64,27 +67,30 @@ pub fn mc_spread_parallel(
     }
     let per = runs / threads;
     let extra = runs % threads;
-    let totals = parking_lot::Mutex::new(0u64);
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let my_runs = per + usize::from(t < extra);
-            if my_runs == 0 {
-                continue;
-            }
-            let totals = &totals;
-            scope.spawn(move |_| {
-                let mut ws = CascadeWorkspace::new(g.num_nodes());
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(t as u64));
-                let mut local = 0u64;
-                for _ in 0..my_runs {
-                    local += simulate_once(g, probs, seeds, ctp, &mut ws, &mut rng) as u64;
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .filter_map(|t| {
+                let my_runs = per + usize::from(t < extra);
+                if my_runs == 0 {
+                    return None;
                 }
-                *totals.lock() += local;
-            });
-        }
-    })
-    .expect("cascade worker panicked");
-    totals.into_inner() as f64 / runs as f64
+                Some(scope.spawn(move || {
+                    let mut ws = CascadeWorkspace::new(g.num_nodes());
+                    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(t as u64));
+                    let mut local = 0u64;
+                    for _ in 0..my_runs {
+                        local += simulate_once(g, probs, seeds, ctp, &mut ws, &mut rng) as u64;
+                    }
+                    local
+                }))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cascade worker panicked"))
+            .sum()
+    });
+    total as f64 / runs as f64
 }
 
 #[cfg(test)]
@@ -100,10 +106,7 @@ mod tests {
         let ctp = vec![0.5f32; 5];
         let truth = exact_spread(&g, &probs, &[0, 2], Some(&ctp));
         let est = mc_spread(&g, &probs, &[0, 2], Some(&ctp), 60_000, 42);
-        assert!(
-            (est - truth).abs() < 0.03,
-            "MC {est} vs exact {truth}"
-        );
+        assert!((est - truth).abs() < 0.03, "MC {est} vs exact {truth}");
     }
 
     #[test]

@@ -119,10 +119,7 @@ mod tests {
         let (g2, original) = read_edge_list(&buf[..], false).unwrap();
         assert_eq!(g2.num_edges(), g.num_edges());
         // Ids are remapped by first appearance; map back and compare sets.
-        let mut e1: Vec<(u64, u64)> = g
-            .edges()
-            .map(|(_, u, v)| (u as u64, v as u64))
-            .collect();
+        let mut e1: Vec<(u64, u64)> = g.edges().map(|(_, u, v)| (u as u64, v as u64)).collect();
         let mut e2: Vec<(u64, u64)> = g2
             .edges()
             .map(|(_, u, v)| (original[u as usize], original[v as usize]))

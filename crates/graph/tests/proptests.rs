@@ -5,12 +5,7 @@ use proptest::prelude::*;
 use tirm_graph::{generators, io, DiGraph, GraphBuilder, NodeId};
 
 fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2..=max_n).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..max_m),
-        )
-    })
+    (2..=max_n).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_m)))
 }
 
 proptest! {

@@ -130,8 +130,7 @@ impl<'a> Irie<'a> {
                         acc += pe * (1.0 - self.ap[v as usize]) * self.rank[v as usize];
                     }
                 }
-                next[u as usize] =
-                    (1.0 - self.ap[u as usize]) * (1.0 + self.cfg.alpha * acc);
+                next[u as usize] = (1.0 - self.ap[u as usize]) * (1.0 + self.cfg.alpha * acc);
             }
             std::mem::swap(&mut self.rank, &mut next);
         }
@@ -192,7 +191,11 @@ mod tests {
         let before = irie.rank(0);
         irie.add_seed(0, 1.0);
         // The hub is now fully activated: its own rank collapses.
-        assert!(irie.rank(0) < 1e-9, "seeded node keeps rank {}", irie.rank(0));
+        assert!(
+            irie.rank(0) < 1e-9,
+            "seeded node keeps rank {}",
+            irie.rank(0)
+        );
         // Leaves are half-activated; their ranks shrink too.
         for v in 1..30 {
             assert!(irie.activation_prob(v) > 0.49);

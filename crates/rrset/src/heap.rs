@@ -66,7 +66,10 @@ impl LazyMaxHeap {
 
     /// Pops the best valid entry. `judge(node, stored_key)` inspects the
     /// current top; see [`Verdict`]. Returns `None` when the heap empties.
-    pub fn pop_best(&mut self, mut judge: impl FnMut(NodeId, u64) -> Verdict) -> Option<(NodeId, u64)> {
+    pub fn pop_best(
+        &mut self,
+        mut judge: impl FnMut(NodeId, u64) -> Verdict,
+    ) -> Option<(NodeId, u64)> {
         while let Some((key, node)) = self.heap.pop() {
             match judge(node, key) {
                 Verdict::Take => return Some((node, key)),
@@ -123,7 +126,13 @@ mod tests {
     fn drop_removes_permanently() {
         let mut h = LazyMaxHeap::build(vec![(0, 5), (1, 9)]);
         let got = h
-            .pop_best(|node, _| if node == 1 { Verdict::Drop } else { Verdict::Take })
+            .pop_best(|node, _| {
+                if node == 1 {
+                    Verdict::Drop
+                } else {
+                    Verdict::Take
+                }
+            })
             .unwrap();
         assert_eq!(got.0, 0);
         assert!(h.is_empty());

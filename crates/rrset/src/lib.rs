@@ -8,6 +8,11 @@
 //! * [`collection`] — flat storage for a growing collection of RR sets
 //!   with an inverted node→set index, marginal coverage counts, and
 //!   `cover` operations (the Max-Cover primitive TIM and TIRM both use).
+//! * [`parallel`] — the deterministic multi-threaded sampling engine
+//!   ([`ParallelSampler`]): θ samples sharded over persistent per-thread
+//!   RNG/workspace pairs, merged contention-free in shard order. Same
+//!   `(seed, threads)` ⇒ identical collections; `threads = 1` is
+//!   bit-identical to the serial path.
 //! * [`heap`] — lazy max-heaps for CELF-style best-node selection.
 //! * [`tim`] — the TIM sample-size machinery: KPT estimation,
 //!   `λ(s, ε)` / `L(s, ε)` bounds (Eq. 5) and a complete TIM influence
@@ -16,6 +21,7 @@
 
 pub mod collection;
 pub mod heap;
+pub mod parallel;
 pub mod sampler;
 pub mod special;
 pub mod tim;
@@ -23,6 +29,7 @@ pub mod weighted;
 
 pub use collection::RrCollection;
 pub use heap::LazyMaxHeap;
+pub use parallel::{ParallelSampler, RrArena, RrSink, SamplingConfig};
 pub use sampler::{RrSampler, SampleWorkspace};
-pub use tim::{tim_select, KptEstimator, SampleBound, TimResult};
+pub use tim::{tim_select, tim_select_with, KptEstimator, SampleBound, TimResult};
 pub use weighted::{score_key, WeightedRrCollection};

@@ -1,0 +1,478 @@
+//! Deterministic parallel RR-set sampling engine.
+//!
+//! The serial sampler ([`crate::RrSampler`]) draws one set at a time from a
+//! single `SmallRng` + [`SampleWorkspace`] pair — the hot path of TIM's θ
+//! sampling, TIRM's per-ad growing collections and RR-based evaluation,
+//! using exactly one core. [`ParallelSampler`] shards a batch of θ samples
+//! over `threads` workers:
+//!
+//! * **Per-shard state.** Every shard owns a persistent `SmallRng` (seeded
+//!   `seed ⊕ shard_id·γ`, where γ is the 64-bit golden-ratio constant; shard
+//!   0's seed is exactly `seed`) and its own [`SampleWorkspace`], so
+//!   consecutive batches continue each shard's stream — no cross-thread
+//!   contention, no reseeding between top-ups.
+//! * **Deterministic merge.** Workers write into per-shard arenas
+//!   ([`RrArena`]: one flat node buffer + offsets, no per-set allocation);
+//!   the merge pass drains arenas in shard order, so a fixed
+//!   `(seed, threads)` pair yields an identical collection no matter how
+//!   the OS schedules the workers.
+//! * **Serial compatibility.** With `threads = 1` the engine *is* the old
+//!   serial loop: one shard, seeded `seed`, samples appended in draw order —
+//!   bit-identical to `SmallRng::seed_from_u64(seed)` + a `for` loop.
+//!
+//! Batches are split contiguously: `count / threads` per shard with the
+//! remainder spread over the first shards. Splitting (and therefore the
+//! exact output) depends on `threads` by design — reproducibility is
+//! per-configuration, matching `mc_spread_parallel`'s contract.
+
+use crate::collection::RrCollection;
+use crate::sampler::{RrSampler, SampleWorkspace};
+use crate::weighted::WeightedRrCollection;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tirm_graph::NodeId;
+
+/// 2^64 / φ — the weyl-sequence constant used to spread shard seeds.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Configuration of a sampling engine: worker count, base RNG seed, and an
+/// optional cumulative cap on drawn samples (a memory guard mirroring
+/// [`crate::SampleBound::max_theta`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Worker threads (clamped to ≥ 1). `1` reproduces the serial path.
+    pub threads: usize,
+    /// Base seed; shard `i` derives `seed ⊕ i·γ` (shard 0 gets `seed`).
+    pub seed: u64,
+    /// Cumulative cap on samples drawn through one engine; `None` = unlimited.
+    pub max_theta: Option<usize>,
+}
+
+impl SamplingConfig {
+    /// Parallel configuration without a sample cap.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        SamplingConfig {
+            threads,
+            seed,
+            max_theta: None,
+        }
+    }
+
+    /// Single-threaded configuration — bit-identical to the serial path.
+    pub fn serial(seed: u64) -> Self {
+        SamplingConfig::new(1, seed)
+    }
+
+    /// Worker count clamped to at least one.
+    #[inline]
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Deterministic seed of shard `shard`.
+    #[inline]
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        self.seed ^ (shard as u64).wrapping_mul(GOLDEN_GAMMA)
+    }
+}
+
+/// Anything that can absorb sampled RR sets (the merge-pass target).
+pub trait RrSink {
+    /// Adds one sampled set.
+    fn add_rr_set(&mut self, members: &[NodeId]);
+}
+
+impl RrSink for RrCollection {
+    #[inline]
+    fn add_rr_set(&mut self, members: &[NodeId]) {
+        self.add_set(members);
+    }
+}
+
+impl RrSink for WeightedRrCollection {
+    #[inline]
+    fn add_rr_set(&mut self, members: &[NodeId]) {
+        self.add_set(members);
+    }
+}
+
+impl RrSink for Vec<Vec<NodeId>> {
+    #[inline]
+    fn add_rr_set(&mut self, members: &[NodeId]) {
+        self.push(members.to_vec());
+    }
+}
+
+/// Flat per-shard output buffer: all sets in one node vector plus offsets.
+/// Avoids per-set allocation inside workers; drained in shard order by the
+/// merge pass.
+#[derive(Clone, Debug, Default)]
+pub struct RrArena {
+    offsets: Vec<u32>,
+    nodes: Vec<NodeId>,
+}
+
+impl RrArena {
+    fn with_capacity(sets: usize) -> Self {
+        RrArena {
+            offsets: Vec::with_capacity(sets + 1),
+            nodes: Vec::with_capacity(sets * 4),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, members: &[NodeId]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len() as u32);
+    }
+
+    /// Number of sets stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the stored sets in draw order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.nodes[w[0] as usize..w[1] as usize])
+    }
+}
+
+/// One worker's persistent state.
+struct Shard {
+    rng: SmallRng,
+    ws: SampleWorkspace,
+}
+
+/// Deterministic multi-threaded RR-set sampler with persistent per-shard
+/// RNG streams. See the module docs for the determinism contract.
+pub struct ParallelSampler {
+    config: SamplingConfig,
+    shards: Vec<Shard>,
+    total_sampled: usize,
+}
+
+impl ParallelSampler {
+    /// Engine over a graph with `num_nodes` nodes.
+    pub fn new(config: SamplingConfig, num_nodes: usize) -> Self {
+        let shards = (0..config.effective_threads())
+            .map(|i| Shard {
+                rng: SmallRng::seed_from_u64(config.shard_seed(i)),
+                ws: SampleWorkspace::new(num_nodes),
+            })
+            .collect();
+        ParallelSampler {
+            config,
+            shards,
+            total_sampled: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Samples drawn through this engine so far (across all batches).
+    pub fn total_sampled(&self) -> usize {
+        self.total_sampled
+    }
+
+    /// Caps `count` against the configured cumulative `max_theta`.
+    fn admissible(&self, count: usize) -> usize {
+        match self.config.max_theta {
+            Some(cap) => count.min(cap.saturating_sub(self.total_sampled)),
+            None => count,
+        }
+    }
+
+    /// Contiguous per-shard quotas for a batch of `count` samples.
+    fn quotas(&self, count: usize) -> Vec<usize> {
+        let t = self.shards.len();
+        let per = count / t;
+        let extra = count % t;
+        (0..t).map(|i| per + usize::from(i < extra)).collect()
+    }
+
+    /// Draws `count` classic RR sets into `sink` (θ-batch sampling).
+    /// Returns the number actually drawn (may be below `count` when the
+    /// cumulative `max_theta` cap bites).
+    pub fn sample_into(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        count: usize,
+        sink: &mut impl RrSink,
+    ) -> usize {
+        self.run_batch(count, sink, |shard, quota, emit| {
+            for _ in 0..quota {
+                emit(sampler.sample(&mut shard.ws, &mut shard.rng));
+            }
+        })
+    }
+
+    /// Draws `count` RRC sets (§5.2 node-level CTP coins) into `sink`.
+    pub fn sample_rrc_into(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        ctp: &[f32],
+        count: usize,
+        sink: &mut impl RrSink,
+    ) -> usize {
+        self.run_batch(count, sink, |shard, quota, emit| {
+            for _ in 0..quota {
+                emit(sampler.sample_rrc(ctp, &mut shard.ws, &mut shard.rng));
+            }
+        })
+    }
+
+    /// Draws `count` RR sets and maps each through `map`, returning the
+    /// results in deterministic shard order (used by KPT width estimation,
+    /// where only a per-set statistic is needed and sets are discarded).
+    pub fn sample_map<T, F>(&mut self, sampler: &RrSampler<'_>, count: usize, map: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&[NodeId]) -> T + Sync,
+    {
+        let count = self.admissible(count);
+        let quotas = self.quotas(count);
+        let map = &map;
+        let mut out = Vec::with_capacity(count);
+        if self.shards.len() == 1 {
+            let shard = &mut self.shards[0];
+            for _ in 0..count {
+                let set = sampler.sample(&mut shard.ws, &mut shard.rng);
+                out.push(map(set));
+            }
+        } else {
+            let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&quotas)
+                    .map(|(shard, &quota)| {
+                        scope.spawn(move || {
+                            let mut chunk = Vec::with_capacity(quota);
+                            for _ in 0..quota {
+                                let set = sampler.sample(&mut shard.ws, &mut shard.rng);
+                                chunk.push(map(set));
+                            }
+                            chunk
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sampling worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                out.extend(chunk);
+            }
+        }
+        self.total_sampled += count;
+        out
+    }
+
+    /// Shared batch driver. `work` draws one shard's quota, handing each
+    /// sampled set to an `emit` callback. With one shard the emitter *is*
+    /// the sink (sets stream straight into the collection, like the old
+    /// serial loop); with several, each worker emits into a private
+    /// [`RrArena`] and the arenas are merged into `sink` in shard order —
+    /// byte-identical sink contents either way for a fixed configuration.
+    fn run_batch<W>(&mut self, count: usize, sink: &mut impl RrSink, work: W) -> usize
+    where
+        W: Fn(&mut Shard, usize, &mut dyn FnMut(&[NodeId])) + Sync,
+    {
+        let count = self.admissible(count);
+        if count == 0 {
+            return 0;
+        }
+        if self.shards.len() == 1 {
+            work(&mut self.shards[0], count, &mut |set| sink.add_rr_set(set));
+        } else {
+            let quotas = self.quotas(count);
+            let work = &work;
+            let arenas: Vec<RrArena> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&quotas)
+                    .map(|(shard, &quota)| {
+                        scope.spawn(move || {
+                            let mut arena = RrArena::with_capacity(quota);
+                            work(shard, quota, &mut |set| arena.push(set));
+                            arena
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sampling worker panicked"))
+                    .collect()
+            });
+            for arena in &arenas {
+                for set in arena.iter() {
+                    sink.add_rr_set(set);
+                }
+            }
+        }
+        self.total_sampled += count;
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tirm_graph::generators;
+
+    fn probs_for(g: &tirm_graph::DiGraph) -> Vec<f32> {
+        (0..g.num_edges())
+            .map(|e| 0.1 + 0.8 * ((e * 37 % 97) as f32 / 97.0))
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_matches_serial_loop_bit_for_bit() {
+        let g = generators::erdos_renyi(60, 240, 3);
+        let probs = probs_for(&g);
+        let sampler = RrSampler::new(&g, &probs);
+
+        let mut serial: Vec<Vec<NodeId>> = Vec::new();
+        let mut ws = SampleWorkspace::new(g.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..500 {
+            serial.push(sampler.sample(&mut ws, &mut rng).to_vec());
+        }
+
+        let mut engine = ParallelSampler::new(SamplingConfig::serial(42), g.num_nodes());
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        // Split across two batches: per-shard streams must persist.
+        engine.sample_into(&sampler, 200, &mut out);
+        engine.sample_into(&sampler, 300, &mut out);
+        assert_eq!(serial, out);
+    }
+
+    #[test]
+    fn fixed_config_is_reproducible_across_runs() {
+        let g = generators::preferential_attachment(120, 3, 0.2, 9);
+        let probs = probs_for(&g);
+        let sampler = RrSampler::new(&g, &probs);
+        for threads in [1usize, 2, 4] {
+            let run = |n1: usize, n2: usize| {
+                let mut e = ParallelSampler::new(SamplingConfig::new(threads, 7), g.num_nodes());
+                let mut v: Vec<Vec<NodeId>> = Vec::new();
+                e.sample_into(&sampler, n1, &mut v);
+                e.sample_into(&sampler, n2, &mut v);
+                v
+            };
+            // Identical regardless of scheduling...
+            assert_eq!(run(400, 100), run(400, 100), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_collections_match_single_thread_statistically() {
+        // Proposition 1: n·E[F_R({u})] = σ({u}) — frequency estimates from
+        // different thread counts must agree within sampling noise.
+        let n = 21usize;
+        let g = generators::star(n);
+        let probs = vec![0.3f32; g.num_edges()];
+        let sampler = RrSampler::new(&g, &probs);
+        let samples = 60_000;
+        let hub_estimate = |threads: usize| {
+            let mut e = ParallelSampler::new(SamplingConfig::new(threads, 5), n);
+            let mut coll = RrCollection::new(n);
+            e.sample_into(&sampler, samples, &mut coll);
+            assert_eq!(coll.num_sets(), samples);
+            n as f64 * coll.cov(0) as f64 / samples as f64
+        };
+        for threads in [1usize, 2, 4] {
+            let est = hub_estimate(threads);
+            assert!((est - 7.0).abs() < 0.25, "threads={threads}: {est}");
+        }
+    }
+
+    #[test]
+    fn max_theta_caps_cumulative_draws() {
+        let g = generators::path(8);
+        let probs = vec![1.0f32; g.num_edges()];
+        let sampler = RrSampler::new(&g, &probs);
+        let mut cfg = SamplingConfig::new(2, 1);
+        cfg.max_theta = Some(150);
+        let mut e = ParallelSampler::new(cfg, 8);
+        let mut coll = RrCollection::new(8);
+        assert_eq!(e.sample_into(&sampler, 100, &mut coll), 100);
+        assert_eq!(e.sample_into(&sampler, 100, &mut coll), 50);
+        assert_eq!(e.sample_into(&sampler, 100, &mut coll), 0);
+        assert_eq!(coll.num_sets(), 150);
+        assert_eq!(e.total_sampled(), 150);
+    }
+
+    #[test]
+    fn sample_map_matches_sample_into_order() {
+        let g = generators::erdos_renyi(40, 160, 11);
+        let probs = probs_for(&g);
+        let sampler = RrSampler::new(&g, &probs);
+        let mut e1 = ParallelSampler::new(SamplingConfig::new(3, 13), g.num_nodes());
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        e1.sample_into(&sampler, 333, &mut sets);
+        let mut e2 = ParallelSampler::new(SamplingConfig::new(3, 13), g.num_nodes());
+        let sizes = e2.sample_map(&sampler, 333, |set| set.len());
+        assert_eq!(
+            sets.iter().map(Vec::len).collect::<Vec<_>>(),
+            sizes,
+            "same config ⇒ same draw order for both batch APIs"
+        );
+    }
+
+    #[test]
+    fn rrc_batches_respect_ctp_blocking() {
+        // Path 0→1→2 with p = 1 and δ(1) = 0: node 1 never appears, node 0
+        // appears whenever the root is ≥ 1 one hop away (it relays).
+        let g = generators::path(3);
+        let probs = vec![1.0f32; 2];
+        let ctp = vec![1.0f32, 0.0, 1.0];
+        let sampler = RrSampler::new(&g, &probs);
+        let mut e = ParallelSampler::new(SamplingConfig::new(4, 3), 3);
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        e.sample_rrc_into(&sampler, &ctp, 600, &mut sets);
+        assert_eq!(sets.len(), 600);
+        assert!(sets.iter().all(|s| !s.contains(&1)), "1 is CTP-blocked");
+        assert!(
+            sets.iter().any(|s| s.contains(&0) && s.len() == 2),
+            "0 must relay through blocked 1 to root 2"
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_anchor_shard_zero() {
+        let cfg = SamplingConfig::new(8, 0xdead_beef);
+        assert_eq!(cfg.shard_seed(0), 0xdead_beef);
+        let mut seeds: Vec<u64> = (0..8).map(|i| cfg.shard_seed(i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn arena_round_trips_sets() {
+        let mut a = RrArena::default();
+        assert!(a.is_empty());
+        a.push(&[1, 2, 3]);
+        a.push(&[]);
+        a.push(&[7]);
+        assert_eq!(a.len(), 3);
+        let sets: Vec<&[NodeId]> = a.iter().collect();
+        assert_eq!(sets, vec![&[1u32, 2, 3][..], &[][..], &[7][..]]);
+    }
+}

@@ -64,10 +64,7 @@ mod tests {
     fn gamma_matches_factorials() {
         for n in 1..15u64 {
             let fact: f64 = (1..=n).map(|k| k as f64).product();
-            assert!(
-                (ln_factorial(n) - fact.ln()).abs() < 1e-9,
-                "n = {n}"
-            );
+            assert!((ln_factorial(n) - fact.ln()).abs() < 1e-9, "n = {n}");
         }
     }
 

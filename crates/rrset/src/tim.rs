@@ -14,10 +14,9 @@
 //!   the influence-maximization substrate baseline.
 
 use crate::collection::RrCollection;
-use crate::sampler::{RrSampler, SampleWorkspace};
+use crate::parallel::{ParallelSampler, SamplingConfig};
+use crate::sampler::RrSampler;
 use crate::special::ln_choose;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use tirm_graph::NodeId;
 
 /// Computes `λ(s)` and `θ(s, opt_lb)` for a fixed graph-size/accuracy
@@ -63,7 +62,11 @@ impl SampleBound {
     pub fn theta(&self, s: usize, opt_lb: f64) -> (usize, bool) {
         assert!(opt_lb >= 1.0, "OPT lower bound below 1 is impossible");
         let raw = (self.lambda(s) / opt_lb).ceil();
-        let raw = if raw.is_finite() { raw as usize } else { usize::MAX };
+        let raw = if raw.is_finite() {
+            raw as usize
+        } else {
+            usize::MAX
+        };
         match self.max_theta {
             Some(cap) if raw > cap => (cap, true),
             _ => (raw.max(1), false),
@@ -73,40 +76,61 @@ impl SampleBound {
 
 /// Iterative KPT estimation with cached sample widths, so that re-querying
 /// with a larger seed count `s` (TIRM grows `s_i` over time) reuses all
-/// previously sampled sets.
+/// previously sampled sets. Estimation batches are drawn through a
+/// [`ParallelSampler`], so the geometric rounds scale with cores; with
+/// `threads = 1` the width sequence is identical to the old serial draw.
 pub struct KptEstimator<'a> {
     sampler: RrSampler<'a>,
     m: usize,
     ell: f64,
     /// `w(R)` of every estimation sample drawn so far.
     widths: Vec<u64>,
-    ws: SampleWorkspace,
-    rng: SmallRng,
+    engine: ParallelSampler,
     /// Sum of in-degrees per node, precomputed once.
     indeg: Vec<u32>,
 }
 
 impl<'a> KptEstimator<'a> {
-    /// Creates an estimator drawing its own RR samples via `sampler`.
+    /// Creates a serial estimator drawing its own RR samples via `sampler`.
     pub fn new(sampler: RrSampler<'a>, ell: f64, seed: u64) -> Self {
+        Self::with_config(sampler, ell, SamplingConfig::serial(seed))
+    }
+
+    /// Creates an estimator drawing its samples through a parallel engine
+    /// with the given configuration. Any `max_theta` cap is ignored: the
+    /// estimator's geometric rounds assume every requested width arrives,
+    /// and a short-fill would corrupt the KPT statistic (θ caps are for
+    /// collection memory, which estimation samples never occupy).
+    pub fn with_config(sampler: RrSampler<'a>, ell: f64, config: SamplingConfig) -> Self {
         let g = sampler.graph();
         let indeg = (0..g.num_nodes() as NodeId)
             .map(|v| g.in_degree(v) as u32)
             .collect();
+        let config = SamplingConfig {
+            max_theta: None,
+            ..config
+        };
         KptEstimator {
             sampler,
             m: g.num_edges(),
             ell,
             widths: Vec::new(),
-            ws: SampleWorkspace::new(g.num_nodes()),
-            rng: SmallRng::seed_from_u64(seed),
+            engine: ParallelSampler::new(config, g.num_nodes()),
             indeg,
         }
     }
 
-    fn width_of_next_sample(&mut self) -> u64 {
-        let set = self.sampler.sample(&mut self.ws, &mut self.rng);
-        set.iter().map(|&v| self.indeg[v as usize] as u64).sum()
+    /// Tops the width cache up to `target` samples (one engine batch).
+    fn fill_widths(&mut self, target: usize) {
+        if self.widths.len() >= target {
+            return;
+        }
+        let need = target - self.widths.len();
+        let indeg = &self.indeg;
+        let batch = self.engine.sample_map(&self.sampler, need, |set| {
+            set.iter().map(|&v| indeg[v as usize] as u64).sum::<u64>()
+        });
+        self.widths.extend(batch);
     }
 
     /// KPT lower bound on `OPT_s` (Tang et al. Algorithm 2). Always ≥ 1.
@@ -124,10 +148,7 @@ impl<'a> KptEstimator<'a> {
         let base = 6.0 * self.ell * (n as f64).ln() + 6.0 * log2n.max(1.0).ln();
         for i in 1..=rounds.max(1) {
             let ci = (base * 2f64.powi(i)).ceil() as usize;
-            while self.widths.len() < ci {
-                let w = self.width_of_next_sample();
-                self.widths.push(w);
-            }
+            self.fill_widths(ci);
             let mut sum = 0.0f64;
             for &w in &self.widths[..ci] {
                 let frac = (w as f64 / self.m as f64).min(1.0);
@@ -160,22 +181,37 @@ pub struct TimResult {
 }
 
 /// Complete TIM influence maximization: pick `s` seeds maximizing expected
-/// spread under IC with arc probabilities `probs`.
+/// spread under IC with arc probabilities `probs` (serial sampling).
 pub fn tim_select(sampler: &RrSampler<'_>, s: usize, eps: f64, seed: u64) -> TimResult {
+    tim_select_with(sampler, s, eps, SamplingConfig::serial(seed))
+}
+
+/// [`tim_select`] with an explicit sampling configuration: both the KPT
+/// estimation batches and the θ-sample phase run through a
+/// [`ParallelSampler`]. `threads = 1` reproduces [`tim_select`] exactly.
+pub fn tim_select_with(
+    sampler: &RrSampler<'_>,
+    s: usize,
+    eps: f64,
+    config: SamplingConfig,
+) -> TimResult {
     let g = sampler.graph();
     let n = g.num_nodes();
-    let mut kpt_est = KptEstimator::new(*sampler, 1.0, seed ^ 0x9e37_79b9);
+    let kpt_config = SamplingConfig {
+        seed: config.seed ^ 0x9e37_79b9,
+        ..config
+    };
+    let mut kpt_est = KptEstimator::with_config(*sampler, 1.0, kpt_config);
     let kpt = kpt_est.estimate(s);
-    let bound = SampleBound::new(n, eps);
+    let mut bound = SampleBound::new(n, eps);
+    if config.max_theta.is_some() {
+        bound.max_theta = config.max_theta;
+    }
     let (theta, _capped) = bound.theta(s, kpt);
 
     let mut coll = RrCollection::new(n);
-    let mut ws = SampleWorkspace::new(n);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    for _ in 0..theta {
-        let set = sampler.sample(&mut ws, &mut rng);
-        coll.add_set(set);
-    }
+    let mut engine = ParallelSampler::new(config, n);
+    engine.sample_into(sampler, theta, &mut coll);
     let mut seeds = Vec::with_capacity(s);
     let mut covered_total = 0u64;
     for _ in 0..s {
@@ -256,6 +292,22 @@ mod tests {
             kpt >= opt_proxy / 50.0,
             "KPT {kpt} uselessly loose vs {opt_proxy}"
         );
+    }
+
+    #[test]
+    fn kpt_ignores_max_theta_cap() {
+        // A θ cap on the estimator's config must not short-fill the width
+        // cache (that would panic in `estimate`) — caps guard collection
+        // memory, which estimation samples never occupy.
+        let g = generators::erdos_renyi(300, 1200, 2);
+        let probs = vec![0.1f32; g.num_edges()];
+        let sampler = RrSampler::new(&g, &probs);
+        let mut capped = SamplingConfig::new(2, 9);
+        capped.max_theta = Some(10);
+        let mut est = KptEstimator::with_config(sampler, 1.0, capped);
+        let with_cap = est.estimate(5);
+        let mut uncapped = KptEstimator::with_config(sampler, 1.0, SamplingConfig::new(2, 9));
+        assert_eq!(with_cap, uncapped.estimate(5));
     }
 
     #[test]

@@ -71,10 +71,10 @@ impl NodeTopicProbs {
         let n = self.num_nodes();
         let w = ad.weights();
         let mut out = vec![0.0f32; n];
-        for u in 0..n {
+        for (u, slot) in out.iter_mut().enumerate() {
             let row = &self.probs[u * self.k..(u + 1) * self.k];
             let acc: f32 = w.iter().zip(row).map(|(wz, pz)| wz * pz).sum();
-            out[u] = acc.clamp(0.0, 1.0);
+            *slot = acc.clamp(0.0, 1.0);
         }
         out
     }

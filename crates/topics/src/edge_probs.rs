@@ -79,12 +79,12 @@ impl TopicEdgeProbs {
         let m = self.num_edges();
         let mut out = vec![0.0f32; m];
         let w = ad.weights();
-        for e in 0..m {
+        for (e, slot) in out.iter_mut().enumerate() {
             let row = &self.probs[e * self.k..(e + 1) * self.k];
             let acc: f32 = w.iter().zip(row).map(|(wz, pz)| wz * pz).sum();
             // Numerical guard: convex combination of [0,1] values can drift
             // a hair above 1 in f32.
-            out[e] = acc.clamp(0.0, 1.0);
+            *slot = acc.clamp(0.0, 1.0);
         }
         out
     }

@@ -93,11 +93,7 @@ pub fn topic_concentrated_probs(
             } else {
                 weak_rate
             };
-            t.set(
-                e as u32,
-                z,
-                exp_inverse_transform(rng.gen::<f64>(), rate),
-            );
+            t.set(e as u32, z, exp_inverse_transform(rng.gen::<f64>(), rate));
         }
     }
     t
@@ -151,9 +147,7 @@ mod tests {
     fn trivalency_levels_only() {
         let p = trivalency_probs(1000, 5);
         for &x in &p {
-            assert!(
-                (x - 0.1).abs() < 1e-9 || (x - 0.01).abs() < 1e-9 || (x - 0.001).abs() < 1e-9
-            );
+            assert!((x - 0.1).abs() < 1e-9 || (x - 0.01).abs() < 1e-9 || (x - 0.001).abs() < 1e-9);
         }
     }
 

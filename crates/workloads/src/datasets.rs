@@ -105,7 +105,14 @@ impl Dataset {
                 // (≈ deg·0.2·0.91·0.33 ≈ 0.85 plus hub effects), matching
                 // the paper's regime where one 2%-CTP seed yields ~0.8
                 // expected clicks (Table 3: 868 seeds cover 680 clicks).
-                genprob::topic_concentrated_probs(m, k, 2, flixster_strong_rate(), 500.0, seed ^ 0xf11c)
+                genprob::topic_concentrated_probs(
+                    m,
+                    k,
+                    2,
+                    flixster_strong_rate(),
+                    500.0,
+                    seed ^ 0xf11c,
+                )
             }
             DatasetKind::Epinions => {
                 // §6: "sampled from an exponential distribution with
@@ -198,10 +205,7 @@ mod tests {
         for v in 0..g.num_nodes() as u32 {
             let deg = g.in_degree(v);
             if deg > 0 {
-                let sum: f32 = g
-                    .in_edges(v)
-                    .map(|(e, _)| d.topic_probs.get(e, 0))
-                    .sum();
+                let sum: f32 = g.in_edges(v).map(|(e, _)| d.topic_probs.get(e, 0)).sum();
                 assert!((sum - 1.0).abs() < 1e-3, "node {v}: {sum}");
                 break;
             }
@@ -213,9 +217,6 @@ mod tests {
         let a = Dataset::generate(DatasetKind::Epinions, &tiny_cfg(), 11);
         let b = Dataset::generate(DatasetKind::Epinions, &tiny_cfg(), 11);
         assert_eq!(a.graph.num_edges(), b.graph.num_edges());
-        assert_eq!(
-            a.topic_probs.get(0, 0),
-            b.topic_probs.get(0, 0)
-        );
+        assert_eq!(a.topic_probs.get(0, 0), b.topic_probs.get(0, 0));
     }
 }

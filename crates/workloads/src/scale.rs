@@ -83,10 +83,7 @@ mod tests {
             threads: 1,
         };
         assert_eq!(c.nodes(10_000), 64);
-        let big = ScaleConfig {
-            scale: 2.0,
-            ..c
-        };
+        let big = ScaleConfig { scale: 2.0, ..c };
         assert_eq!(big.nodes(10_000), 20_000);
     }
 }

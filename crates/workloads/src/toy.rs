@@ -33,9 +33,7 @@ impl Fig1 {
             .map(|&b| Advertiser::new(b, 1.0, TopicDist::single(1, 0)))
             .collect();
         let edge_probs = vec![self.probs.clone(); 4];
-        let ctp = CtpTable::direct(
-            ctps.iter().map(|&d| vec![d; 6]).collect::<Vec<_>>(),
-        );
+        let ctp = CtpTable::direct(ctps.iter().map(|&d| vec![d; 6]).collect::<Vec<_>>());
         ProblemInstance::new(
             &self.graph,
             ads,

@@ -12,8 +12,8 @@ use tirm::{
     Allocation, GreedyIrieOptions, TirmOptions,
 };
 use tirm_core::AlgoStats;
-use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
 use tirm_topics::CtpTable;
+use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
 
 fn main() {
     // Keep the example snappy unless the user overrides the scale.

@@ -6,9 +6,7 @@
 //! ```
 
 use tirm::core::report::{fnum, Table};
-use tirm::{
-    evaluate, tirm_allocate, Advertiser, Attention, ProblemInstance, TirmOptions,
-};
+use tirm::{evaluate, tirm_allocate, Advertiser, Attention, ProblemInstance, TirmOptions};
 use tirm_graph::generators;
 use tirm_topics::{genprob, CtpTable, TopicDist};
 
@@ -24,8 +22,7 @@ fn main() {
     // 2. A two-topic model: per-topic arc probabilities and two ads that
     //    each concentrate on one topic (Eq. 1 projection happens inside
     //    ProblemInstance::from_topic_model).
-    let topic_probs =
-        genprob::topic_concentrated_probs(graph.num_edges(), 2, 1, 10.0, 300.0, 7);
+    let topic_probs = genprob::topic_concentrated_probs(graph.num_edges(), 2, 1, 10.0, 300.0, 7);
     let ads = vec![
         Advertiser::new(40.0, 5.0, TopicDist::concentrated(2, 0, 0.9)),
         Advertiser::new(25.0, 4.0, TopicDist::concentrated(2, 1, 0.9)),

@@ -35,14 +35,8 @@ fn main() {
         let ads = campaigns::uniform_campaign(h, budget);
         let edge_probs = vec![flat.clone(); h];
         let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
-        let problem = ProblemInstance::new(
-            &d.graph,
-            ads,
-            edge_probs,
-            ctp,
-            Attention::Uniform(1),
-            0.0,
-        );
+        let problem =
+            ProblemInstance::new(&d.graph, ads, edge_probs, ctp, Attention::Uniform(1), 0.0);
         let t0 = Instant::now();
         let (alloc, stats) = tirm_allocate(
             &problem,

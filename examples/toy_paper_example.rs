@@ -9,8 +9,8 @@
 
 use tirm::core::report::{fnum, Table};
 use tirm::{
-    evaluate, greedy_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
-    GreedyOptions, TirmOptions,
+    evaluate, greedy_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate, GreedyOptions,
+    TirmOptions,
 };
 use tirm_diffusion::{exact_activation_probs, ExactOracle};
 use tirm_workloads::toy::Fig1;
@@ -21,8 +21,14 @@ fn main() {
 
     println!("== the paper's hand-built allocations ==");
     for (name, alloc) in [
-        ("Allocation A (paper: 5.55 clicks, regret 6.6)", fig.allocation_a()),
-        ("Allocation B (paper: 6.3 clicks, regret 2.7)", fig.allocation_b()),
+        (
+            "Allocation A (paper: 5.55 clicks, regret 6.6)",
+            fig.allocation_a(),
+        ),
+        (
+            "Allocation B (paper: 6.3 clicks, regret 2.7)",
+            fig.allocation_b(),
+        ),
     ] {
         let mut clicks = 0.0;
         let mut regret = 0.0;

@@ -46,7 +46,10 @@ fn tirm_dominates_baselines_and_targets_fewer_users() {
     );
     // The myopic baselines' regret comes from overshooting (§6.1 footnote):
     // their revenue exceeds the total budget.
-    assert!(myo.slack_per_ad.iter().sum::<f64>() > 0.0, "Myopic overshoots");
+    assert!(
+        myo.slack_per_ad.iter().sum::<f64>() > 0.0,
+        "Myopic overshoots"
+    );
 
     // Table 3: Myopic targets every user; TIRM strictly fewer (at paper
     // scale the gap is 30×; at this miniature scale budgets force TIRM to

@@ -44,13 +44,19 @@ fn allocation_b_per_node_probabilities() {
     let fig = Fig1::new();
     let p = fig.problem(0.0);
     let b = fig.allocation_b();
-    let probs_a =
-        exact_activation_probs(&fig.graph, &fig.probs, b.seeds(0), Some(p.ctp.ad(0)));
-    assert!((probs_a[2] - 0.3276).abs() < 1e-3, "v3 via a: {}", probs_a[2]);
-    assert!((probs_a[3] - 0.1638).abs() < 1e-3, "v4 via a: {}", probs_a[3]);
+    let probs_a = exact_activation_probs(&fig.graph, &fig.probs, b.seeds(0), Some(p.ctp.ad(0)));
+    assert!(
+        (probs_a[2] - 0.3276).abs() < 1e-3,
+        "v3 via a: {}",
+        probs_a[2]
+    );
+    assert!(
+        (probs_a[3] - 0.1638).abs() < 1e-3,
+        "v4 via a: {}",
+        probs_a[3]
+    );
     // Ad b seeded at v3: direct 0.8, v4/v5 get 0.4.
-    let probs_b =
-        exact_activation_probs(&fig.graph, &fig.probs, b.seeds(1), Some(p.ctp.ad(1)));
+    let probs_b = exact_activation_probs(&fig.graph, &fig.probs, b.seeds(1), Some(p.ctp.ad(1)));
     assert!((probs_b[2] - 0.8).abs() < 1e-6);
     assert!((probs_b[3] - 0.4).abs() < 1e-6);
 }
@@ -79,8 +85,16 @@ fn totals_and_regrets_match_paper() {
         );
         // The paper rounds click totals to one decimal before computing
         // regret, so allow ~0.1 slack.
-        assert!((ra.total() - want_a).abs() < 0.12, "λ={lambda} A: {}", ra.total());
-        assert!((rb.total() - want_b).abs() < 0.12, "λ={lambda} B: {}", rb.total());
+        assert!(
+            (ra.total() - want_a).abs() < 0.12,
+            "λ={lambda} A: {}",
+            ra.total()
+        );
+        assert!(
+            (rb.total() - want_b).abs() < 0.12,
+            "λ={lambda} B: {}",
+            rb.total()
+        );
         assert!(rb.total() < ra.total());
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use tirm::{
-    myopic_allocate, myopic_plus_allocate, tirm_allocate, Advertiser, Attention,
-    ProblemInstance, TirmOptions,
+    myopic_allocate, myopic_plus_allocate, tirm_allocate, Advertiser, Attention, ProblemInstance,
+    TirmOptions,
 };
 use tirm_diffusion::exact_spread;
 use tirm_graph::{DiGraph, NodeId};
@@ -15,12 +15,13 @@ use tirm_topics::{CtpTable, TopicDist, TopicEdgeProbs};
 /// over 6 nodes, plus per-arc probabilities.
 fn small_graph() -> impl Strategy<Value = (DiGraph, Vec<f32>)> {
     proptest::collection::vec((0u32..6, 0u32..6), 1..10).prop_map(|pairs| {
-        let edges: Vec<(NodeId, NodeId)> =
-            pairs.into_iter().filter(|(u, v)| u != v).collect();
+        let edges: Vec<(NodeId, NodeId)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
         let g = DiGraph::from_edges(6, edges);
         let m = g.num_edges();
         // Deterministic pseudo-probabilities from edge ids.
-        let probs = (0..m).map(|e| 0.1 + 0.8 * ((e * 37 % 97) as f32 / 97.0)).collect();
+        let probs = (0..m)
+            .map(|e| 0.1 + 0.8 * ((e * 37 % 97) as f32 / 97.0))
+            .collect();
         (g, probs)
     })
 }

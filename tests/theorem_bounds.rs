@@ -8,9 +8,7 @@
 //!   3-PARTITION gadget with (near-)zero regret;
 //! * Lemma 1 — the CTP marginal identity.
 
-use tirm::{
-    greedy_allocate, Advertiser, Attention, GreedyOptions, ProblemInstance,
-};
+use tirm::{greedy_allocate, Advertiser, Attention, GreedyOptions, ProblemInstance};
 use tirm_diffusion::{exact_spread, ExactOracle};
 use tirm_graph::{gadgets, generators, DiGraph, NodeId};
 use tirm_topics::{CtpTable, TopicDist};
@@ -135,10 +133,8 @@ fn lemma_1_ctp_marginal_identity() {
     let s: Vec<NodeId> = vec![0, 2];
     let mut s_u = s.clone();
     s_u.push(4);
-    let lhs = 0.3
-        * (exact_spread(&g, &probs, &s_u, None) - exact_spread(&g, &probs, &s, None));
-    let rhs = exact_spread(&g, &probs, &s_u, Some(&ctp))
-        - exact_spread(&g, &probs, &s, Some(&ctp));
+    let lhs = 0.3 * (exact_spread(&g, &probs, &s_u, None) - exact_spread(&g, &probs, &s, None));
+    let rhs = exact_spread(&g, &probs, &s_u, Some(&ctp)) - exact_spread(&g, &probs, &s, Some(&ctp));
     assert!((lhs - rhs).abs() < 1e-6, "Lemma 1 violated: {lhs} vs {rhs}");
 }
 

@@ -1,0 +1,242 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! A wall-clock micro-benchmark harness covering the surface this
+//! workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups with `sample_size` / `measurement_time` / `throughput`, and
+//! benchers with `iter` / `iter_batched`. Reports min / median / max
+//! per-iteration time (and throughput when configured) on stdout — no
+//! statistical regression machinery, no HTML reports.
+//!
+//! Usage from `cargo bench` is unchanged; an optional positional argument
+//! filters benchmarks by substring.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; holds the CLI filter.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from `cargo bench` CLI arguments (flags are
+    /// ignored; the first free argument is a substring filter).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (grouped under "default").
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            target_total: self.measurement_time,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.times, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    target_total: Duration,
+    /// Mean seconds per iteration, one entry per sample.
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` by calling it many times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration call (also serves as warm-up).
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = self.target_total.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / once).ceil() as usize).clamp(1, 10_000_000);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.times.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = self.target_total.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / once).ceil() as usize).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let mut total = 0.0f64;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed().as_secs_f64();
+            }
+            self.times.push(total / iters as f64);
+        }
+    }
+}
+
+fn report(name: &str, times: &[f64], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let med = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    let mut line = format!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(med),
+        fmt_time(max)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!(" thrpt: {} {unit}", fmt_count(count / med)));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_count(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,118 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the slice of proptest this workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`Just`], `prop_assert*`, [`ProptestConfig`], and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (derived from the test name), and there is **no
+//! shrinking** — a failing case panics with the ordinary assert message.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{FlatMap, Just, Map, Strategy, TupleStrategy};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `name` (FNV-1a of the
+    /// name xor-mixed with the case index — stable across runs).
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// The proptest entry macro: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursive expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); ) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

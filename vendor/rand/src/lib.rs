@@ -1,0 +1,155 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the thin slice of `rand`'s API it actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::SmallRng`] — implemented as xoshiro256++ seeded through
+//!   SplitMix64, the same algorithm family the real `SmallRng` uses on
+//!   64-bit targets.
+//!
+//! Streams are **not** bit-compatible with the real crate (the workspace
+//! only relies on determinism for a fixed seed plus statistical quality,
+//! both of which hold). Swapping this shim for the registry crate is a
+//! one-line change in the workspace manifest.
+
+pub mod distributions;
+pub mod rngs;
+
+mod xoshiro;
+
+/// Minimal core RNG interface: 32/64-bit output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution of `T`
+    /// (uniform `[0, 1)` for floats, uniform over all values for integers).
+    #[inline]
+    fn gen<T: distributions::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool({p})");
+        distributions::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_uniform_ish() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0f64;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mut s32 = 0.0f64;
+        for _ in 0..N {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            s32 += x as f64;
+        }
+        assert!((s32 / N as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+        for _ in 0..1000 {
+            let v = r.gen_range(5..=7u32);
+            assert!((5..=7).contains(&v));
+            let f = r.gen_range(0.25f32..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let d = r.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+        assert!(!r.gen_bool(0.0));
+        let _ = r.gen_bool(1.0); // boundary value must not panic
+    }
+}

@@ -1,0 +1,27 @@
+//! Named generators (only `SmallRng` is provided).
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// Small, fast, non-cryptographic RNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl SeedableRng for SmallRng {
+    #[inline]
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(Xoshiro256PlusPlus::from_seed_u64(state))
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.0.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline, API-compatible subset of `serde` (serialization only).
+//!
+//! Provides the [`Serialize`] / [`Serializer`] traits plus a
+//! `#[derive(Serialize)]` macro (re-exported from the vendored
+//! `serde_derive`), covering exactly the surface this workspace uses:
+//! named-field structs, `#[serde(serialize_with = "path")]`, and the
+//! primitive / `Vec` / `Option` impls. The only consumer is the vendored
+//! `serde_json`.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+// Derive macro (macro namespace; coexists with the trait of the same name).
+pub use serde_derive::Serialize;

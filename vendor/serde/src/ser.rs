@@ -1,0 +1,153 @@
+//! Serialization traits: a small mirror of `serde::ser`.
+
+/// A serializable value.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize values.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Sub-serializer for maps / structs.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit / null value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Begins a map with an optional known length.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a sequence with an optional known length.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+}
+
+/// Map sub-serializer.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Adds one `key: value` entry.
+    fn serialize_entry<V: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sequence sub-serializer.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Adds one element.
+    fn serialize_element<V: Serialize + ?Sized>(&mut self, value: &V) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_unit(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}

@@ -1,0 +1,219 @@
+//! `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! exactly what this workspace needs: non-generic structs with named fields
+//! and the `#[serde(serialize_with = "path")]` field attribute. Anything
+//! else produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    serialize_with: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments included) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => i += 1,
+            Some(TokenTree::Group(_)) => i += 1, // pub(crate) etc.
+            _ => break,
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected struct, got {other:?}"
+            ))
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected name, got {other:?}"
+            ))
+        }
+    };
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "derive(Serialize) shim: generic struct {name} not supported"
+                ))
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "derive(Serialize) shim: struct {name} has no named-field body"
+                ))
+            }
+        }
+    };
+
+    let fields = parse_fields(body)?;
+    Ok(render(&name, &fields).parse().unwrap())
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serialize_with = None;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(sw) = parse_serde_attr(g.stream()) {
+                    serialize_with = Some(sw);
+                }
+            }
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate)
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            None => break,
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected field, got {other:?}"
+                ))
+            }
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected ':' after {name}, got {other:?}"
+                ))
+            }
+        }
+        // Type: everything until a comma outside angle brackets.
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tok.to_string());
+            i += 1;
+        }
+        i += 1; // consume the comma (or run past the end)
+        fields.push(Field {
+            name,
+            ty,
+            serialize_with,
+        });
+    }
+    Ok(fields)
+}
+
+/// Extracts `serialize_with = "path"` from a `[serde(...)]` attribute body.
+fn parse_serde_attr(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            if id.to_string() == "serialize_with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        return Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn render(name: &str, fields: &[Field]) -> String {
+    let mut out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut __map = ::serde::Serializer::serialize_map(\
+         __serializer, ::core::option::Option::Some({}))?;\n",
+        fields.len()
+    );
+    for f in fields {
+        let fname = &f.name;
+        match &f.serialize_with {
+            Some(path) => {
+                let ty = &f.ty;
+                out.push_str(&format!(
+                    "{{\n\
+                     struct __SerializeWith<'__a>(&'__a {ty});\n\
+                     impl<'__a> ::serde::Serialize for __SerializeWith<'__a> {{\n\
+                     fn serialize<__S2: ::serde::Serializer>(&self, __s: __S2) \
+                     -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                     {path}(self.0, __s)\n\
+                     }}\n\
+                     }}\n\
+                     ::serde::ser::SerializeMap::serialize_entry(\
+                     &mut __map, \"{fname}\", &__SerializeWith(&self.{fname}))?;\n\
+                     }}\n"
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeMap::serialize_entry(\
+                     &mut __map, \"{fname}\", &self.{fname})?;\n"
+                ));
+            }
+        }
+    }
+    out.push_str("::serde::ser::SerializeMap::end(__map)\n}\n}\n");
+    out
+}

@@ -1,0 +1,303 @@
+//! Offline, API-compatible subset of `serde_json`: a [`Value`] tree, the
+//! [`json!`] macro for flat literals, and (pretty-)printing of anything
+//! implementing the vendored `serde::Serialize`.
+
+use serde::ser::{SerializeMap as _, SerializeSeq as _};
+use serde::Serialize;
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers round-trip below 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key/value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+/// Error type (the shim's serializers are infallible; this exists to keep
+/// `Result`-shaped signatures compatible).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), Some(2), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Supports `null`, arrays,
+/// flat or nested objects with string-literal keys, and arbitrary
+/// serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => s.serialize_unit(),
+            Value::Bool(b) => s.serialize_bool(*b),
+            Value::Number(n) => s.serialize_f64(*n),
+            Value::String(v) => s.serialize_str(v),
+            Value::Array(items) => {
+                let mut seq = s.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(entries) => {
+                let mut map = s.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+/// Infallible serializer producing a [`Value`].
+struct ValueSerializer;
+
+/// Uninhabited error: the value serializer cannot fail.
+enum Never {}
+
+struct MapBuilder(Vec<(String, Value)>);
+struct SeqBuilder(Vec<Value>);
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+    type SerializeMap = MapBuilder;
+    type SerializeSeq = SeqBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Never> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Never> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Never> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Never> {
+        Ok(Value::Number(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Never> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Never> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Never> {
+        Ok(MapBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Never> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+}
+
+impl serde::ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_entry<V: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &V,
+    ) -> Result<(), Never> {
+        self.0.push((key.to_string(), to_value(value)));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Never> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl serde::ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_element<V: Serialize + ?Sized>(&mut self, value: &V) -> Result<(), Never> {
+        self.0.push(to_value(value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Never> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_block(out, indent, level, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, level + 1);
+        }),
+        Value::Object(entries) => {
+            write_block(out, indent, level, '{', '}', entries.len(), |out, i| {
+                let (k, val) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * level));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1.5, "b": "x", "c": vec![1u32, 2] });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1.5,"b":"x","c":[1,2]}"#);
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({ "k": 2u32 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": 2\n}");
+    }
+
+    #[test]
+    fn numbers_round_trip_integers() {
+        let mut s = String::new();
+        write_number(&mut s, 3.0);
+        assert_eq!(s, "3");
+        let mut s2 = String::new();
+        write_number(&mut s2, 0.25);
+        assert_eq!(s2, "0.25");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn vec_of_values_serializes() {
+        let rows = vec![json!({ "x": 1u32 }), json!({ "x": 2u32 })];
+        let s = to_string(&rows).unwrap();
+        assert_eq!(s, r#"[{"x":1},{"x":2}]"#);
+    }
+}
