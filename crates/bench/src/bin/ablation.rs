@@ -10,10 +10,17 @@
 //! 4. **RRC vs RR+Theorem-5** — sample-count ratio of CTP-aware RRC
 //!    sampling against plain RR sampling with CTP-scaled marginals,
 //!    demonstrating why §5.2 rejects the RRC route.
+//!
+//! Parts 1–3 report through `tirm_bench::suite::cell_from_run` into a
+//! schema [`BenchReport`] (`ablation.json`), so ablation variants are
+//! diffable against baselines with `bench_diff`; part 4 has no allocation
+//! and keeps its own row format (`ablation_rrc.json`).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tirm_bench::{banner, write_json, QualityWorkload};
+use tirm_bench::schema::{BenchCell, BenchReport, EnvFingerprint};
+use tirm_bench::suite::{cell_from_run, CellLabels};
+use tirm_bench::{banner, write_json, write_report, QualityWorkload};
 use tirm_core::report::{fnum, Table};
 use tirm_core::{evaluate, tirm_allocate, TirmOptions};
 use tirm_rrset::{RrSampler, SampleWorkspace};
@@ -22,7 +29,7 @@ use tirm_workloads::DatasetKind;
 fn main() {
     let w = QualityWorkload::new(DatasetKind::Flixster, 0xab1a);
     banner("ablation (FLIXSTER-like)", &w.cfg);
-    let mut json = Vec::new();
+    let mut cells: Vec<BenchCell> = Vec::new();
 
     // --- 1. selection rule + 3. θ cap ------------------------------------
     let mut t = Table::new(&[
@@ -39,9 +46,10 @@ fn main() {
         max_theta_per_ad: Some(1_000_000),
         ..TirmOptions::default()
     };
-    let variants: Vec<(&str, TirmOptions)> = vec![
-        ("TIRM (Alg. 3 max-coverage)", base),
+    let variants: Vec<(&str, &str, TirmOptions)> = vec![
+        ("alg3", "TIRM (Alg. 3 max-coverage)", base),
         (
+            "exact-drop",
             "TIRM exact-drop selection",
             TirmOptions {
                 exact_drop_selection: true,
@@ -49,6 +57,7 @@ fn main() {
             },
         ),
         (
+            "hard-cover",
             "TIRM hard-cover (paper literal line 12)",
             TirmOptions {
                 hard_cover: true,
@@ -56,6 +65,7 @@ fn main() {
             },
         ),
         (
+            "theta-div10",
             "TIRM theta cap /10",
             TirmOptions {
                 max_theta_per_ad: Some(100_000),
@@ -63,6 +73,7 @@ fn main() {
             },
         ),
         (
+            "theta-div100",
             "TIRM theta cap /100",
             TirmOptions {
                 max_theta_per_ad: Some(10_000),
@@ -70,26 +81,45 @@ fn main() {
             },
         ),
     ];
-    for (name, opts) in variants {
+    // The ablation runs single-threaded throughout (TirmOptions::default
+    // has threads = 1; evaluation below matches), and the cell labels say
+    // so — `threads` is part of cell identity and steers RNG partitioning.
+    let threads = 1;
+    for (slug, name, opts) in variants {
         let problem = w.problem(1, 0.0);
         let t0 = std::time::Instant::now();
         let (alloc, stats) = tirm_allocate(&problem, opts);
         let secs = t0.elapsed().as_secs_f64();
-        let ev = w.evaluate(&problem, &alloc);
+        let t1 = std::time::Instant::now();
+        let ev = evaluate(&problem, &alloc, w.cfg.eval_runs, 0xe7a1, threads);
+        let eval_s = t1.elapsed().as_secs_f64();
         eprintln!("  {name}: regret {:.1} in {:.1}s", ev.regret.total(), secs);
         t.row(vec![
             name.to_string(),
             fnum(ev.regret.total()),
             alloc.total_seeds().to_string(),
-            stats.rr_sets_per_ad.iter().sum::<usize>().to_string(),
+            stats.rr_sets_total().to_string(),
             format!("{:.3}", stats.memory_bytes as f64 / 1e9),
             fnum(secs),
         ]);
-        json.push(serde_json::json!({
-            "experiment": "selection+thetacap", "variant": name,
-            "regret": ev.regret.total(), "seeds": alloc.total_seeds(),
-            "memory_bytes": stats.memory_bytes, "seconds": secs,
-        }));
+        cells.push(cell_from_run(
+            CellLabels {
+                id: format!("ABLATION/select/{slug}"),
+                dataset: w.dataset.kind.name(),
+                prob_model: "topic",
+                allocator: name,
+                threads,
+                kappa: 1,
+                lambda: 0.0,
+                seed: opts.seed,
+            },
+            &problem,
+            &alloc,
+            &stats,
+            Some(&ev),
+            secs,
+            eval_s,
+        ));
     }
     println!("\nAblation 1+3 — selection rule and theta cap (kappa=1, lambda=0)");
     println!("{}", t.render());
@@ -98,8 +128,12 @@ fn main() {
     let mut t = Table::new(&["beta", "revenue", "target", "free service", "undershoot"]);
     for beta in [0.0, 0.1, 0.25, 0.5] {
         let problem = w.problem(1, 0.0).with_beta(beta);
-        let (alloc, _) = tirm_allocate(&problem, base);
-        let ev = evaluate(&problem, &alloc, w.cfg.eval_runs, 1, w.cfg.threads);
+        let t0 = std::time::Instant::now();
+        let (alloc, stats) = tirm_allocate(&problem, base);
+        let secs = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let ev = evaluate(&problem, &alloc, w.cfg.eval_runs, 1, threads);
+        let eval_s = t1.elapsed().as_secs_f64();
         // Free service = revenue beyond the *original* budgets.
         let original: f64 = w.ads.iter().map(|a| a.budget).sum();
         let revenue = ev.regret.total_revenue();
@@ -113,13 +147,32 @@ fn main() {
             fnum(free),
             fnum(under),
         ]);
-        json.push(serde_json::json!({
-            "experiment": "beta", "beta": beta, "revenue": revenue,
-            "free_service": free, "undershoot": under,
-        }));
+        cells.push(cell_from_run(
+            CellLabels {
+                id: format!("ABLATION/beta/{beta}"),
+                dataset: w.dataset.kind.name(),
+                prob_model: "topic",
+                allocator: "TIRM",
+                threads,
+                kappa: 1,
+                lambda: 0.0,
+                seed: base.seed,
+            },
+            &problem,
+            &alloc,
+            &stats,
+            Some(&ev),
+            secs,
+            eval_s,
+        ));
     }
     println!("\nAblation 2 — budget boost beta (Section 3 Discussion)");
     println!("{}", t.render());
+
+    write_report(
+        "ablation",
+        &BenchReport::new("ablation", EnvFingerprint::current(&w.cfg), cells),
+    );
 
     // --- 4. RRC vs RR sample economics -----------------------------------
     // Average RRC-set membership shrinks by ~E[δ] vs RR sets, so hitting
@@ -151,12 +204,13 @@ fn main() {
         rrc_members as f64 / samples as f64
     );
     println!("  membership ratio : {ratio:.1}x (≈ 1/E[CTP]; §5.2 predicts ~50x at 1–3% CTPs)");
-    json.push(serde_json::json!({
-        "experiment": "rrc_vs_rr",
-        "rr_mean_size": rr_members as f64 / samples as f64,
-        "rrc_mean_size": rrc_members as f64 / samples as f64,
-        "ratio": ratio,
-    }));
-
-    write_json("ablation", &json);
+    write_json(
+        "ablation_rrc",
+        &vec![serde_json::json!({
+            "experiment": "rrc_vs_rr",
+            "rr_mean_size": rr_members as f64 / samples as f64,
+            "rrc_mean_size": rrc_members as f64 / samples as f64,
+            "ratio": ratio,
+        })],
+    );
 }

@@ -11,66 +11,53 @@
 //! Expected shape: TIRM scales ~linearly in h and stays roughly flat vs
 //! budget; GREEDY-IRIE grows super-linearly vs budget and is an order of
 //! magnitude slower at moderate h.
+//!
+//! Cells run through `tirm_bench::suite` and the artifact is a schema
+//! [`BenchReport`] (`fig6.json`), so the sweep is diffable with
+//! `bench_diff` like any other experiment in the repo.
 
-use std::time::Instant;
-use tirm_bench::{banner, tirm_options, write_json, AlgoKind};
+use tirm_bench::schema::{BenchCell, BenchReport, EnvFingerprint};
+use tirm_bench::suite::run_scalability_cell;
+use tirm_bench::{banner, write_report};
 use tirm_core::report::{fnum, Table};
-use tirm_core::{Attention, ProblemInstance};
-use tirm_topics::CtpTable;
-use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
+use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ScaleConfig};
 
-struct ScaleRow {
-    dataset: &'static str,
-    algo: &'static str,
+fn run_cell(
+    d: &Dataset,
+    algo: AllocatorKind,
+    sweep: &str,
     h: usize,
     budget: f64,
-    seconds: f64,
-    seeds: usize,
-    memory_bytes: usize,
-    rr_sets: usize,
-}
-
-fn run_cell(d: &Dataset, algo: AlgoKind, h: usize, budget: f64, rows: &mut Vec<ScaleRow>) -> f64 {
-    let ads = campaigns::uniform_campaign(h, budget);
-    let flat: Vec<f32> = (0..d.graph.num_edges() as u32)
-        .map(|e| d.topic_probs.get(e, 0))
-        .collect();
-    let edge_probs = vec![flat; h];
-    let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
-    let problem = ProblemInstance::new(&d.graph, ads, edge_probs, ctp, Attention::Uniform(1), 0.0);
-    let t0 = Instant::now();
-    let (alloc, stats) = match algo {
-        AlgoKind::Tirm => tirm_core::tirm_allocate(&problem, tirm_options(false, 0x5ca1e)),
-        AlgoKind::GreedyIrie => algo.run(&problem, false, 0x5ca1e),
-        _ => unreachable!("fig6 compares TIRM and GREEDY-IRIE only"),
-    };
-    let secs = t0.elapsed().as_secs_f64();
-    alloc.validate(&problem).expect("valid allocation");
+    cells: &mut Vec<BenchCell>,
+) -> f64 {
+    // `sweep` disambiguates the h-sweep's h=5 point from the budget
+    // sweep's base-budget point (same parameters, measured twice) — cell
+    // ids must stay unique join keys within one artifact.
+    let id = format!(
+        "FIG6/{sweep}/{}/wc/{}/h{}/B{:.0}",
+        d.kind.name(),
+        algo.name(),
+        h,
+        budget
+    );
+    let cell = run_scalability_cell(id, d, algo, h, budget, 0x5ca1e);
     eprintln!(
         "  {} {} h={h} B={budget:.0}: {:.1}s, {} seeds, {:.2} GB, {} RR sets",
         d.kind.name(),
         algo.name(),
-        secs,
-        alloc.total_seeds(),
-        stats.memory_bytes as f64 / 1e9,
-        stats.rr_sets_per_ad.iter().sum::<usize>()
+        cell.wall_s,
+        cell.total_seeds,
+        cell.memory_bytes as f64 / 1e9,
+        cell.theta
     );
-    rows.push(ScaleRow {
-        dataset: d.kind.name(),
-        algo: algo.name(),
-        h,
-        budget,
-        seconds: secs,
-        seeds: alloc.total_seeds(),
-        memory_bytes: stats.memory_bytes,
-        rr_sets: stats.rr_sets_per_ad.iter().sum(),
-    });
+    let secs = cell.wall_s;
+    cells.push(cell);
     secs
 }
 
 fn main() {
     let cfg = ScaleConfig::from_env();
-    let mut rows: Vec<ScaleRow> = Vec::new();
+    let mut cells: Vec<BenchCell> = Vec::new();
     let irie_on_lj = std::env::var("TIRM_FIG6_IRIE_LJ").is_ok_and(|v| v == "1");
 
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
@@ -90,25 +77,25 @@ fn main() {
             DatasetKind::Dblp => 5_000.0 * d.size_ratio,
             _ => 80_000.0 * d.size_ratio,
         };
-        let algos: &[AlgoKind] = match kind {
-            DatasetKind::Dblp => &[AlgoKind::Tirm, AlgoKind::GreedyIrie],
-            _ if irie_on_lj => &[AlgoKind::Tirm, AlgoKind::GreedyIrie],
-            _ => &[AlgoKind::Tirm],
+        let algos: &[AllocatorKind] = match kind {
+            DatasetKind::Dblp => &[AllocatorKind::Tirm, AllocatorKind::GreedyIrie],
+            _ if irie_on_lj => &[AllocatorKind::Tirm, AllocatorKind::GreedyIrie],
+            _ => &[AllocatorKind::Tirm],
         };
 
         // (a)/(c): vary h with fixed budget.
         let mut t = Table::new(&["h", "TIRM (s)", "IRIE (s)"]);
         for h in [1usize, 5, 10, 15, 20] {
-            let mut cells = vec![h.to_string()];
-            for algo in [AlgoKind::Tirm, AlgoKind::GreedyIrie] {
+            let mut row = vec![h.to_string()];
+            for algo in [AllocatorKind::Tirm, AllocatorKind::GreedyIrie] {
                 if algos.contains(&algo) {
-                    let secs = run_cell(&d, algo, h, base_budget, &mut rows);
-                    cells.push(fnum(secs));
+                    let secs = run_cell(&d, algo, "h", h, base_budget, &mut cells);
+                    row.push(fnum(secs));
                 } else {
-                    cells.push("-".into());
+                    row.push("-".into());
                 }
             }
-            t.row(cells);
+            t.row(row);
         }
         println!(
             "\nFig. 6 — {}: running time vs number of advertisers (B = {:.0})",
@@ -130,16 +117,16 @@ fn main() {
                 .collect(),
         };
         for budget in sweep {
-            let mut cells = vec![fnum(budget)];
-            for algo in [AlgoKind::Tirm, AlgoKind::GreedyIrie] {
+            let mut row = vec![fnum(budget)];
+            for algo in [AllocatorKind::Tirm, AllocatorKind::GreedyIrie] {
                 if algos.contains(&algo) {
-                    let secs = run_cell(&d, algo, 5, budget, &mut rows);
-                    cells.push(fnum(secs));
+                    let secs = run_cell(&d, algo, "B", 5, budget, &mut cells);
+                    row.push(fnum(secs));
                 } else {
-                    cells.push("-".into());
+                    row.push("-".into());
                 }
             }
-            t.row(cells);
+            t.row(row);
         }
         println!(
             "\nFig. 6 — {}: running time vs per-advertiser budget (h = 5)",
@@ -148,15 +135,6 @@ fn main() {
         println!("{}", t.render());
     }
 
-    let json: Vec<_> = rows
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "dataset": r.dataset, "algo": r.algo, "h": r.h,
-                "budget": r.budget, "seconds": r.seconds, "seeds": r.seeds,
-                "memory_bytes": r.memory_bytes, "rr_sets": r.rr_sets,
-            })
-        })
-        .collect();
-    write_json("fig6", &json);
+    let report = BenchReport::new("fig6", EnvFingerprint::current(&cfg), cells);
+    write_report("fig6", &report);
 }

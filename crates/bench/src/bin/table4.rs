@@ -7,31 +7,33 @@
 //! Absolute numbers here scale with the generated graph sizes and the
 //! configured per-ad θ cap; the TIRM ≫ IRIE gap and the near-linear
 //! growth in h are the reproduced claims.
+//!
+//! Cells run through `tirm_bench::suite` and the artifact is a schema
+//! [`BenchReport`] (`table4.json`), diffable with `bench_diff`.
 
-use tirm_bench::{banner, tirm_options, write_json, AlgoKind};
+use tirm_bench::schema::{BenchCell, BenchReport, EnvFingerprint};
+use tirm_bench::suite::run_scalability_cell;
+use tirm_bench::{banner, write_report};
 use tirm_core::report::Table;
-use tirm_core::{Attention, ProblemInstance};
-use tirm_topics::CtpTable;
-use tirm_workloads::{campaigns, Dataset, DatasetKind, ScaleConfig};
+use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ScaleConfig};
 
-fn measure(d: &Dataset, algo: AlgoKind, h: usize, budget: f64) -> usize {
-    let ads = campaigns::uniform_campaign(h, budget);
-    let flat: Vec<f32> = (0..d.graph.num_edges() as u32)
-        .map(|e| d.topic_probs.get(e, 0))
-        .collect();
-    let edge_probs = vec![flat; h];
-    let ctp = CtpTable::constant(d.graph.num_nodes(), h, 1.0);
-    let problem = ProblemInstance::new(&d.graph, ads, edge_probs, ctp, Attention::Uniform(1), 0.0);
-    let (_, stats) = match algo {
-        AlgoKind::Tirm => tirm_core::tirm_allocate(&problem, tirm_options(false, 0x7ab4)),
-        _ => algo.run(&problem, false, 0x7ab4),
-    };
-    stats.memory_bytes
+fn measure(
+    d: &Dataset,
+    algo: AllocatorKind,
+    h: usize,
+    budget: f64,
+    cells: &mut Vec<BenchCell>,
+) -> usize {
+    let id = format!("TABLE4/{}/wc/{}/h{}", d.kind.name(), algo.name(), h);
+    let cell = run_scalability_cell(id, d, algo, h, budget, 0x7ab4);
+    let bytes = cell.memory_bytes;
+    cells.push(cell);
+    bytes
 }
 
 fn main() {
     let cfg = ScaleConfig::from_env();
-    let mut json = Vec::new();
+    let mut cells: Vec<BenchCell> = Vec::new();
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let d = Dataset::generate(kind, &cfg, 0x5ca1e + kind as u64);
         banner(&format!("table4: {}", kind.name()), &cfg);
@@ -41,12 +43,18 @@ fn main() {
         };
         let mut t = Table::new(&["h", "TIRM (GB)", "IRIE (GB)"]);
         for h in [1usize, 5, 10, 15, 20] {
-            let tirm_b = measure(&d, AlgoKind::Tirm, h, base_budget);
+            let tirm_b = measure(&d, AllocatorKind::Tirm, h, base_budget, &mut cells);
             // The paper skips GREEDY-IRIE on LIVEJOURNAL (too slow); its
             // memory is the IRIE state alone, which we can still measure
             // on DBLP-like inputs.
             let irie_b = if kind == DatasetKind::Dblp {
-                Some(measure(&d, AlgoKind::GreedyIrie, h, base_budget))
+                Some(measure(
+                    &d,
+                    AllocatorKind::GreedyIrie,
+                    h,
+                    base_budget,
+                    &mut cells,
+                ))
             } else {
                 None
             };
@@ -65,13 +73,10 @@ fn main() {
                     .map(|b| format!("{:.4}", b as f64 / 1e9))
                     .unwrap_or_else(|| "-".into()),
             ]);
-            json.push(serde_json::json!({
-                "dataset": kind.name(), "h": h,
-                "tirm_bytes": tirm_b, "irie_bytes": irie_b,
-            }));
         }
         println!("\nTable 4 — {}: memory usage vs h", kind.name());
         println!("{}", t.render());
     }
-    write_json("table4", &json);
+    let report = BenchReport::new("table4", EnvFingerprint::current(&cfg), cells);
+    write_report("table4", &report);
 }

@@ -1,0 +1,558 @@
+//! Baseline comparison with noise-aware thresholds — the logic behind the
+//! `bench_diff` regression gate.
+//!
+//! Two artifact files are joined on cell ids. Deterministic payload fields
+//! (θ, seeds, regret, memory accounting) must match up to float-printing
+//! tolerance on identical code — any drift is surfaced, and drift that
+//! makes quality or memory *worse* beyond per-metric thresholds is a
+//! regression. Wall-clock fields are only compared when both artifacts
+//! carry [`crate::schema::EnvFingerprint`]s of the same machine class, and
+//! only for cells slow enough to be above measurement noise (min-sample
+//! gating).
+
+use crate::schema::{BenchCell, BenchReport};
+use tirm_core::report::{fnum, Table};
+
+/// Per-metric tolerances. Defaults flag a 20% slowdown with margin while
+/// tolerating ordinary scheduler jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Relative wall-clock increase considered a regression (0.15 = 15%).
+    pub time_rel_tol: f64,
+    /// Cells with a baseline wall time below this many seconds are never
+    /// time-flagged: sub-noise samples produce junk ratios.
+    pub time_min_s: f64,
+    /// A wall-clock change must also exceed this many *absolute* seconds
+    /// to be flagged — 15% of a 90 ms cell is scheduler noise, 15% of a
+    /// 15 s cell is not. Shared CI runners drift ±20% on sub-second
+    /// cells run-to-run (measured on this repo's own container), hence
+    /// the 100 ms default.
+    pub time_abs_slack_s: f64,
+    /// Relative `memory_bytes` / peak-RSS increase considered a regression.
+    pub mem_rel_tol: f64,
+    /// Memory cells below this baseline size are never flagged.
+    pub mem_min_bytes: usize,
+    /// Relative total-regret increase considered a quality regression.
+    pub regret_rel_tol: f64,
+    /// Compare wall-clock fields even when the environment fingerprints
+    /// differ (off by default; deterministic fields are always compared).
+    pub force_time: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            time_rel_tol: 0.15,
+            time_min_s: 0.05,
+            time_abs_slack_s: 0.1,
+            mem_rel_tol: 0.25,
+            mem_min_bytes: 1 << 20,
+            regret_rel_tol: 0.02,
+            force_time: false,
+        }
+    }
+}
+
+/// What happened to one metric of one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Worse beyond tolerance — fails the gate.
+    Regression,
+    /// Better beyond tolerance — informational.
+    Improvement,
+    /// Deterministic payload changed (neither clearly better nor worse).
+    Drift,
+    /// Cell present in the baseline but absent from the new artifact.
+    MissingCell,
+    /// Cell only in the new artifact.
+    NewCell,
+}
+
+/// One finding: a `(cell, metric)` pair that moved.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Cell id.
+    pub id: String,
+    /// Metric name (`wall_s`, `total_regret`, …) or `-` for cell-level
+    /// findings.
+    pub metric: String,
+    /// Baseline value (0 when the cell is new).
+    pub old: f64,
+    /// New value (0 when the cell is missing).
+    pub new: f64,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+impl Finding {
+    /// Relative change `new/old − 1`, `∞`-safe.
+    pub fn rel_change(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.old - 1.0
+        }
+    }
+}
+
+/// The comparison result: findings plus gate summary.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// All findings, baseline cell order.
+    pub findings: Vec<Finding>,
+    /// Whether wall-clock metrics were compared at all.
+    pub times_compared: bool,
+    /// Cells present in both artifacts.
+    pub cells_joined: usize,
+}
+
+impl DiffReport {
+    /// True when any finding fails the gate.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions() > 0
+    }
+
+    /// Number of gate-failing findings (regressions + missing cells).
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.verdict, Verdict::Regression | Verdict::MissingCell))
+            .count()
+    }
+
+    /// Renders the findings as a GitHub-flavoured markdown table plus a
+    /// one-line summary (what the CI job prints).
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "No changes across {} compared cells{}.\n",
+                self.cells_joined,
+                if self.times_compared {
+                    ""
+                } else {
+                    " (wall-clock skipped: environments differ)"
+                }
+            ));
+            return out;
+        }
+        let mut t = Table::new(&["cell", "metric", "old", "new", "Δ%", "verdict"]);
+        for f in &self.findings {
+            let delta = f.rel_change();
+            t.row(vec![
+                f.id.clone(),
+                f.metric.clone(),
+                fnum(f.old),
+                fnum(f.new),
+                if delta.is_finite() {
+                    format!("{:+.1}", delta * 100.0)
+                } else {
+                    "-".into()
+                },
+                match f.verdict {
+                    Verdict::Regression => "REGRESSION".into(),
+                    Verdict::Improvement => "improvement".into(),
+                    Verdict::Drift => "drift".into(),
+                    Verdict::MissingCell => "MISSING CELL".into(),
+                    Verdict::NewCell => "new cell".into(),
+                },
+            ]);
+        }
+        out.push_str(&t.render_markdown());
+        out.push_str(&format!(
+            "\n{} finding(s), {} gate-failing, over {} compared cells{}.\n",
+            self.findings.len(),
+            self.regressions(),
+            self.cells_joined,
+            if self.times_compared {
+                ""
+            } else {
+                " (wall-clock skipped: environments differ)"
+            }
+        ));
+        out
+    }
+}
+
+/// Tolerance for "identical" deterministic floats: artifacts print f64s
+/// with Rust's shortest round-trip formatting, so equality survives the
+/// JSON round trip exactly; the epsilon only guards summed metrics.
+const DET_EPS: f64 = 1e-9;
+
+fn rel_exceeds(old: f64, new: f64, tol: f64) -> bool {
+    new > old * (1.0 + tol) + f64::EPSILON
+}
+
+/// Compares two artifacts. `old` is the committed baseline, `new` the
+/// fresh measurement.
+pub fn diff_reports(old: &BenchReport, new: &BenchReport, opts: &DiffOptions) -> DiffReport {
+    let times_compared = opts.force_time || old.env.time_comparable(&new.env);
+    let mut findings = Vec::new();
+    let mut joined = 0usize;
+
+    for oc in &old.cells {
+        match new.cell(&oc.id) {
+            None => findings.push(Finding {
+                id: oc.id.clone(),
+                metric: "-".into(),
+                old: 0.0,
+                new: 0.0,
+                verdict: Verdict::MissingCell,
+            }),
+            Some(nc) => {
+                joined += 1;
+                findings.extend(diff_cell(oc, nc, opts, times_compared));
+            }
+        }
+    }
+    for nc in &new.cells {
+        if old.cell(&nc.id).is_none() {
+            findings.push(Finding {
+                id: nc.id.clone(),
+                metric: "-".into(),
+                old: 0.0,
+                new: 0.0,
+                verdict: Verdict::NewCell,
+            });
+        }
+    }
+
+    // Run-wide peak RSS: the per-cell field is a monotone high-water
+    // mark, so only the maxima are comparable — and only between same
+    // machine classes, and only when both runs cover the same cells
+    // (a filtered run peaks differently by construction).
+    if times_compared && joined == old.cells.len() && joined == new.cells.len() {
+        let peak = |r: &BenchReport| r.cells.iter().map(|c| c.peak_rss_bytes).max().unwrap_or(0);
+        let (o, n) = (peak(old), peak(new));
+        if o >= opts.mem_min_bytes {
+            let (of, nf) = (o as f64, n as f64);
+            if rel_exceeds(of, nf, opts.mem_rel_tol) {
+                findings.push(Finding {
+                    id: "(run)".into(),
+                    metric: "peak_rss_bytes".into(),
+                    old: of,
+                    new: nf,
+                    verdict: Verdict::Regression,
+                });
+            } else if rel_exceeds(nf, of, opts.mem_rel_tol) {
+                findings.push(Finding {
+                    id: "(run)".into(),
+                    metric: "peak_rss_bytes".into(),
+                    old: of,
+                    new: nf,
+                    verdict: Verdict::Improvement,
+                });
+            }
+        }
+    }
+    DiffReport {
+        findings,
+        times_compared,
+        cells_joined: joined,
+    }
+}
+
+fn diff_cell(
+    oc: &BenchCell,
+    nc: &BenchCell,
+    opts: &DiffOptions,
+    times_compared: bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |metric: &str, old: f64, new: f64, verdict: Verdict| {
+        out.push(Finding {
+            id: oc.id.clone(),
+            metric: metric.into(),
+            old,
+            new,
+            verdict,
+        })
+    };
+
+    // Quality: regret increases beyond tolerance are regressions,
+    // decreases are improvements; other deterministic payload movement is
+    // drift (the gate surfaces it so a baseline refresh is a conscious
+    // act, but only worse-quality or worse-memory movement fails CI).
+    let o = oc.total_regret;
+    let n = nc.total_regret;
+    if rel_exceeds(o, n, opts.regret_rel_tol) {
+        push("total_regret", o, n, Verdict::Regression);
+    } else if rel_exceeds(n, o, opts.regret_rel_tol) {
+        push("total_regret", o, n, Verdict::Improvement);
+    } else if (o - n).abs() > DET_EPS * o.abs().max(1.0) {
+        push("total_regret", o, n, Verdict::Drift);
+    }
+
+    // Memory: precise per-cell accounting. (Peak RSS is a process-wide
+    // high-water mark — monotone across a run and order-dependent — so it
+    // is compared once per report in `diff_reports`, not per cell.)
+    let (o, n) = (oc.memory_bytes, nc.memory_bytes);
+    if o >= opts.mem_min_bytes {
+        let (of, nf) = (o as f64, n as f64);
+        if rel_exceeds(of, nf, opts.mem_rel_tol) {
+            push("memory_bytes", of, nf, Verdict::Regression);
+        } else if rel_exceeds(nf, of, opts.mem_rel_tol) {
+            push("memory_bytes", of, nf, Verdict::Improvement);
+        }
+    }
+
+    // Remaining deterministic payload: any movement is drift.
+    for (name, o, n) in [
+        ("theta", oc.theta as f64, nc.theta as f64),
+        ("total_seeds", oc.total_seeds as f64, nc.total_seeds as f64),
+        (
+            "distinct_targeted",
+            oc.distinct_targeted as f64,
+            nc.distinct_targeted as f64,
+        ),
+        ("revenue", oc.revenue, nc.revenue),
+        ("nodes", oc.nodes as f64, nc.nodes as f64),
+        ("edges", oc.edges as f64, nc.edges as f64),
+    ] {
+        if (o - n).abs() > DET_EPS * o.abs().max(1.0) {
+            push(name, o, n, Verdict::Drift);
+        }
+    }
+
+    // Wall clock, env- and noise-gated: a finding needs both the relative
+    // threshold and an absolute movement beyond scheduler noise (15% of a
+    // 90 ms cell is jitter; 15% of a 15 s cell is not).
+    if times_compared {
+        for (name, o, n) in [
+            ("wall_s", oc.wall_s, nc.wall_s),
+            ("eval_s", oc.eval_s, nc.eval_s),
+        ] {
+            if o < opts.time_min_s {
+                continue;
+            }
+            if rel_exceeds(o, n, opts.time_rel_tol) && n - o > opts.time_abs_slack_s {
+                push(name, o, n, Verdict::Regression);
+            } else if rel_exceeds(n, o, opts.time_rel_tol) && o - n > opts.time_abs_slack_s {
+                push(name, o, n, Verdict::Improvement);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EnvFingerprint, SCHEMA_VERSION};
+
+    fn cell(id: &str) -> BenchCell {
+        BenchCell {
+            id: id.to_string(),
+            dataset: "DBLP".into(),
+            prob_model: "wc".into(),
+            allocator: "TIRM".into(),
+            threads: 1,
+            kappa: 1,
+            lambda: 0.0,
+            seed: 1,
+            nodes: 3200,
+            edges: 10_000,
+            ads: 5,
+            theta: 50_000,
+            total_seeds: 80,
+            distinct_targeted: 80,
+            total_regret: 12.0,
+            relative_regret: 0.1,
+            revenue: 110.0,
+            memory_bytes: 8 << 20,
+            wall_s: 2.0,
+            eval_s: 0.5,
+            rr_sets_per_s: 25_000.0,
+            peak_rss_bytes: 64 << 20,
+        }
+    }
+
+    fn report(cells: Vec<BenchCell>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_sha: "test".into(),
+            tier: "quick".into(),
+            created_unix: 0,
+            env: EnvFingerprint {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpus: 1,
+                debug_assertions: false,
+                scale: 0.08,
+                eval_runs: 200,
+            },
+            cells,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(vec![cell("a"), cell("b")]);
+        let d = diff_reports(&a, &a.clone(), &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert!(d.findings.is_empty());
+        assert_eq!(d.cells_joined, 2);
+        assert!(d.markdown().contains("No changes"));
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_is_flagged() {
+        let old = report(vec![cell("a")]);
+        let mut slow = cell("a");
+        slow.wall_s *= 1.2;
+        let new = report(vec![slow]);
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert!(d.has_regressions());
+        let f = &d.findings[0];
+        assert_eq!(f.metric, "wall_s");
+        assert_eq!(f.verdict, Verdict::Regression);
+        assert!(d.markdown().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn small_jitter_is_not_flagged() {
+        let old = report(vec![cell("a")]);
+        let mut jitter = cell("a");
+        jitter.wall_s *= 1.1; // below the 15% threshold
+        let d = diff_reports(&old, &report(vec![jitter]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn sub_noise_cells_are_time_gated() {
+        let mut fast = cell("a");
+        fast.wall_s = 0.01;
+        let old = report(vec![fast.clone()]);
+        fast.wall_s = 0.04; // 4× slower but under time_min_s
+        let d = diff_reports(&old, &report(vec![fast]), &DiffOptions::default());
+        assert!(!d.has_regressions(), "sub-noise cells must not gate");
+    }
+
+    #[test]
+    fn missing_cell_fails_the_gate() {
+        let old = report(vec![cell("a"), cell("b")]);
+        let new = report(vec![cell("a")]);
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert!(d.has_regressions());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.verdict == Verdict::MissingCell && f.id == "b"));
+    }
+
+    #[test]
+    fn new_cell_is_informational() {
+        let old = report(vec![cell("a")]);
+        let new = report(vec![cell("a"), cell("c")]);
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert!(d.findings.iter().any(|f| f.verdict == Verdict::NewCell));
+    }
+
+    #[test]
+    fn regret_increase_is_a_regression_decrease_an_improvement() {
+        let old = report(vec![cell("a")]);
+        let mut worse = cell("a");
+        worse.total_regret *= 1.10;
+        let d = diff_reports(&old, &report(vec![worse]), &DiffOptions::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.findings[0].metric, "total_regret");
+
+        let mut better = cell("a");
+        better.total_regret *= 0.5;
+        let d = diff_reports(&old, &report(vec![better]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.findings[0].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn deterministic_drift_is_reported_but_not_fatal() {
+        let old = report(vec![cell("a")]);
+        let mut drifted = cell("a");
+        drifted.theta += 1;
+        drifted.total_seeds += 2;
+        let d = diff_reports(&old, &report(vec![drifted]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert_eq!(
+            d.findings
+                .iter()
+                .filter(|f| f.verdict == Verdict::Drift)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn memory_regression_flagged_above_floor() {
+        let old = report(vec![cell("a")]);
+        let mut fat = cell("a");
+        fat.memory_bytes = (fat.memory_bytes as f64 * 1.5) as usize;
+        let d = diff_reports(&old, &report(vec![fat]), &DiffOptions::default());
+        assert!(d.has_regressions());
+
+        // Below the floor: ignored.
+        let mut tiny = cell("a");
+        tiny.memory_bytes = 1000;
+        let old = report(vec![tiny.clone()]);
+        tiny.memory_bytes = 500_000;
+        let d = diff_reports(&old, &report(vec![tiny]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn peak_rss_gated_at_run_level_only() {
+        // One early cell's high-water mark inflating later cells must not
+        // produce per-cell findings; only the run maximum is compared.
+        let old = report(vec![cell("a"), cell("b")]);
+        let mut new = report(vec![cell("a"), cell("b")]);
+        // Later cell inherits a big early HWM: identical run max ⇒ clean.
+        new.cells[0].peak_rss_bytes = 64 << 20;
+        new.cells[1].peak_rss_bytes = 64 << 20;
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert!(!d.has_regressions());
+
+        // Run max actually growing 2× is a single run-level regression.
+        new.cells[1].peak_rss_bytes = 128 << 20;
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(d.regressions(), 1);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.metric == "peak_rss_bytes")
+            .unwrap();
+        assert_eq!(f.id, "(run)");
+        assert_eq!(f.verdict, Verdict::Regression);
+
+        // Partial joins (filtered run) skip the run-level check entirely.
+        let filtered = report(vec![new.cells[1].clone()]);
+        let d = diff_reports(&old, &filtered, &DiffOptions::default());
+        assert!(!d.findings.iter().any(|f| f.metric == "peak_rss_bytes"));
+    }
+
+    #[test]
+    fn times_skipped_across_different_machines() {
+        let old = report(vec![cell("a")]);
+        let mut new = report(vec![{
+            let mut c = cell("a");
+            c.wall_s *= 10.0; // massive "slowdown"…
+            c
+        }]);
+        new.env.cpus = 16; // …but measured on different hardware
+        let d = diff_reports(&old, &new, &DiffOptions::default());
+        assert!(!d.times_compared);
+        assert!(!d.has_regressions(), "cross-machine times must not gate");
+        assert!(d.markdown().contains("wall-clock skipped"));
+
+        // force_time overrides the gate.
+        let opts = DiffOptions {
+            force_time: true,
+            ..DiffOptions::default()
+        };
+        let d = diff_reports(&old, &new, &opts);
+        assert!(d.has_regressions());
+    }
+}

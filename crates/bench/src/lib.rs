@@ -1,6 +1,15 @@
 //! Shared plumbing for the experiment binaries: algorithm registry,
 //! problem construction from workloads, and result output (aligned text
 //! tables on stdout + JSON rows under `target/experiments/`).
+//!
+//! The measurement backbone lives in three submodules: [`schema`] (the
+//! versioned `BENCH_*.json` artifact every experiment emits), [`suite`]
+//! (the deterministic scenario-matrix runner behind `perf_suite`) and
+//! [`diff`] (the noise-aware baseline comparison behind `bench_diff`).
+
+pub mod diff;
+pub mod schema;
+pub mod suite;
 
 use serde::Serialize;
 use std::io::Write as _;
@@ -229,6 +238,17 @@ pub fn try_write_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<Pat
 pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     match try_write_json(name, rows) {
         Ok(path) => eprintln!("[json] {}", path.display()),
+        Err(e) => eprintln!("warn: writing {name}.json failed: {e}"),
+    }
+}
+
+/// Writes a [`schema::BenchReport`] under [`experiments_dir()`]`/<name>.json`
+/// with the same log-or-warn behaviour as [`write_json`] — the standard
+/// sink for every experiment binary's artifact.
+pub fn write_report(name: &str, report: &schema::BenchReport) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    match report.save(&path) {
+        Ok(()) => eprintln!("[json] {}", path.display()),
         Err(e) => eprintln!("warn: writing {name}.json failed: {e}"),
     }
 }

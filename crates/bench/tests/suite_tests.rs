@@ -1,0 +1,220 @@
+//! Integration tests for the perf-suite backbone: artifact round trips,
+//! `bench_diff` fixture pairs, and suite determinism.
+
+use tirm_bench::diff::{diff_reports, DiffOptions, Verdict};
+use tirm_bench::schema::{BenchReport, EnvFingerprint, SCHEMA_VERSION};
+use tirm_bench::suite::run_scenario;
+use tirm_workloads::scenarios::{AllocatorKind, ScenarioSpec, Tier};
+use tirm_workloads::{DatasetKind, ProbModel, ScaleConfig};
+
+/// Small enough for debug-build test runs, big enough to exercise the
+/// real problem construction and allocators.
+fn tiny_scale() -> ScaleConfig {
+    ScaleConfig {
+        scale: 0.02,
+        eval_runs: 20,
+        threads: 1,
+    }
+}
+
+fn spec(dataset: DatasetKind, model: ProbModel, allocator: AllocatorKind) -> ScenarioSpec {
+    ScenarioSpec {
+        dataset,
+        model,
+        allocator,
+        threads: 1,
+        kappa: 1,
+        lambda: 0.0,
+        seed_cap: None,
+    }
+}
+
+// ---------------------------------------------------------------- schema
+
+#[test]
+fn measured_cells_round_trip_through_the_artifact_format() {
+    let cell = run_scenario(
+        &spec(
+            DatasetKind::Epinions,
+            ProbModel::Exponential,
+            AllocatorKind::GreedyIrie,
+        ),
+        &tiny_scale(),
+        42,
+    );
+    let report = BenchReport::new("test", EnvFingerprint::current(&tiny_scale()), vec![cell]);
+    let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(report, back, "measured values must survive JSON exactly");
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+    let c = &back.cells[0];
+    assert_eq!(c.dataset, "EPINIONS");
+    assert_eq!(c.prob_model, "exp");
+    assert_eq!(c.allocator, "IRIE");
+    assert!(c.nodes >= 64 && c.edges > 0 && c.ads == 10);
+}
+
+// ------------------------------------------------------------ bench_diff
+
+/// Builds the (baseline, probe) fixture pair on disk, mutates the probe
+/// with `mutate`, and returns the decoded diff.
+fn fixture_diff(mutate: impl FnOnce(&mut BenchReport)) -> tirm_bench::diff::DiffReport {
+    let cell_a = run_scenario(
+        &spec(
+            DatasetKind::Flixster,
+            ProbModel::TopicConcentrated,
+            AllocatorKind::GreedyIrie,
+        ),
+        &tiny_scale(),
+        7,
+    );
+    let cell_b = run_scenario(
+        &spec(
+            DatasetKind::Epinions,
+            ProbModel::Exponential,
+            AllocatorKind::GreedyIrie,
+        ),
+        &tiny_scale(),
+        7,
+    );
+    // Explicit release-like fingerprint: `EnvFingerprint::current` in a
+    // debug test build sets `debug_assertions`, which (correctly) makes
+    // the diff refuse to compare wall-clock fields at all.
+    let env = EnvFingerprint {
+        debug_assertions: false,
+        ..EnvFingerprint::current(&tiny_scale())
+    };
+    let mut baseline = BenchReport::new("test", env.clone(), vec![cell_a, cell_b]);
+    for c in &mut baseline.cells {
+        // Debug-build fixture timings sit under the 50 ms noise gate;
+        // normalize them so the pair actually exercises time comparison.
+        c.wall_s = 1.0;
+        c.eval_s = 1.0;
+    }
+    let mut probe = baseline.clone();
+    mutate(&mut probe);
+
+    // Through the filesystem, like the real gate.
+    let dir = std::env::temp_dir().join(format!("tirm_diff_fixture_{}", std::process::id()));
+    let old_path = dir.join("BENCH_old.json");
+    let new_path = dir.join("BENCH_new.json");
+    baseline.save(&old_path).unwrap();
+    probe.save(&new_path).unwrap();
+    let old = BenchReport::load(&old_path).unwrap();
+    let new = BenchReport::load(&new_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Fixture timings must be above the noise gate for time checks.
+    diff_reports(&old, &new, &DiffOptions::default())
+}
+
+#[test]
+fn fixture_pair_no_regression() {
+    let d = fixture_diff(|_| {});
+    assert!(
+        !d.has_regressions(),
+        "identical artifacts must pass: {:?}",
+        d.findings
+    );
+    assert_eq!(d.cells_joined, 2);
+}
+
+#[test]
+fn fixture_pair_injected_slowdown_is_flagged() {
+    let d = fixture_diff(|probe| {
+        for c in &mut probe.cells {
+            c.wall_s *= 1.2;
+        }
+    });
+    assert!(d.has_regressions(), "a 20% slowdown must fail the gate");
+    assert!(d
+        .findings
+        .iter()
+        .any(|f| f.metric == "wall_s" && f.verdict == Verdict::Regression));
+}
+
+#[test]
+fn fixture_pair_jitter_passes() {
+    let d = fixture_diff(|probe| {
+        for c in &mut probe.cells {
+            c.wall_s *= 1.08; // under the 15% tolerance
+        }
+    });
+    assert!(!d.has_regressions(), "8% jitter must not fail the gate");
+}
+
+#[test]
+fn fixture_pair_missing_cell_is_flagged() {
+    let d = fixture_diff(|probe| {
+        probe.cells.pop();
+    });
+    assert!(d.has_regressions());
+    assert!(d.findings.iter().any(|f| f.verdict == Verdict::MissingCell));
+    assert_eq!(d.cells_joined, 1);
+}
+
+// ---------------------------------------------------------- determinism
+
+#[test]
+fn same_seed_same_metric_payload() {
+    // Two independent runs of the same cells must agree on every
+    // deterministic field; only wall-clock fields may differ.
+    let scale = tiny_scale();
+    let specs = [
+        spec(
+            DatasetKind::Flixster,
+            ProbModel::TopicConcentrated,
+            AllocatorKind::Tirm,
+        ),
+        spec(
+            DatasetKind::Dblp,
+            ProbModel::WeightedCascade,
+            AllocatorKind::GreedyIrie,
+        ),
+    ];
+    for s in &specs {
+        let mut a = run_scenario(s, &scale, 0x71a6_5eed);
+        let mut b = run_scenario(s, &scale, 0x71a6_5eed);
+        a.strip_timings();
+        b.strip_timings();
+        assert_eq!(a, b, "non-deterministic payload in {}", s.id());
+        // Byte-level too: the artifact is the contract.
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb);
+    }
+}
+
+#[test]
+fn different_base_seed_changes_the_payload() {
+    // Sanity check that the determinism test above cannot pass vacuously:
+    // the seed must actually steer the measured allocation.
+    let s = spec(
+        DatasetKind::Flixster,
+        ProbModel::TopicConcentrated,
+        AllocatorKind::Tirm,
+    );
+    let scale = tiny_scale();
+    let mut a = run_scenario(&s, &scale, 1);
+    let mut b = run_scenario(&s, &scale, 2);
+    a.strip_timings();
+    b.strip_timings();
+    assert_ne!(a.seed, b.seed);
+    assert_ne!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "different seeds should perturb some metric"
+    );
+}
+
+#[test]
+fn quick_tier_ids_match_runner_expectations() {
+    // Every quick-tier spec must be runnable in principle: ids unique,
+    // Greedy capped, and the ≥18-cell coverage the CI gate relies on.
+    let specs = Tier::Quick.matrix();
+    assert!(specs.len() >= 18);
+    for s in &specs {
+        if s.allocator == AllocatorKind::Greedy {
+            assert!(s.seed_cap.is_some());
+        }
+    }
+}

@@ -36,6 +36,12 @@ impl AlgoStats {
         self.seeds_per_ad.iter().sum()
     }
 
+    /// Total RR sets sampled across ads (θ in the perf-suite schema;
+    /// zero for non-RR algorithms).
+    pub fn rr_sets_total(&self) -> usize {
+        self.rr_sets_per_ad.iter().sum()
+    }
+
     /// Memory in GB (Table 4 prints GB).
     pub fn memory_gb(&self) -> f64 {
         self.memory_bytes as f64 / 1e9
@@ -45,9 +51,21 @@ impl AlgoStats {
 /// Optional resident-set-size probe (`/proc/self/status`, Linux only) used
 /// to corroborate the precise accounting in [`AlgoStats::memory_bytes`].
 pub fn rss_bytes() -> Option<usize> {
+    proc_status_bytes("VmRSS:")
+}
+
+/// Optional *peak* resident-set-size probe (`VmHWM`, Linux only) — the
+/// perf-suite schema records it per process so baseline diffs catch memory
+/// regressions that precise per-structure accounting misses (allocator
+/// overhead, transient buffers).
+pub fn peak_rss_bytes() -> Option<usize> {
+    proc_status_bytes("VmHWM:")
+}
+
+fn proc_status_bytes(prefix: &str) -> Option<usize> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmRSS:") {
+        if let Some(rest) = line.strip_prefix(prefix) {
             let kb: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
             return Some(kb * 1024);
         }
@@ -71,6 +89,7 @@ mod tests {
         };
         assert_eq!(s.total_seeds(), 12);
         assert!((s.memory_gb() - 2.5).abs() < 1e-9);
+        assert_eq!(s.rr_sets_total(), 0);
     }
 
     #[test]
@@ -78,6 +97,15 @@ mod tests {
         // Smoke test: on Linux this should return something > 1 MB.
         if let Some(rss) = rss_bytes() {
             assert!(rss > 1 << 20);
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_at_least_current_rss() {
+        if let (Some(peak), Some(rss)) = (peak_rss_bytes(), rss_bytes()) {
+            assert!(peak > 1 << 20);
+            // VmHWM is a high-water mark; allow slack for sampling skew.
+            assert!(peak + (4 << 20) >= rss, "peak {peak} vs rss {rss}");
         }
     }
 }

@@ -1,4 +1,6 @@
-//! Minimal aligned-column text tables for the experiment harness output.
+//! Minimal aligned-column text tables for the experiment harness output,
+//! renderable as plain text (stdout) or GitHub-flavoured markdown (the
+//! `bench_diff` regression gate posts the latter into CI logs/PRs).
 
 /// A simple text table with left-aligned first column and right-aligned
 /// numeric columns, rendered with aligned widths.
@@ -70,6 +72,33 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a GitHub-flavoured markdown table: first column
+    /// left-aligned, the rest right-aligned, `|` in cells escaped.
+    pub fn render_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        for (i, _) in self.headers.iter().enumerate() {
+            out.push_str(if i == 0 { ":---|" } else { "---:|" });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
 }
 
 /// Formats a float compactly: integers without decimals, else 2–3
@@ -104,6 +133,17 @@ mod tests {
         assert!(lines[3].contains("10000"));
         assert!(!t.is_empty());
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["cell", "old", "new"]);
+        t.row(vec!["a|b".into(), "1".into(), "2".into()]);
+        let md = t.render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| cell | old | new |");
+        assert_eq!(lines[1], "|:---|---:|---:|");
+        assert_eq!(lines[2], "| a\\|b | 1 | 2 |");
     }
 
     #[test]

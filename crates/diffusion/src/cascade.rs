@@ -73,7 +73,7 @@ impl CascadeWorkspace {
 /// * `ctp` — optional per-node click-through probabilities `δ(·, i)`; when
 ///   present each seed is first filtered through its acceptance coin
 ///   (TIC-CTP semantics); when `None` seeds activate with probability 1
-///   (plain IC, the classical model of [19]).
+///   (plain IC, the classical model of \[19\]).
 pub fn simulate_once<R: Rng>(
     g: &DiGraph,
     probs: &[f32],

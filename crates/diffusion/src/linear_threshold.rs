@@ -1,5 +1,5 @@
 //! Linear Threshold (LT) diffusion — the second classical model of Kempe
-//! et al. [19], included as an extension (§7 of the paper invites other
+//! et al. \[19\], included as an extension (§7 of the paper invites other
 //! propagation models; every piece of the TIRM pipeline except the arc
 //! semantics is model-agnostic).
 //!

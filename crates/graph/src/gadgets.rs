@@ -55,10 +55,7 @@ pub struct ThreePartitionInstance {
 /// # Panics
 /// If `xs.len()` is not a positive multiple of 3 or any `x < 1`.
 pub fn three_partition_gadget(xs: &[u64]) -> ThreePartitionInstance {
-    assert!(
-        !xs.is_empty() && xs.len().is_multiple_of(3),
-        "need 3m numbers"
-    );
+    assert!(!xs.is_empty() && xs.len() % 3 == 0, "need 3m numbers");
     assert!(xs.iter().all(|&x| x >= 1), "numbers must be positive");
     let m = xs.len() / 3;
     let c: u64 = xs.iter().sum();

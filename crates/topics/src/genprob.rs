@@ -1,6 +1,6 @@
 //! Influence-probability generators from §6 of the paper.
 //!
-//! * **Weighted-Cascade** — `p_{u,v} = 1 / indeg(v)` (Chen et al. [7]),
+//! * **Weighted-Cascade** — `p_{u,v} = 1 / indeg(v)` (Chen et al. \[7\]),
 //!   used by the scalability experiments for all ads.
 //! * **Exponential inverse-transform** — the EPINIONS setup: per-topic
 //!   probabilities drawn from an exponential distribution via the inverse

@@ -3,7 +3,7 @@
 //! | Paper data set | Shape reproduced | Probability model (§6) |
 //! |---|---|---|
 //! | FLIXSTER (30K/425K, directed) | heavy-tail follower graph, reciprocity ~0.3 | topic-concentrated (stand-in for MLE-learned TIC, K=10) |
-//! | EPINIONS (76K/509K, directed) | heavy-tail trust graph, low reciprocity | per-topic `Exp(rate 30)` clamped to [0,1] |
+//! | EPINIONS (76K/509K, directed) | heavy-tail trust graph, low reciprocity | per-topic `Exp(rate 30)` clamped to \[0,1\] |
 //! | DBLP (317K/1.05M, undirected → both directions) | clustered co-authorship, fully reciprocal | Weighted-Cascade `1/indeg(v)` |
 //! | LIVEJOURNAL (4.8M/69M, directed) | power-law in *and* out degree | Weighted-Cascade |
 //!
@@ -67,6 +67,50 @@ impl DatasetKind {
     }
 }
 
+/// Which §6 probability model decorates a network's arcs. Every paper
+/// data set has a *canonical* model (the table above); the perf suite also
+/// crosses data sets with the other models to widen the scenario matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbModel {
+    /// Topic-concentrated TIC stand-in (K = 10): each arc strong in 2
+    /// topics, background elsewhere. Canonical for FLIXSTER.
+    TopicConcentrated,
+    /// Per-topic `Exp(rate 30)` clamped to [0, 1] (K = 10). Canonical for
+    /// EPINIONS.
+    Exponential,
+    /// Weighted-Cascade `1/indeg(v)` (K = 1). Canonical for DBLP and
+    /// LIVEJOURNAL.
+    WeightedCascade,
+}
+
+impl ProbModel {
+    /// Short machine-readable name used in scenario ids and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbModel::TopicConcentrated => "topic",
+            ProbModel::Exponential => "exp",
+            ProbModel::WeightedCascade => "wc",
+        }
+    }
+
+    /// The model §6 pairs with each data set.
+    pub fn canonical(kind: DatasetKind) -> ProbModel {
+        match kind {
+            DatasetKind::Flixster => ProbModel::TopicConcentrated,
+            DatasetKind::Epinions => ProbModel::Exponential,
+            DatasetKind::Dblp | DatasetKind::LiveJournal => ProbModel::WeightedCascade,
+        }
+    }
+
+    /// Number of latent topics the model produces (WC is single-topic).
+    pub fn topics(self) -> usize {
+        match self {
+            ProbModel::WeightedCascade => 1,
+            _ => 10,
+        }
+    }
+}
+
 /// A generated network plus its per-topic arc probabilities.
 pub struct Dataset {
     /// Which paper data set this mimics.
@@ -81,8 +125,22 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Generates the dataset at the configured scale, deterministically.
+    /// Generates the dataset at the configured scale with its canonical §6
+    /// probability model, deterministically.
     pub fn generate(kind: DatasetKind, cfg: &ScaleConfig, seed: u64) -> Dataset {
+        Self::generate_with_model(kind, ProbModel::canonical(kind), cfg, seed)
+    }
+
+    /// Generates the dataset with an explicit probability model — the
+    /// scenario matrix crosses network shapes with non-canonical models.
+    /// Canonical calls produce bit-identical output to pre-matrix
+    /// `generate` (same per-model seed derivations).
+    pub fn generate_with_model(
+        kind: DatasetKind,
+        model: ProbModel,
+        cfg: &ScaleConfig,
+        seed: u64,
+    ) -> Dataset {
         let n = cfg.nodes(kind.default_nodes());
         let graph = match kind {
             // FLIXSTER: avg degree ~14, noticeable reciprocity.
@@ -95,9 +153,9 @@ impl Dataset {
             DatasetKind::LiveJournal => generators::copying_model(n, 14, 0.35, seed),
         };
         let m = graph.num_edges();
-        let k = kind.topics();
-        let topic_probs = match kind {
-            DatasetKind::Flixster => {
+        let k = model.topics();
+        let topic_probs = match model {
+            ProbModel::TopicConcentrated => {
                 // Stand-in for MLE-learned TIC probabilities: each arc
                 // strong in 2 of 10 topics (Exp mean ≈ 0.33), background
                 // elsewhere (Exp mean ≈ 0.002). The strong mean is chosen
@@ -114,12 +172,12 @@ impl Dataset {
                     seed ^ 0xf11c,
                 )
             }
-            DatasetKind::Epinions => {
+            ProbModel::Exponential => {
                 // §6: "sampled from an exponential distribution with
                 // [rate] 30, via the inverse transform technique".
                 genprob::exponential_topic_probs(m, k, 30.0, seed ^ 0xe919)
             }
-            DatasetKind::Dblp | DatasetKind::LiveJournal => {
+            ProbModel::WeightedCascade => {
                 // §6.2: Weighted-Cascade for all ads.
                 let wc = genprob::weighted_cascade(&graph);
                 TopicEdgeProbs::single_topic(wc)
@@ -218,5 +276,41 @@ mod tests {
         let b = Dataset::generate(DatasetKind::Epinions, &tiny_cfg(), 11);
         assert_eq!(a.graph.num_edges(), b.graph.num_edges());
         assert_eq!(a.topic_probs.get(0, 0), b.topic_probs.get(0, 0));
+    }
+
+    #[test]
+    fn canonical_model_matches_plain_generate() {
+        let a = Dataset::generate(DatasetKind::Flixster, &tiny_cfg(), 13);
+        let b = Dataset::generate_with_model(
+            DatasetKind::Flixster,
+            ProbModel::TopicConcentrated,
+            &tiny_cfg(),
+            13,
+        );
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.topic_probs.get(1, 3), b.topic_probs.get(1, 3));
+    }
+
+    #[test]
+    fn model_override_controls_topic_count() {
+        let d = Dataset::generate_with_model(
+            DatasetKind::Flixster,
+            ProbModel::WeightedCascade,
+            &tiny_cfg(),
+            13,
+        );
+        assert_eq!(d.topic_probs.k(), 1);
+        let d = Dataset::generate_with_model(
+            DatasetKind::Dblp,
+            ProbModel::Exponential,
+            &tiny_cfg(),
+            13,
+        );
+        assert_eq!(d.topic_probs.k(), 10);
+        assert_eq!(
+            ProbModel::canonical(DatasetKind::Dblp),
+            ProbModel::WeightedCascade
+        );
+        assert_eq!(ProbModel::canonical(DatasetKind::Epinions).name(), "exp");
     }
 }

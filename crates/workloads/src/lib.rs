@@ -14,12 +14,17 @@
 //! * [`scale`] — environment-driven scaling (`TIRM_SCALE`,
 //!   `TIRM_EVAL_RUNS`, `TIRM_THREADS`) so the same harness runs on a
 //!   laptop or a large server.
+//! * [`scenarios`] — the declarative scenario matrix (dataset ×
+//!   probability model × allocator × threads) behind the perf suite's
+//!   `quick` / `full` tiers.
 
 pub mod campaigns;
 pub mod datasets;
 pub mod scale;
+pub mod scenarios;
 pub mod toy;
 
 pub use campaigns::{campaign, CampaignSpec};
-pub use datasets::{Dataset, DatasetKind};
+pub use datasets::{Dataset, DatasetKind, ProbModel};
 pub use scale::ScaleConfig;
+pub use scenarios::{AllocatorKind, ScenarioSpec, Tier};

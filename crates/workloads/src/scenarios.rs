@@ -1,0 +1,351 @@
+//! Declarative scenario matrix for the perf suite.
+//!
+//! The paper's evaluation (§6, Tables 2–4, Fig. 6) is a grid — data sets ×
+//! probability models × allocators × parameters. [`ScenarioSpec`] names one
+//! cell of that grid declaratively; [`Tier`] enumerates the grids we run:
+//! `quick` is small enough for a CI regression gate (< 5 min on one CPU),
+//! `full` approaches the paper's scales for real measurement. The runner
+//! lives in `tirm_bench::suite`; this module owns only the *what*, so new
+//! scenarios are added by editing a list, not a harness.
+
+use crate::datasets::{DatasetKind, ProbModel};
+use crate::scale::{default_threads, ScaleConfig};
+
+/// Which allocation algorithm a scenario exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// TIRM (Algorithm 2) — the paper's scalable RR-set allocator.
+    Tirm,
+    /// Algorithm 1 with Monte-Carlo spread estimates ("Greedy"). Accurate
+    /// but so slow the suite caps its total seeds (`ScenarioSpec::seed_cap`).
+    Greedy,
+    /// GREEDY-IRIE — Algorithm 1 with the IRIE heuristic oracle.
+    GreedyIrie,
+}
+
+impl AllocatorKind {
+    /// Name used in scenario ids and figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Tirm => "TIRM",
+            AllocatorKind::Greedy => "GREEDY",
+            AllocatorKind::GreedyIrie => "IRIE",
+        }
+    }
+}
+
+/// One cell of the scenario grid. Everything that affects the *problem* is
+/// here; everything that affects fidelity (graph scale, MC evaluation
+/// runs) comes from the tier's [`ScaleConfig`], so the same spec list
+/// serves both tiers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Network shape.
+    pub dataset: DatasetKind,
+    /// Arc-probability model (canonical or crossed).
+    pub model: ProbModel,
+    /// Algorithm under test.
+    pub allocator: AllocatorKind,
+    /// Worker threads for the allocator and evaluation. Part of the cell
+    /// identity: parallel MC evaluation partitions RNG streams by thread,
+    /// so metric payloads are only comparable at equal thread counts.
+    pub threads: usize,
+    /// Attention bound κ.
+    pub kappa: u32,
+    /// Penalty λ.
+    pub lambda: f64,
+    /// Total-seed cap for the Greedy-MC allocator (`None` elsewhere): the
+    /// paper calls Greedy "prohibitively slow"; the cap keeps its cells
+    /// bounded while still measuring per-seed cost and early quality.
+    pub seed_cap: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// A canonical-model TIRM cell; the matrix builders tweak from here.
+    fn base(dataset: DatasetKind) -> ScenarioSpec {
+        ScenarioSpec {
+            dataset,
+            model: ProbModel::canonical(dataset),
+            allocator: AllocatorKind::Tirm,
+            threads: 1,
+            kappa: 1,
+            lambda: 0.0,
+            seed_cap: None,
+        }
+    }
+
+    /// Stable cell identity, the join key between two baseline files:
+    /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/t{}/k{}/l{}",
+            self.dataset.name(),
+            self.model.name(),
+            self.allocator.name(),
+            self.threads,
+            self.kappa,
+            self.lambda
+        )
+    }
+
+    /// Deterministic per-cell RNG seed: a stable FNV-1a hash of the id
+    /// mixed with the suite's base seed, so adding or reordering scenarios
+    /// never changes any other cell's stream.
+    pub fn seed(&self, base_seed: u64) -> u64 {
+        fnv(&self.id()) ^ base_seed
+    }
+
+    /// Seed for *problem generation* (graph, probabilities, campaign,
+    /// CTPs): hashes only the `(dataset, model)` pair, so every allocator
+    /// and thread count in the matrix is measured on the identical
+    /// instance and their quality metrics are directly comparable.
+    pub fn problem_seed(&self, base_seed: u64) -> u64 {
+        fnv(&format!("{}/{}", self.dataset.name(), self.model.name())) ^ base_seed
+    }
+
+    /// True for the §6.1-style quality setup (Table 2 campaigns, sampled
+    /// CTPs); false for the §6.2 scalability setup (uniform competition,
+    /// CPE = CTP = 1).
+    pub fn is_quality(&self) -> bool {
+        matches!(self.dataset, DatasetKind::Flixster | DatasetKind::Epinions)
+    }
+}
+
+/// Stable FNV-1a hash (not `DefaultHasher`, whose output may change
+/// across std releases — these seeds are baked into committed baselines).
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Named scenario grids with fidelity presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// CI-sized: every axis represented, minutes on one CPU.
+    Quick,
+    /// Paper-sized defaults (`TIRM_SCALE = 1`, 10 000 evaluation runs).
+    Full,
+}
+
+impl Tier {
+    /// Tier name as used on the `perf_suite --tier` flag and in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Full => "full",
+        }
+    }
+
+    /// Parses a `--tier` argument.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "quick" => Some(Tier::Quick),
+            "full" => Some(Tier::Full),
+            _ => None,
+        }
+    }
+
+    /// Fidelity defaults for the tier. Environment variables (`TIRM_SCALE`
+    /// etc.) still override these — see [`ScaleConfig::with_env_overrides`].
+    pub fn scale_defaults(self) -> ScaleConfig {
+        match self {
+            // Threads here is the *default* per-cell thread count; specs
+            // with an explicit threads axis ignore it. 1 keeps quick-tier
+            // metric payloads machine-independent.
+            Tier::Quick => ScaleConfig {
+                scale: 0.08,
+                eval_runs: 200,
+                threads: 1,
+            },
+            Tier::Full => ScaleConfig {
+                scale: 1.0,
+                eval_runs: 10_000,
+                threads: default_threads(),
+            },
+        }
+    }
+
+    /// Seed cap for Greedy-MC cells at this tier.
+    fn greedy_cap(self) -> usize {
+        match self {
+            Tier::Quick => 20,
+            Tier::Full => 60,
+        }
+    }
+
+    /// Enumerates the tier's scenario grid, in a stable order.
+    pub fn matrix(self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::new();
+        let quality = [DatasetKind::Flixster, DatasetKind::Epinions];
+        let models = [
+            ProbModel::TopicConcentrated,
+            ProbModel::Exponential,
+            ProbModel::WeightedCascade,
+        ];
+
+        // Quality block: both quality networks crossed with all three
+        // probability models, TIRM vs GREEDY-IRIE.
+        for dataset in quality {
+            for model in models {
+                for allocator in [AllocatorKind::Tirm, AllocatorKind::GreedyIrie] {
+                    specs.push(ScenarioSpec {
+                        model,
+                        allocator,
+                        ..ScenarioSpec::base(dataset)
+                    });
+                }
+            }
+        }
+
+        // Greedy-MC reference cells. Only the §6.2 full-competition setup
+        // (CPE = CTP = 1) is feasible for Algorithm 1 with MC estimates:
+        // on the quality setups the 1–3% CTPs push per-seed marginals far
+        // below what CI-sized MC run counts can resolve — which is also
+        // why the paper's §6.1 figures exclude Greedy. κ is the second
+        // axis so the attention bound is exercised beyond 1.
+        for kappa in [1u32, 2] {
+            specs.push(ScenarioSpec {
+                allocator: AllocatorKind::Greedy,
+                seed_cap: Some(self.greedy_cap()),
+                kappa,
+                ..ScenarioSpec::base(DatasetKind::Dblp)
+            });
+        }
+
+        // Scalability block (§6.2): Weighted-Cascade, full competition.
+        // GREEDY-IRIE is skipped on LIVEJOURNAL exactly as in the paper.
+        let scal_threads: &[usize] = match self {
+            Tier::Quick => &[1, 2],
+            Tier::Full => &[1, 2, 4],
+        };
+        for dataset in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+            for &threads in scal_threads {
+                specs.push(ScenarioSpec {
+                    threads,
+                    ..ScenarioSpec::base(dataset)
+                });
+            }
+        }
+        specs.push(ScenarioSpec {
+            allocator: AllocatorKind::GreedyIrie,
+            ..ScenarioSpec::base(DatasetKind::Dblp)
+        });
+
+        if self == Tier::Full {
+            // Parameter sweep: attention bound and penalty on FLIXSTER
+            // (Fig. 3/4 territory), TIRM only.
+            for kappa in [2u32, 4] {
+                specs.push(ScenarioSpec {
+                    kappa,
+                    ..ScenarioSpec::base(DatasetKind::Flixster)
+                });
+            }
+            for lambda in [0.5, 1.0] {
+                specs.push(ScenarioSpec {
+                    lambda,
+                    ..ScenarioSpec::base(DatasetKind::Flixster)
+                });
+            }
+            // Thread scaling on the quality side too.
+            for dataset in quality {
+                specs.push(ScenarioSpec {
+                    threads: 2,
+                    ..ScenarioSpec::base(dataset)
+                });
+            }
+        }
+
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn quick_matrix_covers_every_axis() {
+        let specs = Tier::Quick.matrix();
+        assert!(specs.len() >= 18, "quick grid too small: {}", specs.len());
+        let datasets: HashSet<_> = specs.iter().map(|s| s.dataset).collect();
+        assert_eq!(datasets.len(), 4, "all four networks present");
+        let models: HashSet<_> = specs.iter().map(|s| s.model).collect();
+        assert_eq!(models.len(), 3, "all three probability models present");
+        let allocators: HashSet<_> = specs.iter().map(|s| s.allocator).collect();
+        assert_eq!(allocators.len(), 3, "all three allocators present");
+        assert!(specs.iter().any(|s| s.threads > 1), "a threads>1 cell");
+    }
+
+    #[test]
+    fn ids_are_unique_join_keys() {
+        for tier in [Tier::Quick, Tier::Full] {
+            let specs = tier.matrix();
+            let ids: HashSet<_> = specs.iter().map(|s| s.id()).collect();
+            assert_eq!(ids.len(), specs.len(), "duplicate id in {tier:?}");
+        }
+    }
+
+    #[test]
+    fn id_shape_and_seed_stability() {
+        let spec = ScenarioSpec::base(DatasetKind::Epinions);
+        assert_eq!(spec.id(), "EPINIONS/exp/TIRM/t1/k1/l0");
+        assert_eq!(spec.seed(7), spec.seed(7));
+        assert_ne!(spec.seed(7), spec.seed(8));
+        let other = ScenarioSpec { threads: 2, ..spec };
+        assert_ne!(spec.seed(7), other.seed(7), "id feeds the seed");
+    }
+
+    #[test]
+    fn problem_seed_shared_across_allocators() {
+        let tirm = ScenarioSpec::base(DatasetKind::Flixster);
+        let irie = ScenarioSpec {
+            allocator: AllocatorKind::GreedyIrie,
+            threads: 2,
+            ..tirm
+        };
+        assert_eq!(
+            tirm.problem_seed(7),
+            irie.problem_seed(7),
+            "same (dataset, model) ⇒ same instance"
+        );
+        let exp = ScenarioSpec {
+            model: ProbModel::Exponential,
+            ..tirm
+        };
+        assert_ne!(tirm.problem_seed(7), exp.problem_seed(7));
+    }
+
+    #[test]
+    fn greedy_cells_are_capped() {
+        for tier in [Tier::Quick, Tier::Full] {
+            for s in tier.matrix() {
+                if s.allocator == AllocatorKind::Greedy {
+                    assert!(s.seed_cap.is_some(), "uncapped Greedy-MC cell");
+                } else {
+                    assert!(s.seed_cap.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_parse_round_trips() {
+        for tier in [Tier::Quick, Tier::Full] {
+            assert_eq!(Tier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(Tier::parse("nightly"), None);
+    }
+
+    #[test]
+    fn quick_defaults_are_ci_sized() {
+        let cfg = Tier::Quick.scale_defaults();
+        assert!(cfg.scale < 0.2);
+        assert!(cfg.eval_runs <= 1000);
+        assert_eq!(cfg.threads, 1);
+    }
+}

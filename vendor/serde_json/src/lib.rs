@@ -1,6 +1,8 @@
 //! Offline, API-compatible subset of `serde_json`: a [`Value`] tree, the
-//! [`json!`] macro for flat literals, and (pretty-)printing of anything
-//! implementing the vendored `serde::Serialize`.
+//! [`json!`] macro for flat literals, (pretty-)printing of anything
+//! implementing the vendored `serde::Serialize`, and a strict [`from_str`]
+//! parser back into [`Value`] (the vendored `serde` has no `Deserialize`;
+//! consumers decode from the `Value` tree via its accessors).
 
 use serde::ser::{SerializeMap as _, SerializeSeq as _};
 use serde::Serialize;
@@ -35,6 +37,276 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered `(key, value)` entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Strict: rejects trailing
+/// garbage, trailing commas, unquoted keys and other JSON extensions.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser over raw bytes (ASCII structure; string
+/// contents are decoded as UTF-8 with `\uXXXX` escapes).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for this shim's
+                            // own output (it never emits them); reject cleanly.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (1–4 bytes) verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
 
 /// Converts any serializable value into a [`Value`] tree.
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
@@ -299,5 +571,63 @@ mod tests {
         let rows = vec![json!({ "x": 1u32 }), json!({ "x": 2u32 })];
         let s = to_string(&rows).unwrap();
         assert_eq!(s, r#"[{"x":1},{"x":2}]"#);
+    }
+
+    #[test]
+    fn parse_round_trips_own_output() {
+        let v = json!({
+            "name": "quick",
+            "pi": 3.25,
+            "n": 42u32,
+            "neg": -7i32,
+            "ok": true,
+            "nothing": Value::Null,
+            "items": vec![1u32, 2, 3],
+        });
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&rendered).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v = from_str(r#"{"s":"a\"b\\c\nAé"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a\"b\\c\nAé");
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(from_str("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(from_str("0.25").unwrap().as_f64(), Some(0.25));
+        assert_eq!(from_str("9").unwrap().as_u64(), Some(9));
+        assert_eq!(from_str("-9").unwrap().as_u64(), None);
+        assert_eq!(from_str("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\":1,}").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("{a:1}").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"a":[true,null],"b":{"c":"x"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert!(v.get("a").unwrap().as_array().unwrap()[1].is_null());
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_object().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
     }
 }
