@@ -91,10 +91,14 @@ fn main() -> ExitCode {
         (Err(e), _) | (_, Err(e)) => return usage(&e),
     };
     if old.schema_version != new.schema_version {
-        return usage(&format!(
-            "schema versions differ: {} vs {}",
+        // Loadable ⇒ comparable: newer schema versions only add fields,
+        // which the decoder defaults when absent (e.g. a v1 baseline has
+        // no ingestion timings — they read as 0 and are never gated on).
+        eprintln!(
+            "note: comparing across schema versions ({} vs {}); \
+             fields absent from the older artifact default to 0",
             old.schema_version, new.schema_version
-        ));
+        );
     }
 
     println!(

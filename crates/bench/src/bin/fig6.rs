@@ -20,7 +20,7 @@ use tirm_bench::schema::{BenchCell, BenchReport, EnvFingerprint};
 use tirm_bench::suite::run_scalability_cell;
 use tirm_bench::{banner, write_report};
 use tirm_core::report::{fnum, Table};
-use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ScaleConfig};
+use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ProbModel, ScaleConfig};
 
 fn run_cell(
     d: &Dataset,
@@ -61,7 +61,14 @@ fn main() {
     let irie_on_lj = std::env::var("TIRM_FIG6_IRIE_LJ").is_ok_and(|v| v == "1");
 
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
-        let d = Dataset::generate(kind, &cfg, 0x5ca1e + kind as u64);
+        // Snapshot-cached when TIRM_SNAPSHOT_DIR is set — at full scale
+        // the graphs here dominate setup time.
+        let (d, _) = Dataset::load_or_generate_env(
+            kind,
+            ProbModel::canonical(kind),
+            &cfg,
+            0x5ca1e + kind as u64,
+        );
         banner(
             &format!(
                 "fig6: {} ({} nodes, {} edges)",

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Flags:
-//! * `--tier quick|full` — which grid (default `quick`).
+//! * `--tier quick|full|paper` — which grid (default `quick`; `paper` is
+//!   the Table-1-scale scalability grid — LIVEJOURNAL at 4.8M nodes,
+//!   MC evaluation skipped).
 //! * `--out PATH`        — artifact path (default
 //!   `target/experiments/BENCH_<sha>.json`, honouring
 //!   `TIRM_EXPERIMENTS_DIR`).
@@ -16,7 +18,10 @@
 //! * `--list`            — print the tier's cell ids and exit.
 //!
 //! `TIRM_SCALE` / `TIRM_EVAL_RUNS` / `TIRM_THREADS` override the tier's
-//! fidelity defaults.
+//! fidelity defaults. `TIRM_SNAPSHOT_DIR` enables the dataset snapshot
+//! cache: graphs + probabilities are generated once, then loaded from
+//! binary snapshots on later runs (cold/warm timings land in the
+//! artifact's `dataset_cold_s` / `dataset_warm_s` fields).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,7 +34,7 @@ use tirm_workloads::Tier;
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_suite [--tier quick|full] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
+        "usage: perf_suite [--tier quick|full|paper] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
     );
     ExitCode::from(2)
 }
@@ -46,7 +51,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--tier" => match args.next().as_deref().and_then(Tier::parse) {
                 Some(t) => tier = t,
-                None => return usage("--tier expects quick|full"),
+                None => return usage("--tier expects quick|full|paper"),
             },
             "--out" => match args.next() {
                 Some(p) => out = Some(PathBuf::from(p)),

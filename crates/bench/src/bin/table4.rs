@@ -15,7 +15,7 @@ use tirm_bench::schema::{BenchCell, BenchReport, EnvFingerprint};
 use tirm_bench::suite::run_scalability_cell;
 use tirm_bench::{banner, write_report};
 use tirm_core::report::Table;
-use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ScaleConfig};
+use tirm_workloads::{AllocatorKind, Dataset, DatasetKind, ProbModel, ScaleConfig};
 
 fn measure(
     d: &Dataset,
@@ -35,7 +35,14 @@ fn main() {
     let cfg = ScaleConfig::from_env();
     let mut cells: Vec<BenchCell> = Vec::new();
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
-        let d = Dataset::generate(kind, &cfg, 0x5ca1e + kind as u64);
+        // Snapshot-cached when TIRM_SNAPSHOT_DIR is set (same cache key
+        // family as fig6 — the seed matches deliberately).
+        let (d, _) = Dataset::load_or_generate_env(
+            kind,
+            ProbModel::canonical(kind),
+            &cfg,
+            0x5ca1e + kind as u64,
+        );
         banner(&format!("table4: {}", kind.name()), &cfg);
         let base_budget = match kind {
             DatasetKind::Dblp => 5_000.0 * d.size_ratio,

@@ -366,6 +366,8 @@ mod tests {
             memory_bytes: 8 << 20,
             wall_s: 2.0,
             eval_s: 0.5,
+            dataset_cold_s: 1.0,
+            dataset_warm_s: 0.0,
             rr_sets_per_s: 25_000.0,
             peak_rss_bytes: 64 << 20,
         }

@@ -13,9 +13,15 @@ use serde_json::Value;
 use std::path::Path;
 use tirm_workloads::ScaleConfig;
 
-/// Version stamp of the artifact layout. Bump on any breaking field
-/// change; `bench_diff` refuses to compare across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version stamp of the artifact layout. Bump on any field change; the
+/// decoder rejects *newer* versions and reads older ones leniently
+/// (fields added later default), so `bench_diff` can still gate a fresh
+/// artifact against an older committed baseline.
+///
+/// v2 added the dataset ingestion timings `dataset_cold_s` /
+/// `dataset_warm_s` (cache-miss vs cache-hit cost; absent ⇒ 0.0 in v1
+/// artifacts).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Where an artifact was measured. Wall-clock comparisons are only
 /// meaningful between comparable environments (same OS/arch/CPU count);
@@ -113,6 +119,16 @@ pub struct BenchCell {
     pub wall_s: f64,
     /// Evaluation wall-clock seconds (0 when evaluation is skipped).
     pub eval_s: f64,
+    /// Seconds this cell's dataset cost as a *cache miss*: generation
+    /// from scratch, plus snapshot write-back when a `TIRM_SNAPSHOT_DIR`
+    /// is in use. 0 when the dataset came from a snapshot or was already
+    /// in memory from an earlier cell of the same run. Absent in
+    /// schema-v1 artifacts (decoded as 0).
+    pub dataset_cold_s: f64,
+    /// Seconds spent *loading* this cell's dataset from a
+    /// `TIRM_SNAPSHOT_DIR` snapshot (warm). 0 when generated cold or
+    /// reused in memory. Absent in schema-v1 artifacts (decoded as 0).
+    pub dataset_warm_s: f64,
     /// RR-set sampling throughput, `theta / wall_s` (0 for non-RR cells).
     pub rr_sets_per_s: f64,
     /// Process peak RSS (`VmHWM`) when the cell finished, bytes; 0 if
@@ -129,6 +145,8 @@ impl BenchCell {
     pub fn strip_timings(&mut self) {
         self.wall_s = 0.0;
         self.eval_s = 0.0;
+        self.dataset_cold_s = 0.0;
+        self.dataset_warm_s = 0.0;
         self.rr_sets_per_s = 0.0;
         self.peak_rss_bytes = 0;
     }
@@ -203,6 +221,22 @@ fn f64_field(v: &Value, key: &str) -> Result<f64, SchemaError> {
         .ok_or_else(|| SchemaError::Field(key.to_string()))
 }
 
+/// A field added in schema v2: required (strict) in v2+ artifacts, and
+/// defaulted to `0.0` only when decoding an *older* artifact that
+/// predates the field — a v2 cell missing it is mistyped/corrupt and is
+/// rejected like any other missing metric field.
+fn f64_field_since_v2(v: &Value, key: &str, schema_version: u64) -> Result<f64, SchemaError> {
+    if schema_version >= 2 {
+        return f64_field(v, key);
+    }
+    match v.get(key) {
+        None => Ok(0.0),
+        Some(val) => val
+            .as_f64()
+            .ok_or_else(|| SchemaError::Field(key.to_string())),
+    }
+}
+
 fn u64_field(v: &Value, key: &str) -> Result<u64, SchemaError> {
     field(v, key)?
         .as_u64()
@@ -240,7 +274,7 @@ impl EnvFingerprint {
 }
 
 impl BenchCell {
-    fn from_value(v: &Value) -> Result<Self, SchemaError> {
+    fn from_value(v: &Value, schema_version: u64) -> Result<Self, SchemaError> {
         Ok(BenchCell {
             id: str_field(v, "id")?,
             dataset: str_field(v, "dataset")?,
@@ -262,6 +296,8 @@ impl BenchCell {
             memory_bytes: usize_field(v, "memory_bytes")?,
             wall_s: f64_field(v, "wall_s")?,
             eval_s: f64_field(v, "eval_s")?,
+            dataset_cold_s: f64_field_since_v2(v, "dataset_cold_s", schema_version)?,
+            dataset_warm_s: f64_field_since_v2(v, "dataset_warm_s", schema_version)?,
             rr_sets_per_s: f64_field(v, "rr_sets_per_s")?,
             peak_rss_bytes: usize_field(v, "peak_rss_bytes")?,
         })
@@ -301,7 +337,7 @@ impl BenchReport {
             .as_array()
             .ok_or_else(|| SchemaError::Field("cells".to_string()))?
             .iter()
-            .map(BenchCell::from_value)
+            .map(|c| BenchCell::from_value(c, schema_version))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(BenchReport {
             schema_version,
@@ -382,6 +418,8 @@ mod tests {
             memory_bytes: 1_048_576,
             wall_s: 0.75,
             eval_s: 0.125,
+            dataset_cold_s: 3.5,
+            dataset_warm_s: 0.25,
             rr_sets_per_s: 164_608.0,
             peak_rss_bytes: 52_428_800,
         }
@@ -440,10 +478,53 @@ mod tests {
         c.strip_timings();
         assert_eq!(c.wall_s, 0.0);
         assert_eq!(c.eval_s, 0.0);
+        assert_eq!(c.dataset_cold_s, 0.0);
+        assert_eq!(c.dataset_warm_s, 0.0);
         assert_eq!(c.rr_sets_per_s, 0.0);
         assert_eq!(c.peak_rss_bytes, 0);
         assert_eq!(c.theta, 123_456, "deterministic payload untouched");
         assert_eq!(c.total_regret, 17.25);
+    }
+
+    #[test]
+    fn v1_artifacts_without_ingestion_timings_still_load() {
+        // A schema-v1 cell (no dataset_cold_s / dataset_warm_s) must
+        // decode with zeros, not be rejected — committed baselines predate
+        // the fields.
+        let report = BenchReport::new(
+            "quick",
+            EnvFingerprint::current(&ScaleConfig::default()),
+            vec![sample_cell("v1cell")],
+        );
+        let mut text = report.to_json_string();
+        text = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        for key in ["dataset_cold_s", "dataset_warm_s"] {
+            let from = text.find(key).expect("field serialized");
+            let to = text[from..].find('\n').unwrap() + from + 1;
+            text.replace_range(from - 1..to, ""); // leading quote … newline
+        }
+        assert!(!text.contains("dataset_cold_s"));
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.cells[0].dataset_cold_s, 0.0);
+        assert_eq!(back.cells[0].dataset_warm_s, 0.0);
+        assert_eq!(back.cells[0].wall_s, 0.75, "other fields unaffected");
+        // Present but mistyped is still an error.
+        let bad = text.replace(
+            "\"eval_s\": 0.125,",
+            "\"eval_s\": 0.125, \"dataset_cold_s\": \"x\",",
+        );
+        assert!(matches!(
+            BenchReport::from_json_str(&bad),
+            Err(SchemaError::Field(_))
+        ));
+        // The leniency is version-gated: a v2 artifact missing the field
+        // is corrupt and must be rejected, not zero-filled.
+        let v2_missing = text.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(matches!(
+            BenchReport::from_json_str(&v2_missing),
+            Err(SchemaError::Field(_))
+        ));
     }
 
     #[test]

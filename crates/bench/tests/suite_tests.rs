@@ -3,7 +3,7 @@
 
 use tirm_bench::diff::{diff_reports, DiffOptions, Verdict};
 use tirm_bench::schema::{BenchReport, EnvFingerprint, SCHEMA_VERSION};
-use tirm_bench::suite::run_scenario;
+use tirm_bench::suite::{run_scenario, run_suite, SuiteConfig};
 use tirm_workloads::scenarios::{AllocatorKind, ScenarioSpec, Tier};
 use tirm_workloads::{DatasetKind, ProbModel, ScaleConfig};
 
@@ -203,6 +203,56 @@ fn different_base_seed_changes_the_payload() {
         serde_json::to_string(&a).unwrap(),
         serde_json::to_string(&b).unwrap(),
         "different seeds should perturb some metric"
+    );
+}
+
+#[test]
+fn snapshot_warm_run_has_identical_metric_payload() {
+    // The run-twice determinism contract must survive the snapshot cache:
+    // run 1 generates cold and writes snapshots, run 2 loads them warm —
+    // every non-timing field of the artifacts must be byte-identical, and
+    // the cold/warm provenance fields must say what happened.
+    let dir = std::env::temp_dir().join(format!("tirm_suite_snapwarm_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = SuiteConfig {
+        tier: Tier::Quick,
+        scale: tiny_scale(),
+        base_seed: 0x71a6_5eed,
+        // Two cells sharing one (dataset, model): the second must reuse
+        // the in-memory instance and report zero ingestion time.
+        filter: Some("EPINIONS/exp".to_string()),
+        snapshot_dir: Some(dir.clone()),
+    };
+    let cold = run_suite(&cfg);
+    assert!(cold.cells.len() >= 2, "filter matched {}", cold.cells.len());
+    assert!(
+        cold.cells[0].dataset_cold_s > 0.0 && cold.cells[0].dataset_warm_s == 0.0,
+        "first run generates cold"
+    );
+    assert!(
+        cold.cells[1].dataset_cold_s == 0.0 && cold.cells[1].dataset_warm_s == 0.0,
+        "second cell reuses the in-memory dataset"
+    );
+
+    let warm = run_suite(&cfg);
+    assert!(
+        warm.cells[0].dataset_warm_s > 0.0 && warm.cells[0].dataset_cold_s == 0.0,
+        "second run loads the snapshot warm"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let strip = |r: &BenchReport| {
+        let mut r = r.clone();
+        r.created_unix = 0;
+        for c in &mut r.cells {
+            c.strip_timings();
+        }
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(
+        strip(&cold),
+        strip(&warm),
+        "snapshot-warm run must be bit-identical to cold generation"
     );
 }
 

@@ -1,6 +1,6 @@
 //! Mutable edge-list accumulator that finalises into a [`DiGraph`].
 
-use crate::csr::{DiGraph, EdgeId, NodeId};
+use crate::csr::{DiGraph, NodeId};
 
 /// Collects arcs, then sorts, deduplicates, strips self-loops and builds the
 /// dual-direction CSR in one pass.
@@ -87,35 +87,88 @@ impl GraphBuilder {
         for i in 0..n {
             out_offsets[i + 1] += out_offsets[i];
         }
-        // Sorted edge list *is* the out-CSR payload.
+        // Sorted edge list *is* the out-CSR payload; the reverse direction
+        // is derived by the shared finalisation step.
         let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
-
-        // Reverse direction: counting sort by target, remembering forward ids.
-        let mut in_offsets = vec![0u32; n + 1];
-        for &(_, v) in &self.edges {
-            in_offsets[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            in_offsets[i + 1] += in_offsets[i];
-        }
-        let mut cursor = in_offsets.clone();
-        let mut in_sources = vec![0 as NodeId; m];
-        let mut in_edge_ids = vec![0 as EdgeId; m];
-        for (e, &(u, v)) in self.edges.iter().enumerate() {
-            let slot = cursor[v as usize] as usize;
-            in_sources[slot] = u;
-            in_edge_ids[slot] = e as EdgeId;
-            cursor[v as usize] += 1;
-        }
-
-        DiGraph {
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_sources,
-            in_edge_ids,
-        }
+        DiGraph::from_out_csr(out_offsets, out_targets)
     }
+}
+
+/// Streaming two-pass CSR construction: `stream` is invoked twice with an
+/// edge sink — pass one counts per-node out-degrees, pass two fills the
+/// target array in place — so peak memory stays within a few percent of
+/// the *final* CSR instead of holding a `Vec<(u, v)>` edge list (8 bytes
+/// per raw arc plus sort working space) next to it. Per-node target runs
+/// are then sorted, deduplicated and compacted in place, which yields a
+/// graph bit-identical to routing the same arc stream through
+/// [`GraphBuilder`] (global sort + dedup commute with per-node sort +
+/// dedup once arcs are bucketed by source).
+///
+/// `stream` must emit the identical arc sequence on both invocations —
+/// true for every seeded generator in [`crate::generators`]. Self-loops
+/// are dropped at the sink, duplicates during compaction.
+pub fn build_from_stream<F>(num_nodes: usize, mut stream: F) -> DiGraph
+where
+    F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+{
+    assert!(
+        num_nodes < u32::MAX as usize,
+        "node count exceeds u32 id space"
+    );
+    let n = num_nodes;
+
+    // Pass 1: raw out-degrees (self-loops excluded, duplicates included —
+    // dedup needs the neighbourhood materialised).
+    let mut out_offsets = vec![0u32; n + 1];
+    let mut raw_m = 0u64;
+    stream(&mut |u, v| {
+        debug_assert!((u as usize) < n, "source {u} out of range");
+        debug_assert!((v as usize) < n, "target {v} out of range");
+        if u != v {
+            out_offsets[u as usize + 1] += 1;
+            raw_m += 1;
+        }
+    });
+    assert!(raw_m <= u32::MAX as u64, "edge count exceeds u32 id space");
+    for i in 0..n {
+        out_offsets[i + 1] += out_offsets[i];
+    }
+
+    // Pass 2: fill targets into the pre-sized array.
+    let mut cursor: Vec<u32> = out_offsets[..n].to_vec();
+    let mut out_targets = vec![0 as NodeId; raw_m as usize];
+    stream(&mut |u, v| {
+        if u != v {
+            let slot = cursor[u as usize] as usize;
+            out_targets[slot] = v;
+            cursor[u as usize] += 1;
+        }
+    });
+    drop(cursor);
+
+    // Sort + dedup each node's run, compacting forward in place (the
+    // write head never passes a node's read window).
+    let mut write = 0usize;
+    let mut read_lo = 0usize;
+    for u in 0..n {
+        let read_hi = out_offsets[u + 1] as usize;
+        out_targets[read_lo..read_hi].sort_unstable();
+        let mut prev: Option<NodeId> = None;
+        for i in read_lo..read_hi {
+            let v = out_targets[i];
+            if prev != Some(v) {
+                out_targets[write] = v;
+                write += 1;
+                prev = Some(v);
+            }
+        }
+        out_offsets[u + 1] = write as u32;
+        read_lo = read_hi;
+    }
+    out_targets.truncate(write);
+    out_targets.shrink_to_fit();
+
+    DiGraph::from_out_csr(out_offsets, out_targets)
 }
 
 #[cfg(test)]
@@ -144,6 +197,31 @@ mod tests {
         let g = b.build();
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn streaming_build_matches_vec_build() {
+        let edges: &[(NodeId, NodeId)] = &[(0, 1), (0, 1), (2, 2), (2, 0), (1, 2), (1, 0), (3, 1)];
+        let mut b = GraphBuilder::new(4);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        let via_vec = b.build();
+        let via_stream = build_from_stream(4, |sink| {
+            for &(u, v) in edges {
+                sink(u, v);
+            }
+        });
+        assert_eq!(via_vec, via_stream);
+        via_stream.validate().unwrap();
+    }
+
+    #[test]
+    fn streaming_build_empty_and_isolated() {
+        let g = build_from_stream(3, |_| {});
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        g.validate().unwrap();
     }
 
     #[test]

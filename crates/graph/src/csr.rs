@@ -11,13 +11,24 @@ pub type NodeId = u32;
 /// shared between forward simulation and reverse-reachable sampling.
 pub type EdgeId = u32;
 
+/// Borrowed views of the five raw CSR arrays, in snapshot serialization
+/// order: `(out_offsets, out_targets, in_offsets, in_sources,
+/// in_edge_ids)`. See [`DiGraph::csr_parts`].
+pub type CsrParts<'a> = (
+    &'a [u32],
+    &'a [NodeId],
+    &'a [u32],
+    &'a [NodeId],
+    &'a [EdgeId],
+);
+
 /// An immutable directed graph in CSR form.
 ///
 /// Both directions are materialised:
 /// * `out_offsets`/`out_targets` — forward adjacency, defining edge ids;
 /// * `in_offsets`/`in_sources`/`in_edge_ids` — reverse adjacency, each entry
 ///   carrying the canonical [`EdgeId`] of the arc it mirrors.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DiGraph {
     pub(crate) out_offsets: Vec<u32>,
     pub(crate) out_targets: Vec<NodeId>,
@@ -35,6 +46,139 @@ impl DiGraph {
             b.add_edge(u, v);
         }
         b.build()
+    }
+
+    /// Builds a graph from a finished forward CSR whose per-node target
+    /// runs are already sorted, deduplicated and self-loop-free — the
+    /// reverse adjacency is derived by counting sort. This is the single
+    /// finalisation step shared by [`crate::GraphBuilder::build`] and the
+    /// streaming [`crate::build_from_stream`] path.
+    pub(crate) fn from_out_csr(out_offsets: Vec<u32>, out_targets: Vec<NodeId>) -> Self {
+        let n = out_offsets.len() - 1;
+        let m = out_targets.len();
+        debug_assert_eq!(*out_offsets.last().unwrap() as usize, m);
+
+        let mut in_offsets = vec![0u32; n + 1];
+        for &v in &out_targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_edge_ids = vec![0 as EdgeId; m];
+        for u in 0..n {
+            let lo = out_offsets[u] as usize;
+            let hi = out_offsets[u + 1] as usize;
+            for (i, &target) in out_targets[lo..hi].iter().enumerate() {
+                let v = target as usize;
+                let slot = cursor[v] as usize;
+                in_sources[slot] = u as NodeId;
+                in_edge_ids[slot] = (lo + i) as EdgeId;
+                cursor[v] += 1;
+            }
+        }
+
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+        }
+    }
+
+    /// Reassembles a graph from its five raw CSR arrays (no re-sorting,
+    /// no reverse-adjacency rebuild). Structural invariants are checked —
+    /// lengths, offset monotonicity, tail sums, `O(m)` id-range scans,
+    /// and that every out-adjacency run is strictly increasing (sorted,
+    /// duplicate- and self-loop-consistent — `edge_id`/`has_edge` binary
+    /// search those runs). Full forward/reverse mirror consistency is the
+    /// responsibility of the producer. The snapshot loader uses the
+    /// crate-internal trusted variant instead, where the file checksum
+    /// already proves the arrays are what a valid graph wrote.
+    pub fn from_csr_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+        in_edge_ids: Vec<EdgeId>,
+    ) -> Result<Self, String> {
+        let g = Self::from_csr_parts_trusted(
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+        )?;
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        if g.out_targets.iter().any(|&v| v as usize >= n)
+            || g.in_sources.iter().any(|&u| u as usize >= n)
+        {
+            return Err("node id out of range".into());
+        }
+        if g.in_edge_ids.iter().any(|&e| e as usize >= m) {
+            return Err("edge id out of range".into());
+        }
+        for u in 0..n {
+            let run = g.out_neighbors(u as NodeId);
+            if run.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("out-adjacency of node {u} not strictly increasing"));
+            }
+        }
+        Ok(g)
+    }
+
+    /// [`Self::from_csr_parts`] minus the `O(m)` id-range scans — for
+    /// callers whose arrays carry their own integrity proof (the snapshot
+    /// loader verifies a whole-file checksum first). Cheap `O(n)` checks
+    /// (lengths, offset monotonicity, tail sums) still run.
+    pub(crate) fn from_csr_parts_trusted(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+        in_edge_ids: Vec<EdgeId>,
+    ) -> Result<Self, String> {
+        if out_offsets.is_empty() || in_offsets.len() != out_offsets.len() {
+            return Err("offset array length mismatch".into());
+        }
+        let m = out_targets.len();
+        if in_sources.len() != m || in_edge_ids.len() != m {
+            return Err("edge array length mismatch".into());
+        }
+        for offs in [&out_offsets, &in_offsets] {
+            if offs[0] != 0 {
+                return Err("offsets must start at 0".into());
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return Err("offsets not monotone".into());
+            }
+            if *offs.last().unwrap() as usize != m {
+                return Err("offsets tail does not match edge count".into());
+            }
+        }
+        Ok(DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+        })
+    }
+
+    /// The five raw CSR arrays, in snapshot serialization order:
+    /// `(out_offsets, out_targets, in_offsets, in_sources, in_edge_ids)`.
+    pub fn csr_parts(&self) -> CsrParts<'_> {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_sources,
+            &self.in_edge_ids,
+        )
     }
 
     /// Number of nodes `|V|`.
@@ -245,6 +389,47 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips_and_rejects_garbage() {
+        let g = diamond();
+        let (oo, ot, io, is_, ie) = g.csr_parts();
+        let rebuilt = DiGraph::from_csr_parts(
+            oo.to_vec(),
+            ot.to_vec(),
+            io.to_vec(),
+            is_.to_vec(),
+            ie.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+
+        // Unsorted out-run: passes every length/offset check, but
+        // edge_id()/has_edge() binary-search the runs — must be rejected.
+        let mut bad = ot.to_vec();
+        bad.swap(0, 1); // node 0's run becomes [2, 1]
+        assert!(
+            DiGraph::from_csr_parts(oo.to_vec(), bad, io.to_vec(), is_.to_vec(), ie.to_vec())
+                .unwrap_err()
+                .contains("strictly increasing")
+        );
+
+        // Out-of-range target id.
+        let mut bad = ot.to_vec();
+        bad[0] = 99;
+        assert!(
+            DiGraph::from_csr_parts(oo.to_vec(), bad, io.to_vec(), is_.to_vec(), ie.to_vec())
+                .is_err()
+        );
+
+        // Offsets tail not matching the edge count.
+        let mut bad = oo.to_vec();
+        *bad.last_mut().unwrap() += 1;
+        assert!(
+            DiGraph::from_csr_parts(bad, ot.to_vec(), io.to_vec(), is_.to_vec(), ie.to_vec())
+                .is_err()
+        );
     }
 
     #[test]

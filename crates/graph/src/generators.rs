@@ -5,13 +5,18 @@
 //! `tirm-workloads` to synthesise networks with the degree structure of the
 //! paper's four data sets (see DESIGN.md §3 for the substitution argument).
 
-use crate::builder::GraphBuilder;
+use crate::builder::{build_from_stream, GraphBuilder};
 use crate::csr::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// G(n, m) Erdős–Rényi digraph: `m` distinct arcs drawn uniformly at random
 /// (self-loops rejected). Panics if `m` exceeds `n·(n−1)`.
+///
+/// This is the one generator still routed through the buffering
+/// [`GraphBuilder`]: its exact-`m` contract needs the deduplicated edge
+/// count mid-generation to decide how much to oversample, which a
+/// counting pass cannot provide. It is only used at test scales.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> DiGraph {
     assert!(n >= 2, "need at least two nodes");
     assert!(
@@ -70,8 +75,25 @@ pub fn preferential_attachment(
     assert!(n >= 2);
     assert!(out_per_node >= 1);
     assert!((0.0..=1.0).contains(&reciprocity));
+    // Streaming build: the seeded simulation replays identically on both
+    // passes, so only the urn (4 bytes per emitted arc) is held — never an
+    // edge list.
+    build_from_stream(n, |sink| {
+        preferential_attachment_arcs(n, out_per_node, reciprocity, seed, sink)
+    })
+}
+
+/// One deterministic run of the preferential-attachment simulation,
+/// emitting every arc into `sink` (both [`build_from_stream`] passes call
+/// this with the same seed).
+fn preferential_attachment_arcs(
+    n: usize,
+    out_per_node: usize,
+    reciprocity: f64,
+    seed: u64,
+    sink: &mut dyn FnMut(NodeId, NodeId),
+) {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(n, n * out_per_node * 2);
     // Repeated-node list implements preferential attachment in O(1) per draw.
     let mut urn: Vec<NodeId> = Vec::with_capacity(n * (out_per_node + 1));
     let seed_core = out_per_node.min(n - 1).max(1);
@@ -82,7 +104,7 @@ pub fn preferential_attachment(
     for u in 0..=seed_core as NodeId {
         for v in 0..=seed_core as NodeId {
             if u != v {
-                b.add_edge(u, v);
+                sink(u, v);
                 urn.push(v);
             }
         }
@@ -99,16 +121,15 @@ pub fn preferential_attachment(
             }
         }
         for v in picked {
-            b.add_edge(u, v);
+            sink(u, v);
             urn.push(v);
             if rng.gen_bool(reciprocity) {
-                b.add_edge(v, u);
+                sink(v, u);
                 urn.push(u);
             }
         }
         urn.push(u);
     }
-    b.build()
 }
 
 /// Watts–Strogatz small-world digraph: ring lattice with `k` forward
@@ -118,26 +139,26 @@ pub fn preferential_attachment(
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph {
     assert!(n > k + 1, "ring lattice needs n > k+1");
     assert!((0.0..=1.0).contains(&beta));
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(n, n * k);
-    for u in 0..n {
-        for j in 1..=k {
-            let mut v = ((u + j) % n) as NodeId;
-            if rng.gen_bool(beta) {
-                v = rng.gen_range(0..n) as NodeId;
-                let mut guard = 0;
-                while (v as usize == u) && guard < 16 {
+    build_from_stream(n, |sink| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for u in 0..n {
+            for j in 1..=k {
+                let mut v = ((u + j) % n) as NodeId;
+                if rng.gen_bool(beta) {
                     v = rng.gen_range(0..n) as NodeId;
-                    guard += 1;
+                    let mut guard = 0;
+                    while (v as usize == u) && guard < 16 {
+                        v = rng.gen_range(0..n) as NodeId;
+                        guard += 1;
+                    }
+                    if v as usize == u {
+                        continue;
+                    }
                 }
-                if v as usize == u {
-                    continue;
-                }
+                sink(u as NodeId, v);
             }
-            b.add_edge(u as NodeId, v);
         }
-    }
-    b.build()
+    })
 }
 
 /// "Copying-model" power-law digraph (Kumar et al. flavour): each new node
@@ -148,41 +169,50 @@ pub fn copying_model(n: usize, out_per_node: usize, alpha: f64, seed: u64) -> Di
     assert!(n >= 4);
     assert!((0.0..=1.0).contains(&alpha));
     let mut rng = SmallRng::seed_from_u64(seed);
-    // Keep a mutable adjacency during generation.
-    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    // The model is self-referential — each node copies from an earlier
+    // node's finished row — so the adjacency must be materialised during
+    // generation. A flat slot array + row offsets costs 4 bytes per arc
+    // (vs ~24 bytes of `Vec` header per node plus allocator slack for a
+    // `Vec<Vec<_>>`), and is generated once then replayed into both
+    // streaming-build passes.
+    let mut row_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    row_offsets.push(0);
+    let mut slots: Vec<NodeId> = Vec::with_capacity(n * out_per_node);
     let core = (out_per_node + 1).min(n);
     for u in 0..core {
-        let mut row = Vec::new();
         for v in 0..core {
             if v != u {
-                row.push(v as NodeId);
+                slots.push(v as NodeId);
             }
         }
-        adj.push(row);
+        row_offsets.push(slots.len() as u32);
     }
     for u in core..n {
         let proto = rng.gen_range(0..u);
-        let proto_row = adj[proto].clone();
-        let mut row: Vec<NodeId> = Vec::with_capacity(out_per_node);
+        let proto_lo = row_offsets[proto] as usize;
+        let proto_len = row_offsets[proto + 1] as usize - proto_lo;
+        let row_lo = slots.len();
         for slot in 0..out_per_node {
-            let v = if !proto_row.is_empty() && rng.gen::<f64>() > alpha {
-                proto_row[slot % proto_row.len()]
+            let v = if proto_len > 0 && rng.gen::<f64>() > alpha {
+                slots[proto_lo + slot % proto_len]
             } else {
                 rng.gen_range(0..u) as NodeId
             };
-            if v as usize != u && !row.contains(&v) {
-                row.push(v);
+            if v as usize != u && !slots[row_lo..].contains(&v) {
+                slots.push(v);
             }
         }
-        adj.push(row);
+        row_offsets.push(slots.len() as u32);
     }
-    let mut b = GraphBuilder::with_capacity(n, n * out_per_node);
-    for (u, row) in adj.iter().enumerate() {
-        for &v in row {
-            b.add_edge(u as NodeId, v);
+    build_from_stream(n, |sink| {
+        for u in 0..n {
+            let lo = row_offsets[u] as usize;
+            let hi = row_offsets[u + 1] as usize;
+            for &v in &slots[lo..hi] {
+                sink(u as NodeId, v);
+            }
         }
-    }
-    b.build()
+    })
 }
 
 /// Complete digraph on `n` nodes (used by the "practical considerations"

@@ -4,9 +4,16 @@
 //! compressed-sparse-row (CSR) digraph with both forward and reverse
 //! adjacency, deterministic random-graph generators shaped like the four
 //! networks used in the paper's evaluation (FLIXSTER, EPINIONS, DBLP,
-//! LIVEJOURNAL), edge-list IO, summary statistics, and the small
-//! hand-constructed gadgets used by the paper (the Fig. 1 toy network and
-//! the 3-PARTITION reduction of Theorem 1).
+//! LIVEJOURNAL), edge-list IO, a versioned binary [`snapshot`] format that
+//! loads a finished CSR (plus per-topic arc probabilities) without
+//! re-sorting, summary statistics, and the small hand-constructed gadgets
+//! used by the paper (the Fig. 1 toy network and the 3-PARTITION reduction
+//! of Theorem 1).
+//!
+//! Graphs are built either by buffering arcs in a [`GraphBuilder`] or — for
+//! paper-scale inputs — by streaming them twice through
+//! [`build_from_stream`], which keeps peak memory at the size of the final
+//! CSR.
 //!
 //! Arc semantics follow the paper (§3): an arc `(u, v)` means *v follows u*,
 //! i.e. information flows from `u` to `v`.
@@ -30,10 +37,12 @@ mod csr;
 pub mod gadgets;
 pub mod generators;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 
-pub use builder::GraphBuilder;
-pub use csr::{DiGraph, EdgeId, NodeId};
+pub use builder::{build_from_stream, GraphBuilder};
+pub use csr::{CsrParts, DiGraph, EdgeId, NodeId};
+pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotError};
 pub use stats::GraphStats;
 
 /// Convenience alias used across the workspace: a list of `(source, target)`

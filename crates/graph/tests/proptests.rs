@@ -2,7 +2,7 @@
 //! semantics, IO round-trips and generator contracts.
 
 use proptest::prelude::*;
-use tirm_graph::{generators, io, DiGraph, GraphBuilder, NodeId};
+use tirm_graph::{build_from_stream, generators, io, snapshot, DiGraph, GraphBuilder, NodeId};
 
 fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
     (2..=max_n).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_m)))
@@ -80,6 +80,45 @@ proptest! {
         let pa = generators::preferential_attachment(n, 3, 0.2, seed);
         prop_assert_eq!(pa.num_nodes(), n);
         prop_assert!(pa.validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_build_equals_vec_build((n, edges) in arb_edges(40, 200)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let via_vec = b.build();
+        let via_stream = build_from_stream(n as usize, |sink| {
+            for &(u, v) in &edges {
+                sink(u, v);
+            }
+        });
+        prop_assert_eq!(&via_vec, &via_stream);
+        prop_assert!(via_stream.validate().is_ok());
+    }
+
+    #[test]
+    fn snapshot_round_trip_bit_identical((n, edges) in arb_edges(30, 150), k in 1usize..5, seed in 0u64..1024) {
+        let g = DiGraph::from_edges(n as usize, edges);
+        // Probabilities from a seeded hash so odd bit patterns are covered.
+        let probs: Vec<f32> = (0..g.num_edges() * k)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                (h % 1_000_000) as f32 / 1_000_000.0
+            })
+            .collect();
+        let dir = std::env::temp_dir()
+            .join(format!("tirm_graph_proptest_{}", std::process::id()));
+        let path = dir.join(format!("case_{seed}.tirmsnap"));
+        snapshot::write_snapshot(&path, &g, k, &probs).unwrap();
+        let snap = snapshot::read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&snap.graph, &g);
+        prop_assert_eq!(snap.num_topics, k);
+        let got: Vec<u32> = snap.edge_probs.iter().map(|p| p.to_bits()).collect();
+        let want: Vec<u32> = probs.iter().map(|p| p.to_bits()).collect();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

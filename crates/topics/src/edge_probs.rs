@@ -39,6 +39,27 @@ impl TopicEdgeProbs {
         TopicEdgeProbs { k: 1, probs }
     }
 
+    /// Wraps an edge-major `m × k` matrix already in the internal layout —
+    /// the zero-copy entry point for the snapshot loader
+    /// (`tirm_graph::snapshot` stores exactly this layout). Panics if the
+    /// length is not a multiple of `k`.
+    pub fn from_flat(k: usize, probs: Vec<f32>) -> Self {
+        assert!(k > 0, "need at least one topic");
+        assert_eq!(
+            probs.len() % k,
+            0,
+            "flat probability matrix length must be a multiple of k"
+        );
+        TopicEdgeProbs { k, probs }
+    }
+
+    /// The edge-major `m × k` matrix as a flat slice (the snapshot
+    /// writer's view; inverse of [`Self::from_flat`]).
+    #[inline]
+    pub fn flat(&self) -> &[f32] {
+        &self.probs
+    }
+
     /// Number of topics `K`.
     #[inline]
     pub fn k(&self) -> usize {
@@ -147,6 +168,23 @@ mod tests {
         let t = TopicEdgeProbs::new(1, 2);
         let ad = TopicDist::uniform(3);
         let _ = t.project(&ad);
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let t = TopicEdgeProbs::from_fn(3, 2, |e, z| (e as f32 + z as f32) / 10.0);
+        let back = TopicEdgeProbs::from_flat(t.k(), t.flat().to_vec());
+        assert_eq!(back.k(), 2);
+        assert_eq!(back.num_edges(), 3);
+        for e in 0..3u32 {
+            assert_eq!(back.edge(e), t.edge(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn from_flat_rejects_ragged_matrix() {
+        let _ = TopicEdgeProbs::from_flat(3, vec![0.1; 7]);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Property test for the full ingestion round trip the dataset cache
+//! relies on: `DiGraph + TopicEdgeProbs → snapshot file → load` must be
+//! bit-identical — graphs compare equal and every probability survives as
+//! the exact same f32 bit pattern.
+
+use proptest::prelude::*;
+use tirm_graph::{generators, snapshot};
+use tirm_topics::{genprob, TopicEdgeProbs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn graph_plus_topic_probs_round_trip_bit_identical(
+        n in 16usize..120,
+        out_per_node in 1usize..5,
+        k in 1usize..6,
+        seed in 0u64..512,
+    ) {
+        let g = generators::preferential_attachment(n, out_per_node, 0.3, seed);
+        let probs: TopicEdgeProbs =
+            genprob::exponential_topic_probs(g.num_edges(), k, 30.0, seed ^ 0xe919);
+
+        let dir = std::env::temp_dir()
+            .join(format!("tirm_topics_snapshot_{}", std::process::id()));
+        let path = dir.join(format!("case_{n}_{k}_{seed}.tirmsnap"));
+        snapshot::write_snapshot(&path, &g, probs.k(), probs.flat()).unwrap();
+        let snap = snapshot::read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&snap.graph, &g);
+        let back = TopicEdgeProbs::from_flat(snap.num_topics, snap.edge_probs);
+        prop_assert_eq!(back.k(), probs.k());
+        prop_assert_eq!(back.num_edges(), probs.num_edges());
+        let got: Vec<u32> = back.flat().iter().map(|p| p.to_bits()).collect();
+        let want: Vec<u32> = probs.flat().iter().map(|p| p.to_bits()).collect();
+        prop_assert_eq!(got, want, "probabilities must survive as raw bits");
+    }
+}

@@ -25,6 +25,8 @@ pub mod scenarios;
 pub mod toy;
 
 pub use campaigns::{campaign, CampaignSpec};
-pub use datasets::{Dataset, DatasetKind, ProbModel};
+pub use datasets::{
+    snapshot_dir, Dataset, DatasetKind, DatasetTiming, ProbModel, GENERATOR_VERSION,
+};
 pub use scale::ScaleConfig;
 pub use scenarios::{AllocatorKind, ScenarioSpec, Tier};

@@ -127,8 +127,14 @@ fn fnv(s: &str) -> u64 {
 pub enum Tier {
     /// CI-sized: every axis represented, minutes on one CPU.
     Quick,
-    /// Paper-sized defaults (`TIRM_SCALE = 1`, 10 000 evaluation runs).
+    /// Default-scale grid (`TIRM_SCALE = 1`, 10 000 evaluation runs).
     Full,
+    /// Table-1-scale scalability grid (§6.2): LIVEJOURNAL at the paper's
+    /// 4.8M nodes / ~69M arcs via the streaming build, snapshot-cached.
+    /// MC evaluation is skipped (`eval_runs = 0`) — these cells measure
+    /// ingestion, allocation time and memory, like the paper's Fig. 6 /
+    /// Table 4, not regret.
+    Paper,
 }
 
 impl Tier {
@@ -137,6 +143,7 @@ impl Tier {
         match self {
             Tier::Quick => "quick",
             Tier::Full => "full",
+            Tier::Paper => "paper",
         }
     }
 
@@ -145,6 +152,7 @@ impl Tier {
         match s {
             "quick" => Some(Tier::Quick),
             "full" => Some(Tier::Full),
+            "paper" => Some(Tier::Paper),
             _ => None,
         }
     }
@@ -166,20 +174,46 @@ impl Tier {
                 eval_runs: 10_000,
                 threads: default_threads(),
             },
+            // ×40 lifts LIVEJOURNAL's 120k default to the paper's 4.8M
+            // (DBLP lands at 1.6M, a superset of its 317k). eval_runs = 0
+            // disables MC evaluation — only tier defaults can express 0;
+            // the TIRM_EVAL_RUNS override floors at 10.
+            Tier::Paper => ScaleConfig {
+                scale: 40.0,
+                eval_runs: 0,
+                threads: default_threads(),
+            },
         }
     }
 
-    /// Seed cap for Greedy-MC cells at this tier.
+    /// Seed cap for Greedy-MC cells at this tier (the paper grid has no
+    /// Greedy-MC cells — the paper itself calls it prohibitively slow).
     fn greedy_cap(self) -> usize {
         match self {
             Tier::Quick => 20,
-            Tier::Full => 60,
+            Tier::Full | Tier::Paper => 60,
         }
     }
 
     /// Enumerates the tier's scenario grid, in a stable order.
     pub fn matrix(self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::new();
+        if self == Tier::Paper {
+            // §6.2 scalability block at Table-1 scale, Weighted-Cascade,
+            // full competition. GREEDY-IRIE only on the DBLP-like network
+            // — the paper excludes it on LIVEJOURNAL for running time.
+            specs.push(ScenarioSpec::base(DatasetKind::Dblp));
+            specs.push(ScenarioSpec {
+                allocator: AllocatorKind::GreedyIrie,
+                ..ScenarioSpec::base(DatasetKind::Dblp)
+            });
+            specs.push(ScenarioSpec::base(DatasetKind::LiveJournal));
+            specs.push(ScenarioSpec {
+                threads: 2,
+                ..ScenarioSpec::base(DatasetKind::LiveJournal)
+            });
+            return specs;
+        }
         let quality = [DatasetKind::Flixster, DatasetKind::Epinions];
         let models = [
             ProbModel::TopicConcentrated,
@@ -220,7 +254,9 @@ impl Tier {
         // GREEDY-IRIE is skipped on LIVEJOURNAL exactly as in the paper.
         let scal_threads: &[usize] = match self {
             Tier::Quick => &[1, 2],
-            Tier::Full => &[1, 2, 4],
+            // Paper early-returned above; the arm only satisfies match
+            // exhaustiveness.
+            Tier::Full | Tier::Paper => &[1, 2, 4],
         };
         for dataset in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
             for &threads in scal_threads {
@@ -282,8 +318,36 @@ mod tests {
     }
 
     #[test]
+    fn paper_tier_is_a_scalability_grid() {
+        let specs = Tier::Paper.matrix();
+        assert!(!specs.is_empty());
+        for s in &specs {
+            assert_eq!(s.model, ProbModel::WeightedCascade, "§6.2 is WC-only");
+            assert!(!s.is_quality());
+            assert_ne!(s.allocator, AllocatorKind::Greedy);
+        }
+        assert!(
+            specs.iter().any(
+                |s| s.dataset == DatasetKind::LiveJournal && s.allocator == AllocatorKind::Tirm
+            ),
+            "the tier exists to exercise LIVEJOURNAL at paper scale"
+        );
+        assert!(
+            !specs.iter().any(|s| s.dataset == DatasetKind::LiveJournal
+                && s.allocator == AllocatorKind::GreedyIrie),
+            "paper excludes IRIE on LIVEJOURNAL"
+        );
+        let cfg = Tier::Paper.scale_defaults();
+        assert!(
+            cfg.nodes(DatasetKind::LiveJournal.default_nodes()) >= 4_000_000,
+            "paper tier must reach Table-1 LIVEJOURNAL size"
+        );
+        assert_eq!(cfg.eval_runs, 0, "scalability cells skip MC evaluation");
+    }
+
+    #[test]
     fn ids_are_unique_join_keys() {
-        for tier in [Tier::Quick, Tier::Full] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
             let specs = tier.matrix();
             let ids: HashSet<_> = specs.iter().map(|s| s.id()).collect();
             assert_eq!(ids.len(), specs.len(), "duplicate id in {tier:?}");
@@ -322,7 +386,7 @@ mod tests {
 
     #[test]
     fn greedy_cells_are_capped() {
-        for tier in [Tier::Quick, Tier::Full] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
             for s in tier.matrix() {
                 if s.allocator == AllocatorKind::Greedy {
                     assert!(s.seed_cap.is_some(), "uncapped Greedy-MC cell");
@@ -335,7 +399,7 @@ mod tests {
 
     #[test]
     fn tier_parse_round_trips() {
-        for tier in [Tier::Quick, Tier::Full] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
             assert_eq!(Tier::parse(tier.name()), Some(tier));
         }
         assert_eq!(Tier::parse("nightly"), None);
