@@ -1,0 +1,302 @@
+//! Replay an event log through the online allocation engine and report
+//! per-event-type latency histograms, throughput, and the final regret.
+//!
+//! ```text
+//! # replay the committed example log against an EPINIONS-like network
+//! cargo run -p tirm_bench --bin online_replay --release
+//!
+//! # generate a fresh 200-event log for DBLP, then replay it
+//! cargo run -p tirm_bench --bin online_replay --release -- \
+//!     --dataset DBLP --gen 200 --out /tmp/dblp.jsonl
+//! cargo run -p tirm_bench --bin online_replay --release -- \
+//!     --dataset DBLP --log /tmp/dblp.jsonl
+//! ```
+//!
+//! Flags:
+//! * `--log PATH`     — event log to replay (default
+//!   `examples/event_logs/quick.jsonl`).
+//! * `--dataset NAME` — FLIXSTER | EPINIONS | DBLP | LIVEJOURNAL
+//!   (default EPINIONS).
+//! * `--model NAME`   — topic | exp | wc (default: the dataset's
+//!   canonical model).
+//! * `--kappa N` / `--lambda F` / `--seed N` — serving parameters
+//!   (defaults 2 / 0 / fixed).
+//! * `--gen N --out PATH` — generate an N-event stream for the dataset
+//!   and write it instead of replaying.
+//! * `--raw-budgets`  — replay log budgets verbatim. By default budgets
+//!   are treated as *paper-scale* and multiplied by the generated
+//!   graph's size ratio, so one committed log serves every `TIRM_SCALE`.
+//! * `--deferred`     — disable per-event reallocation; the engine
+//!   batches until each explicit `reallocate` event.
+//!
+//! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
+//! warm-starts the dataset from the binary snapshot cache.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tirm_bench::{banner, tirm_options, write_json};
+use tirm_core::report::{fnum, Table};
+use tirm_online::{OnlineAllocator, OnlineConfig};
+use tirm_workloads::events::{read_log, scale_budgets, write_log};
+use tirm_workloads::replay::replay;
+use tirm_workloads::{Dataset, DatasetKind, EventStreamSpec, ProbModel, ScaleConfig};
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: online_replay [--log PATH] [--dataset NAME] [--model topic|exp|wc] \
+         [--kappa N] [--lambda F] [--seed N] [--gen N --out PATH] [--raw-budgets] [--deferred]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_dataset(s: &str) -> Option<DatasetKind> {
+    match s.to_ascii_uppercase().as_str() {
+        "FLIXSTER" => Some(DatasetKind::Flixster),
+        "EPINIONS" => Some(DatasetKind::Epinions),
+        "DBLP" => Some(DatasetKind::Dblp),
+        "LIVEJOURNAL" => Some(DatasetKind::LiveJournal),
+        _ => None,
+    }
+}
+
+fn parse_model(s: &str) -> Option<ProbModel> {
+    match s {
+        "topic" => Some(ProbModel::TopicConcentrated),
+        "exp" => Some(ProbModel::Exponential),
+        "wc" => Some(ProbModel::WeightedCascade),
+        _ => None,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct LatencyRow {
+    kind: String,
+    count: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ReplaySummary {
+    dataset: String,
+    model: String,
+    kappa: u32,
+    lambda: f64,
+    events: usize,
+    events_per_s: f64,
+    wall_s: f64,
+    fresh_rr_sets: usize,
+    total_rr_sets: usize,
+    full_reallocations: usize,
+    delta_reallocations: usize,
+    shard_reclaims: usize,
+    final_live_ads: usize,
+    final_total_seeds: usize,
+    final_regret_estimate: f64,
+    memory_bytes: usize,
+    latencies: Vec<LatencyRow>,
+}
+
+fn main() -> ExitCode {
+    let mut log_path = PathBuf::from("examples/event_logs/quick.jsonl");
+    let mut dataset_kind = DatasetKind::Epinions;
+    let mut model: Option<ProbModel> = None;
+    let mut kappa = 2u32;
+    let mut lambda = 0.0f64;
+    let mut seed = 0x0e5e_17f1u64;
+    let mut gen: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut raw_budgets = false;
+    let mut deferred = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--log" => match args.next() {
+                Some(p) => log_path = PathBuf::from(p),
+                None => return usage("--log expects a path"),
+            },
+            "--dataset" => match args.next().as_deref().and_then(parse_dataset) {
+                Some(d) => dataset_kind = d,
+                None => return usage("--dataset expects FLIXSTER|EPINIONS|DBLP|LIVEJOURNAL"),
+            },
+            "--model" => match args.next().as_deref().and_then(parse_model) {
+                Some(m) => model = Some(m),
+                None => return usage("--model expects topic|exp|wc"),
+            },
+            "--kappa" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(k) if k >= 1 => kappa = k,
+                _ => return usage("--kappa expects a positive integer"),
+            },
+            "--lambda" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(l) if l >= 0.0 => lambda = l,
+                _ => return usage("--lambda expects a non-negative float"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--gen" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => gen = Some(n),
+                _ => return usage("--gen expects a positive event count"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage("--out expects a path"),
+            },
+            "--raw-budgets" => raw_budgets = true,
+            "--deferred" => deferred = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let model = model.unwrap_or_else(|| ProbModel::canonical(dataset_kind));
+    let cfg = ScaleConfig::from_env();
+
+    if let Some(n) = gen {
+        let Some(out) = out else {
+            return usage("--gen needs --out PATH");
+        };
+        // Logs carry paper-scale budgets; replay scales them onto the
+        // generated graph, so the log is TIRM_SCALE-independent.
+        let log = EventStreamSpec::for_dataset(dataset_kind, n, seed).generate(1.0);
+        return match write_log(&out, &log) {
+            Ok(()) => {
+                eprintln!("[log] {} ({n} events, paper-scale budgets)", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: writing {} failed: {e}", out.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    banner(
+        &format!(
+            "online_replay {} / {} κ={kappa} λ={lambda}",
+            dataset_kind.name(),
+            model.name()
+        ),
+        &cfg,
+    );
+    let mut log = match read_log(&log_path) {
+        Ok(l) => l,
+        Err(e) => return usage(&format!("{}: {e}", log_path.display())),
+    };
+    if log.is_empty() {
+        return usage("event log is empty");
+    }
+
+    let (dataset, timing) = Dataset::load_or_generate_env(dataset_kind, model, &cfg, seed);
+    if timing.warm_s > 0.0 {
+        eprintln!("dataset warm-loaded from snapshot in {:.3}s", timing.warm_s);
+    } else {
+        eprintln!("dataset generated in {:.3}s", timing.cold_s);
+    }
+    if !raw_budgets {
+        scale_budgets(&mut log, dataset.size_ratio);
+        eprintln!(
+            "budgets scaled by size ratio {:.4} (pass --raw-budgets to disable)",
+            dataset.size_ratio
+        );
+    }
+
+    let mut opts = tirm_options(
+        matches!(dataset_kind, DatasetKind::Flixster | DatasetKind::Epinions),
+        seed,
+    );
+    opts.threads = cfg.threads;
+    // Scale the per-ad θ cap with the graph scale (the perf suite's
+    // convention) so sub-scale replays stay laptop-sized.
+    opts.max_theta_per_ad = opts
+        .max_theta_per_ad
+        .map(|cap| ((cap as f64 * cfg.scale.min(1.0)) as usize).max(50_000));
+    let mut allocator = OnlineAllocator::new(
+        &dataset.graph,
+        &dataset.topic_probs,
+        OnlineConfig {
+            tirm: opts,
+            kappa,
+            lambda,
+            auto_reallocate: !deferred,
+            ..OnlineConfig::default()
+        },
+    );
+    let report = replay(&mut allocator, &log);
+
+    let mut t = Table::new(&["event", "count", "p50 µs", "p95 µs", "p99 µs", "max µs"]);
+    let mut rows = Vec::new();
+    for (kind, h) in &report.per_kind {
+        if h.count() == 0 {
+            continue;
+        }
+        t.row(vec![
+            kind.name().to_string(),
+            h.count().to_string(),
+            fnum(h.percentile_us(50.0)),
+            fnum(h.percentile_us(95.0)),
+            fnum(h.percentile_us(99.0)),
+            fnum(h.max_us()),
+        ]);
+        rows.push(LatencyRow {
+            kind: kind.name().to_string(),
+            count: h.count(),
+            p50_us: h.percentile_us(50.0),
+            p95_us: h.percentile_us(95.0),
+            p99_us: h.percentile_us(99.0),
+            max_us: h.max_us(),
+        });
+    }
+    let stats = report.stats;
+    println!(
+        "\nonline_replay — {} events on {}/{} ({} rejected)",
+        report.events,
+        dataset_kind.name(),
+        model.name(),
+        report.rejected
+    );
+    println!("{}", t.render());
+    println!(
+        "throughput {:.1} events/s | reallocations {} full / {} delta | {} fresh RR sets ({} cached) | {} shard reclaims",
+        report.events_per_s,
+        stats.full_reallocations,
+        stats.delta_reallocations,
+        stats.fresh_rr_sets,
+        allocator.total_rr_sets(),
+        stats.shard_reclaims,
+    );
+    println!(
+        "final: {} live ads, {} seeds, regret estimate {:.3}, engine memory {:.1} MB",
+        allocator.num_live(),
+        allocator.allocation().total_seeds(),
+        report.final_regret_estimate,
+        allocator.memory_bytes() as f64 / 1e6
+    );
+
+    write_json(
+        "online_replay",
+        &ReplaySummary {
+            dataset: dataset_kind.name().to_string(),
+            model: model.name().to_string(),
+            kappa,
+            lambda,
+            events: report.events,
+            events_per_s: report.events_per_s,
+            wall_s: report.wall_s,
+            fresh_rr_sets: stats.fresh_rr_sets,
+            total_rr_sets: allocator.total_rr_sets(),
+            full_reallocations: stats.full_reallocations,
+            delta_reallocations: stats.delta_reallocations,
+            shard_reclaims: stats.shard_reclaims,
+            final_live_ads: allocator.num_live(),
+            final_total_seeds: allocator.allocation().total_seeds(),
+            final_regret_estimate: report.final_regret_estimate,
+            memory_bytes: allocator.memory_bytes(),
+            latencies: rows,
+        },
+    );
+    ExitCode::SUCCESS
+}

@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Flags:
-//! * `--tier quick|full|paper` — which grid (default `quick`; `paper` is
-//!   the Table-1-scale scalability grid — LIVEJOURNAL at 4.8M nodes,
-//!   MC evaluation skipped).
+//! * `--tier quick|full|paper|online` — which grid (default `quick`;
+//!   `paper` is the Table-1-scale scalability grid — LIVEJOURNAL at 4.8M
+//!   nodes, MC evaluation skipped; `online` is the event-stream serving
+//!   grid — cells replay generated campaign streams through the
+//!   `tirm_online` engine and stamp latency percentiles + events/s).
 //! * `--out PATH`        — artifact path (default
 //!   `target/experiments/BENCH_<sha>.json`, honouring
 //!   `TIRM_EXPERIMENTS_DIR`).
@@ -34,7 +36,7 @@ use tirm_workloads::Tier;
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_suite [--tier quick|full|paper] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
+        "usage: perf_suite [--tier quick|full|paper|online] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
     );
     ExitCode::from(2)
 }
@@ -51,7 +53,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--tier" => match args.next().as_deref().and_then(Tier::parse) {
                 Some(t) => tier = t,
-                None => return usage("--tier expects quick|full|paper"),
+                None => return usage("--tier expects quick|full|paper|online"),
             },
             "--out" => match args.next() {
                 Some(p) => out = Some(PathBuf::from(p)),

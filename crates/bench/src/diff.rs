@@ -124,6 +124,15 @@ impl DiffReport {
             .count()
     }
 
+    /// Number of cells only present in the new artifact (informational —
+    /// a fresh tier's first run shows up here, not as silence).
+    pub fn new_cells(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.verdict == Verdict::NewCell)
+            .count()
+    }
+
     /// Renders the findings as a GitHub-flavoured markdown table plus a
     /// one-line summary (what the CI job prints).
     pub fn markdown(&self) -> String {
@@ -143,11 +152,23 @@ impl DiffReport {
         let mut t = Table::new(&["cell", "metric", "old", "new", "Δ%", "verdict"]);
         for f in &self.findings {
             let delta = f.rel_change();
+            // Baseline-less (new) and result-less (missing) cells have no
+            // meaningful "other side" — render it as a dash, not a zero.
+            let old = if f.verdict == Verdict::NewCell {
+                "-".into()
+            } else {
+                fnum(f.old)
+            };
+            let new = if f.verdict == Verdict::MissingCell {
+                "-".into()
+            } else {
+                fnum(f.new)
+            };
             t.row(vec![
                 f.id.clone(),
                 f.metric.clone(),
-                fnum(f.old),
-                fnum(f.new),
+                old,
+                new,
                 if delta.is_finite() {
                     format!("{:+.1}", delta * 100.0)
                 } else {
@@ -158,15 +179,17 @@ impl DiffReport {
                     Verdict::Improvement => "improvement".into(),
                     Verdict::Drift => "drift".into(),
                     Verdict::MissingCell => "MISSING CELL".into(),
-                    Verdict::NewCell => "new cell".into(),
+                    Verdict::NewCell => "NEW CELL".into(),
                 },
             ]);
         }
         out.push_str(&t.render_markdown());
+        let new_cells = self.new_cells();
         out.push_str(&format!(
-            "\n{} finding(s), {} gate-failing, over {} compared cells{}.\n",
+            "\n{} finding(s), {} gate-failing, {} new cell(s), over {} compared cells{}.\n",
             self.findings.len(),
             self.regressions(),
+            new_cells,
             self.cells_joined,
             if self.times_compared {
                 ""
@@ -211,11 +234,14 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, opts: &DiffOptions) ->
     }
     for nc in &new.cells {
         if old.cell(&nc.id).is_none() {
+            // A cell with no baseline is surfaced with its headline
+            // measurement so a fresh tier's first run is auditable in the
+            // table rather than invisible until its second run.
             findings.push(Finding {
                 id: nc.id.clone(),
-                metric: "-".into(),
+                metric: "wall_s".into(),
                 old: 0.0,
-                new: 0.0,
+                new: nc.wall_s,
                 verdict: Verdict::NewCell,
             });
         }
@@ -335,9 +361,45 @@ fn diff_cell(
                 push(name, o, n, Verdict::Improvement);
             }
         }
+
+        // Serving metrics (0 on batch cells, so they never gate there).
+        // Latency percentiles gate like wall-clock with their own noise
+        // floors; throughput gates in the *opposite* direction (a drop
+        // is the regression).
+        for (name, o, n) in [
+            ("latency_p50_us", oc.latency_p50_us, nc.latency_p50_us),
+            ("latency_p95_us", oc.latency_p95_us, nc.latency_p95_us),
+            ("latency_p99_us", oc.latency_p99_us, nc.latency_p99_us),
+        ] {
+            if o < LATENCY_MIN_US {
+                continue;
+            }
+            if rel_exceeds(o, n, opts.time_rel_tol) && n - o > LATENCY_SLACK_US {
+                push(name, o, n, Verdict::Regression);
+            } else if rel_exceeds(n, o, opts.time_rel_tol) && o - n > LATENCY_SLACK_US {
+                push(name, o, n, Verdict::Improvement);
+            }
+        }
+        let (o, n) = (oc.events_per_s, nc.events_per_s);
+        if o >= EVENTS_PER_S_MIN {
+            if rel_exceeds(n, o, opts.time_rel_tol) {
+                push("events_per_s", o, n, Verdict::Regression);
+            } else if rel_exceeds(o, n, opts.time_rel_tol) {
+                push("events_per_s", o, n, Verdict::Improvement);
+            }
+        }
     }
     out
 }
+
+/// Serving-latency noise gates: sub-200 µs baselines are scheduler
+/// noise on shared runners, and a finding additionally needs ≥ 1 ms of
+/// absolute movement (mirroring `time_abs_slack_s` at event scale).
+const LATENCY_MIN_US: f64 = 200.0;
+const LATENCY_SLACK_US: f64 = 1_000.0;
+/// Throughput below one event per second is a degenerate cell; don't
+/// gate on its ratios.
+const EVENTS_PER_S_MIN: f64 = 1.0;
 
 #[cfg(test)]
 mod tests {
@@ -369,6 +431,10 @@ mod tests {
             dataset_cold_s: 1.0,
             dataset_warm_s: 0.0,
             rr_sets_per_s: 25_000.0,
+            latency_p50_us: 0.0,
+            latency_p95_us: 0.0,
+            latency_p99_us: 0.0,
+            events_per_s: 0.0,
             peak_rss_bytes: 64 << 20,
         }
     }
@@ -447,12 +513,23 @@ mod tests {
     }
 
     #[test]
-    fn new_cell_is_informational() {
+    fn new_cell_is_informational_and_rendered() {
         let old = report(vec![cell("a")]);
-        let new = report(vec![cell("a"), cell("c")]);
+        let new = report(vec![cell("a"), cell("ONLINE/new")]);
         let d = diff_reports(&old, &new, &DiffOptions::default());
         assert!(!d.has_regressions());
-        assert!(d.findings.iter().any(|f| f.verdict == Verdict::NewCell));
+        assert_eq!(d.new_cells(), 1);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.verdict == Verdict::NewCell)
+            .unwrap();
+        assert_eq!(f.id, "ONLINE/new");
+        assert_eq!(f.metric, "wall_s");
+        assert_eq!(f.new, 2.0, "headline measurement surfaced");
+        let md = d.markdown();
+        assert!(md.contains("NEW CELL"), "{md}");
+        assert!(md.contains("1 new cell(s)"), "{md}");
     }
 
     #[test]
@@ -533,6 +610,59 @@ mod tests {
         let filtered = report(vec![new.cells[1].clone()]);
         let d = diff_reports(&old, &filtered, &DiffOptions::default());
         assert!(!d.findings.iter().any(|f| f.metric == "peak_rss_bytes"));
+    }
+
+    #[test]
+    fn serving_metrics_gate_online_cells() {
+        let mut online = cell("ONLINE/a");
+        online.latency_p50_us = 5_000.0;
+        online.latency_p95_us = 12_000.0;
+        online.latency_p99_us = 20_000.0;
+        online.events_per_s = 150.0;
+        let old = report(vec![online.clone()]);
+
+        // Tail-latency blowup with wall_s unchanged must be flagged.
+        let mut slow = online.clone();
+        slow.latency_p99_us = 60_000.0;
+        let d = diff_reports(&old, &report(vec![slow]), &DiffOptions::default());
+        assert!(d.has_regressions());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "latency_p99_us" && f.verdict == Verdict::Regression));
+
+        // Throughput gates in the opposite direction: a drop fails…
+        let mut throttled = online.clone();
+        throttled.events_per_s = 90.0;
+        let d = diff_reports(&old, &report(vec![throttled]), &DiffOptions::default());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "events_per_s" && f.verdict == Verdict::Regression));
+        // …a rise is an improvement.
+        let mut faster = online.clone();
+        faster.events_per_s = 300.0;
+        let d = diff_reports(&old, &report(vec![faster]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "events_per_s" && f.verdict == Verdict::Improvement));
+
+        // Sub-millisecond absolute movement is noise, not a finding.
+        let mut jitter = online.clone();
+        jitter.latency_p50_us = 5_800.0; // +16% but under the 1 ms slack
+        let d = diff_reports(&old, &report(vec![jitter]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+
+        // Batch cells (all-zero serving metrics) never produce findings.
+        let batch_old = report(vec![cell("b")]);
+        let d = diff_reports(
+            &batch_old,
+            &report(vec![cell("b")]),
+            &DiffOptions::default(),
+        );
+        assert!(d.findings.is_empty());
     }
 
     #[test]

@@ -21,7 +21,11 @@ use tirm_workloads::ScaleConfig;
 /// v2 added the dataset ingestion timings `dataset_cold_s` /
 /// `dataset_warm_s` (cache-miss vs cache-hit cost; absent ⇒ 0.0 in v1
 /// artifacts).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the online-serving metrics `latency_p50_us` /
+/// `latency_p95_us` / `latency_p99_us` / `events_per_s` (0.0 on batch
+/// cells; absent ⇒ 0.0 in v1/v2 artifacts).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Where an artifact was measured. Wall-clock comparisons are only
 /// meaningful between comparable environments (same OS/arch/CPU count);
@@ -131,6 +135,15 @@ pub struct BenchCell {
     pub dataset_warm_s: f64,
     /// RR-set sampling throughput, `theta / wall_s` (0 for non-RR cells).
     pub rr_sets_per_s: f64,
+    /// Online cells: median per-event serving latency in microseconds
+    /// (0 on batch cells; absent in pre-v3 artifacts, decoded as 0).
+    pub latency_p50_us: f64,
+    /// Online cells: p95 per-event serving latency in microseconds.
+    pub latency_p95_us: f64,
+    /// Online cells: p99 per-event serving latency in microseconds.
+    pub latency_p99_us: f64,
+    /// Online cells: accepted events per wall-clock second.
+    pub events_per_s: f64,
     /// Process peak RSS (`VmHWM`) when the cell finished, bytes; 0 if
     /// unavailable. A high-water mark is monotone across a run, so this
     /// is *not* a per-cell quantity: it depends on matrix order and
@@ -148,6 +161,10 @@ impl BenchCell {
         self.dataset_cold_s = 0.0;
         self.dataset_warm_s = 0.0;
         self.rr_sets_per_s = 0.0;
+        self.latency_p50_us = 0.0;
+        self.latency_p95_us = 0.0;
+        self.latency_p99_us = 0.0;
+        self.events_per_s = 0.0;
         self.peak_rss_bytes = 0;
     }
 }
@@ -221,12 +238,18 @@ fn f64_field(v: &Value, key: &str) -> Result<f64, SchemaError> {
         .ok_or_else(|| SchemaError::Field(key.to_string()))
 }
 
-/// A field added in schema v2: required (strict) in v2+ artifacts, and
-/// defaulted to `0.0` only when decoding an *older* artifact that
-/// predates the field — a v2 cell missing it is mistyped/corrupt and is
-/// rejected like any other missing metric field.
-fn f64_field_since_v2(v: &Value, key: &str, schema_version: u64) -> Result<f64, SchemaError> {
-    if schema_version >= 2 {
+/// A field added in schema version `since`: required (strict) in
+/// artifacts of that version or newer, and defaulted to `0.0` only when
+/// decoding an *older* artifact that predates the field — a newer cell
+/// missing it is mistyped/corrupt and is rejected like any other missing
+/// metric field.
+fn f64_field_since(
+    v: &Value,
+    key: &str,
+    since: u64,
+    schema_version: u64,
+) -> Result<f64, SchemaError> {
+    if schema_version >= since {
         return f64_field(v, key);
     }
     match v.get(key) {
@@ -296,9 +319,13 @@ impl BenchCell {
             memory_bytes: usize_field(v, "memory_bytes")?,
             wall_s: f64_field(v, "wall_s")?,
             eval_s: f64_field(v, "eval_s")?,
-            dataset_cold_s: f64_field_since_v2(v, "dataset_cold_s", schema_version)?,
-            dataset_warm_s: f64_field_since_v2(v, "dataset_warm_s", schema_version)?,
+            dataset_cold_s: f64_field_since(v, "dataset_cold_s", 2, schema_version)?,
+            dataset_warm_s: f64_field_since(v, "dataset_warm_s", 2, schema_version)?,
             rr_sets_per_s: f64_field(v, "rr_sets_per_s")?,
+            latency_p50_us: f64_field_since(v, "latency_p50_us", 3, schema_version)?,
+            latency_p95_us: f64_field_since(v, "latency_p95_us", 3, schema_version)?,
+            latency_p99_us: f64_field_since(v, "latency_p99_us", 3, schema_version)?,
+            events_per_s: f64_field_since(v, "events_per_s", 3, schema_version)?,
             peak_rss_bytes: usize_field(v, "peak_rss_bytes")?,
         })
     }
@@ -421,6 +448,10 @@ mod tests {
             dataset_cold_s: 3.5,
             dataset_warm_s: 0.25,
             rr_sets_per_s: 164_608.0,
+            latency_p50_us: 850.0,
+            latency_p95_us: 2_100.0,
+            latency_p99_us: 4_200.0,
+            events_per_s: 118.5,
             peak_rss_bytes: 52_428_800,
         }
     }
@@ -481,6 +512,10 @@ mod tests {
         assert_eq!(c.dataset_cold_s, 0.0);
         assert_eq!(c.dataset_warm_s, 0.0);
         assert_eq!(c.rr_sets_per_s, 0.0);
+        assert_eq!(c.latency_p50_us, 0.0);
+        assert_eq!(c.latency_p95_us, 0.0);
+        assert_eq!(c.latency_p99_us, 0.0);
+        assert_eq!(c.events_per_s, 0.0);
         assert_eq!(c.peak_rss_bytes, 0);
         assert_eq!(c.theta, 123_456, "deterministic payload untouched");
         assert_eq!(c.total_regret, 17.25);
@@ -497,8 +532,15 @@ mod tests {
             vec![sample_cell("v1cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
-        for key in ["dataset_cold_s", "dataset_warm_s"] {
+        text = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
+        for key in [
+            "dataset_cold_s",
+            "dataset_warm_s",
+            "latency_p50_us",
+            "latency_p95_us",
+            "latency_p99_us",
+            "events_per_s",
+        ] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
             text.replace_range(from - 1..to, ""); // leading quote … newline
@@ -508,6 +550,8 @@ mod tests {
         assert_eq!(back.schema_version, 1);
         assert_eq!(back.cells[0].dataset_cold_s, 0.0);
         assert_eq!(back.cells[0].dataset_warm_s, 0.0);
+        assert_eq!(back.cells[0].latency_p50_us, 0.0);
+        assert_eq!(back.cells[0].events_per_s, 0.0);
         assert_eq!(back.cells[0].wall_s, 0.75, "other fields unaffected");
         // Present but mistyped is still an error.
         let bad = text.replace(
@@ -518,11 +562,49 @@ mod tests {
             BenchReport::from_json_str(&bad),
             Err(SchemaError::Field(_))
         ));
-        // The leniency is version-gated: a v2 artifact missing the field
+        // The leniency is version-gated: a v2 artifact missing a v2 field
         // is corrupt and must be rejected, not zero-filled.
         let v2_missing = text.replace("\"schema_version\": 1", "\"schema_version\": 2");
         assert!(matches!(
             BenchReport::from_json_str(&v2_missing),
+            Err(SchemaError::Field(_))
+        ));
+    }
+
+    #[test]
+    fn v2_artifacts_without_latency_metrics_still_load() {
+        // PR-3-era baselines are v2: no serving metrics. They must decode
+        // with zeros; a v3 artifact missing them is rejected.
+        let report = BenchReport::new(
+            "quick",
+            EnvFingerprint::current(&ScaleConfig::default()),
+            vec![sample_cell("v2cell")],
+        );
+        let mut text = report.to_json_string();
+        text = text.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        for key in [
+            "latency_p50_us",
+            "latency_p95_us",
+            "latency_p99_us",
+            "events_per_s",
+        ] {
+            let from = text.find(key).expect("field serialized");
+            let to = text[from..].find('\n').unwrap() + from + 1;
+            text.replace_range(from - 1..to, "");
+        }
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.cells[0].latency_p50_us, 0.0);
+        assert_eq!(back.cells[0].latency_p95_us, 0.0);
+        assert_eq!(back.cells[0].latency_p99_us, 0.0);
+        assert_eq!(back.cells[0].events_per_s, 0.0);
+        assert_eq!(
+            back.cells[0].dataset_cold_s, 3.5,
+            "v2 fields still strict in v2"
+        );
+        let v3_missing = text.replace("\"schema_version\": 2", "\"schema_version\": 3");
+        assert!(matches!(
+            BenchReport::from_json_str(&v3_missing),
             Err(SchemaError::Field(_))
         ));
     }

@@ -11,15 +11,17 @@ use crate::schema::{BenchCell, BenchReport, EnvFingerprint};
 use crate::tirm_options;
 use std::time::Instant;
 use tirm_core::{
-    evaluate, greedy_allocate, greedy_irie_allocate, metrics, tirm_allocate, AlgoStats, Allocation,
-    Attention, Evaluation, GreedyIrieOptions, GreedyOptions, ProblemInstance,
+    evaluate, greedy_allocate, greedy_irie_allocate, metrics, tirm_allocate, Advertiser, AlgoStats,
+    Allocation, Attention, Evaluation, GreedyIrieOptions, GreedyOptions, ProblemInstance,
 };
 use tirm_diffusion::McOracle;
 use tirm_irie::IrieConfig;
+use tirm_online::{OnlineAllocator, OnlineConfig};
 use tirm_topics::CtpTable;
+use tirm_workloads::replay::replay;
 use tirm_workloads::{
-    campaigns, AllocatorKind, Dataset, DatasetKind, DatasetTiming, ProbModel, ScaleConfig,
-    ScenarioSpec, Tier,
+    campaigns, final_population, AllocatorKind, Dataset, DatasetKind, DatasetTiming,
+    EventStreamSpec, ProbModel, ScaleConfig, ScenarioSpec, Tier,
 };
 
 /// How the suite runs: tier grid + fidelity + optional cell filter.
@@ -101,13 +103,28 @@ pub fn run_suite(cfg: &SuiteConfig) -> BenchReport {
                 slot.insert(dataset)
             }
         };
-        let mut cell = run_scenario_on(dataset, spec, &cfg.scale, cfg.base_seed);
+        let mut cell = if spec.online {
+            run_online_cell(dataset, spec, &cfg.scale, cfg.base_seed)
+        } else {
+            run_scenario_on(dataset, spec, &cfg.scale, cfg.base_seed)
+        };
         cell.dataset_cold_s = timing.cold_s;
         cell.dataset_warm_s = timing.warm_s;
-        eprintln!(
-            "        {:.2}s alloc, {:.2}s eval, θ={}, regret={:.2}",
-            cell.wall_s, cell.eval_s, cell.theta, cell.total_regret
-        );
+        if spec.online {
+            eprintln!(
+                "        {:.2}s replay, {:.0} ev/s, p50={:.0}µs p99={:.0}µs, regret={:.2}",
+                cell.wall_s,
+                cell.events_per_s,
+                cell.latency_p50_us,
+                cell.latency_p99_us,
+                cell.total_regret
+            );
+        } else {
+            eprintln!(
+                "        {:.2}s alloc, {:.2}s eval, θ={}, regret={:.2}",
+                cell.wall_s, cell.eval_s, cell.theta, cell.total_regret
+            );
+        }
         cells.push(cell);
     }
     BenchReport::new(cfg.tier.name(), EnvFingerprint::current(&cfg.scale), cells)
@@ -123,7 +140,136 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: &ScaleConfig, base_seed: u64) ->
         scale,
         spec.problem_seed(base_seed),
     );
-    run_scenario_on(&dataset, spec, scale, base_seed)
+    if spec.online {
+        run_online_cell(&dataset, spec, scale, base_seed)
+    } else {
+        run_scenario_on(&dataset, spec, scale, base_seed)
+    }
+}
+
+/// Events per online serving cell. Fixed (not scale-derived): the point
+/// is a stable, comparable stream shape per cell id.
+const ONLINE_EVENTS_PER_CELL: usize = 48;
+
+/// Runs one online serving cell: generate the event stream, replay it
+/// through a fresh [`OnlineAllocator`], stamp latency percentiles and
+/// throughput, then MC-evaluate the *final* allocation on the final ad
+/// population (deterministic payload for the regression gate).
+pub fn run_online_cell(
+    dataset: &Dataset,
+    spec: &ScenarioSpec,
+    scale: &ScaleConfig,
+    base_seed: u64,
+) -> BenchCell {
+    assert!(spec.online, "not an online cell: {}", spec.id());
+    let aseed = spec.seed(base_seed);
+    let quality = spec.is_quality();
+    // Same budget conventions as the batch cells: paper-scale budgets ×
+    // size ratio, with the √-boost restoring budget ≫ single-seed-spread
+    // on sub-paper-scale scalability graphs (no-op at scale ≥ 1).
+    let boost = if quality {
+        1.0
+    } else {
+        (1.0 / scale.scale.min(1.0)).sqrt()
+    };
+    let stream = EventStreamSpec::for_dataset(
+        spec.dataset,
+        ONLINE_EVENTS_PER_CELL,
+        spec.problem_seed(base_seed) ^ 0xeb57,
+    );
+    let log = stream.generate(dataset.size_ratio * boost);
+
+    let mut opts = tirm_options(quality, aseed);
+    opts.threads = spec.threads;
+    opts.max_theta_per_ad = opts
+        .max_theta_per_ad
+        .map(|cap| ((cap as f64 * scale.scale.min(1.0)) as usize).max(50_000));
+    let mut allocator = OnlineAllocator::new(
+        &dataset.graph,
+        &dataset.topic_probs,
+        OnlineConfig {
+            tirm: opts,
+            kappa: spec.kappa,
+            lambda: spec.lambda,
+            ..OnlineConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = replay(&mut allocator, &log);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(report.rejected, 0, "generated streams are always valid");
+
+    // Evaluate the final allocation against the final ad population —
+    // exactly the batch problem the replay is bit-equivalent to.
+    let finals = final_population(&log);
+    let alloc = allocator.allocation();
+    let n = dataset.graph.num_nodes();
+    let theta = allocator.total_rr_sets();
+    let memory_bytes = allocator.memory_bytes();
+    let (nodes, edges) = (n, dataset.graph.num_edges());
+    let (ev, eval_s) = if finals.is_empty() || scale.eval_runs == 0 {
+        (None, 0.0)
+    } else {
+        let ads: Vec<Advertiser> = finals
+            .iter()
+            .map(|f| Advertiser::new(f.budget, f.cpe, f.topics.clone()))
+            .collect();
+        let probs: Vec<Vec<f32>> = finals
+            .iter()
+            .map(|f| dataset.topic_probs.project(&f.topics))
+            .collect();
+        let ctp = CtpTable::direct(finals.iter().map(|f| vec![f.ctp; n]).collect());
+        let problem = ProblemInstance::new(
+            &dataset.graph,
+            ads,
+            probs,
+            ctp,
+            Attention::Uniform(spec.kappa),
+            spec.lambda,
+        );
+        alloc
+            .validate(&problem)
+            .expect("online engine produced an invalid allocation");
+        let t1 = Instant::now();
+        let ev = evaluate(&problem, &alloc, scale.eval_runs, 0xe7a1, spec.threads);
+        (Some(ev), t1.elapsed().as_secs_f64())
+    };
+
+    BenchCell {
+        id: spec.id(),
+        dataset: dataset.kind.name().to_string(),
+        prob_model: spec.model.name().to_string(),
+        allocator: "ONLINE".to_string(),
+        threads: spec.threads,
+        kappa: spec.kappa,
+        lambda: spec.lambda,
+        seed: aseed,
+        nodes,
+        edges,
+        ads: finals.len(),
+        theta,
+        total_seeds: alloc.total_seeds(),
+        distinct_targeted: alloc.distinct_targeted(),
+        total_regret: ev.as_ref().map(|e| e.regret.total()).unwrap_or(0.0),
+        relative_regret: ev
+            .as_ref()
+            .map(|e| e.regret.relative_regret())
+            .unwrap_or(0.0),
+        revenue: ev.as_ref().map(|e| e.regret.total_revenue()).unwrap_or(0.0),
+        memory_bytes,
+        wall_s,
+        eval_s,
+        dataset_cold_s: 0.0,
+        dataset_warm_s: 0.0,
+        // Not a sampling throughput here — the replay serves mostly from
+        // the warm cache; the serving-rate story is events_per_s.
+        rr_sets_per_s: 0.0,
+        latency_p50_us: report.overall.percentile_us(50.0),
+        latency_p95_us: report.overall.percentile_us(95.0),
+        latency_p99_us: report.overall.percentile_us(99.0),
+        events_per_s: report.events_per_s,
+        peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
+    }
 }
 
 /// [`run_scenario`] on a pre-generated dataset — the suite loop caches
@@ -355,6 +501,11 @@ pub fn cell_from_run(
         } else {
             0.0
         },
+        // Serving metrics are stamped only by the online cells.
+        latency_p50_us: 0.0,
+        latency_p95_us: 0.0,
+        latency_p99_us: 0.0,
+        events_per_s: 0.0,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
 }

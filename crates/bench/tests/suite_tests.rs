@@ -26,6 +26,15 @@ fn spec(dataset: DatasetKind, model: ProbModel, allocator: AllocatorKind) -> Sce
         kappa: 1,
         lambda: 0.0,
         seed_cap: None,
+        online: false,
+    }
+}
+
+fn online_spec(dataset: DatasetKind, model: ProbModel, kappa: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        kappa,
+        online: true,
+        ..spec(dataset, model, AllocatorKind::Tirm)
     }
 }
 
@@ -254,6 +263,46 @@ fn snapshot_warm_run_has_identical_metric_payload() {
         strip(&warm),
         "snapshot-warm run must be bit-identical to cold generation"
     );
+}
+
+// -------------------------------------------------------------- online
+
+#[test]
+fn online_cell_measures_serving_metrics() {
+    let cell = run_scenario(
+        &online_spec(DatasetKind::Epinions, ProbModel::Exponential, 2),
+        &tiny_scale(),
+        0x71a6_5eed,
+    );
+    assert!(cell.id.starts_with("ONLINE/"));
+    assert_eq!(cell.allocator, "ONLINE");
+    assert!(cell.theta > 0, "serving layer holds RR capital");
+    assert!(cell.memory_bytes > 0);
+    assert!(cell.events_per_s > 0.0);
+    assert!(cell.latency_p50_us > 0.0);
+    assert!(cell.latency_p99_us >= cell.latency_p95_us);
+    assert!(cell.latency_p95_us >= cell.latency_p50_us);
+    // The artifact round-trips the new fields exactly.
+    let report = BenchReport::new("test", EnvFingerprint::current(&tiny_scale()), vec![cell]);
+    let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn online_cell_payload_is_deterministic() {
+    let s = online_spec(DatasetKind::Epinions, ProbModel::Exponential, 2);
+    let scale = tiny_scale();
+    let mut a = run_scenario(&s, &scale, 0x71a6_5eed);
+    let mut b = run_scenario(&s, &scale, 0x71a6_5eed);
+    a.strip_timings();
+    b.strip_timings();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "two replays must agree on every non-timing field"
+    );
+    assert_eq!(a.latency_p50_us, 0.0, "latencies are timing fields");
+    assert_eq!(a.events_per_s, 0.0);
 }
 
 #[test]

@@ -18,7 +18,9 @@ pub use greedy::{greedy_allocate, GreedyOptions};
 pub use greedy_irie::{greedy_irie_allocate, GreedyIrieOptions};
 pub use myopic::myopic_allocate;
 pub use myopic_plus::myopic_plus_allocate;
-pub use tirm::{tirm_allocate, TirmOptions};
+pub use tirm::{
+    tirm_allocate, tirm_allocate_seeded, tirm_allocate_warm, AdSeeds, AdWarmState, TirmOptions,
+};
 
 /// Numerical tolerance for "strictly decreasing regret" tests: guards
 /// against floating-point churn keeping the greedy loops alive forever.

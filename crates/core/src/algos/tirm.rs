@@ -38,7 +38,8 @@ use tirm_graph::NodeId;
 use tirm_rrset::heap::Verdict;
 use tirm_rrset::weighted::{score_key, WeightedRrCollection};
 use tirm_rrset::{
-    KptEstimator, LazyMaxHeap, ParallelSampler, RrSampler, SampleBound, SamplingConfig,
+    KptEstimator, KptState, LazyMaxHeap, ParallelSampler, RrIndex, RrSampler, SampleBound,
+    SamplingConfig,
 };
 
 /// Options for TIRM.
@@ -84,6 +85,94 @@ impl Default for TirmOptions {
     }
 }
 
+/// Per-ad RNG plan: the seeds driving an ad's KPT-estimation stream and
+/// its θ-sampling stream. [`tirm_allocate`] derives one per ad from the
+/// ad's *index* in the problem (the historical scheme); long-lived callers
+/// like the online serving layer derive them from a stable *ad id* instead
+/// ([`AdSeeds::for_ad_id`]), so an ad keeps its streams — and its cached
+/// RR index stays valid — no matter how arrivals and departures reshuffle
+/// indices around it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdSeeds {
+    /// Seed of the KPT estimator's sampling engine.
+    pub kpt: u64,
+    /// Seed of the θ-sampling engine filling the ad's collection.
+    pub engine: u64,
+}
+
+impl AdSeeds {
+    /// The index-derived plan [`tirm_allocate`] has always used.
+    pub fn for_index(base: u64, i: usize) -> AdSeeds {
+        AdSeeds {
+            kpt: base ^ (0xabcd + i as u64),
+            engine: base.wrapping_add(i as u64),
+        }
+    }
+
+    /// A plan derived from a stable ad id (splitmix64-mixed so nearby ids
+    /// land on unrelated streams).
+    pub fn for_ad_id(base: u64, id: u64) -> AdSeeds {
+        let h = splitmix64(id ^ 0x0a11_0c47_0a11_0c47);
+        AdSeeds {
+            kpt: base ^ h ^ 0xabcd,
+            engine: base ^ h.rotate_left(21),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Reusable per-ad sampling capital: everything TIRM pays for that does
+/// *not* depend on budgets or on the other ads — the sampled RR sets with
+/// their inverted postings, the θ-engine's stream position, the KPT width
+/// cache, and the pristine score vector of the initial θ₀ prefix. A later
+/// run with the same `(AdSeeds, threads)` resumes from this state and is
+/// bit-identical to a cold run, paying graph walks only for sets beyond
+/// the cached tail.
+pub struct AdWarmState {
+    index: RrIndex,
+    engine: ParallelSampler,
+    kpt: KptState,
+    /// `(θ₀, scores)` right after the initial activation, before any decay
+    /// (scores are exact integers there, so restoring is bitwise-safe).
+    base: Option<(usize, Vec<f64>)>,
+    /// Configuration echo, asserted on reuse.
+    seeds: AdSeeds,
+    threads: usize,
+}
+
+impl AdWarmState {
+    /// RR sets cached in the index.
+    pub fn num_sets(&self) -> usize {
+        self.index.num_sets()
+    }
+
+    /// Exact bytes of reusable capital — index, θ-engine workspaces, KPT
+    /// width cache + estimation workspaces, and the base score snapshot —
+    /// the online pool's eviction currency.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+            + self.engine.memory_bytes()
+            + self.kpt.memory_bytes()
+            + self
+                .base
+                .as_ref()
+                .map(|(_, s)| s.capacity() * 8)
+                .unwrap_or(0)
+    }
+
+    /// The seed plan this state was built under.
+    pub fn seeds(&self) -> AdSeeds {
+        self.seeds
+    }
+}
+
 /// Per-ad sampling and coverage state.
 struct AdState<'a> {
     sampler: RrSampler<'a>,
@@ -93,6 +182,9 @@ struct AdState<'a> {
     /// Sampling engine for this ad's collection (persistent per-shard RNG
     /// streams across the initial batch and every top-up).
     engine: ParallelSampler,
+    /// Base snapshot carried through for the warm-state hand-back.
+    base: Option<(usize, Vec<f64>)>,
+    ad_seeds: AdSeeds,
     /// Current seed-count estimate `s_i`.
     s_est: usize,
     /// Seeds in selection order: (node, decay δ applied, credited score).
@@ -107,10 +199,78 @@ struct AdState<'a> {
     capped: bool,
 }
 
+impl<'a> AdState<'a> {
+    /// Brings the collection up to `theta` active sets: cached dormant
+    /// sets are re-activated first (bit-identical to sampling them, per
+    /// the engine's batch-split invariance), then fresh sets are drawn.
+    fn ensure_theta(&mut self, theta: usize, oracle_calls: &mut usize) {
+        let have = self.coll.num_sets();
+        if theta <= have {
+            return;
+        }
+        let mut need = theta - have;
+        need -= self.coll.activate_next(need);
+        if need > 0 {
+            let drawn = self.engine.sample_into(&self.sampler, need, &mut self.coll);
+            debug_assert_eq!(drawn, need, "θ engines run uncapped");
+            *oracle_calls += drawn;
+        }
+    }
+}
+
 /// Runs TIRM (Algorithm 2). Returns the allocation and run statistics.
 pub fn tirm_allocate(problem: &ProblemInstance<'_>, opts: TirmOptions) -> (Allocation, AlgoStats) {
+    let seeds: Vec<AdSeeds> = (0..problem.num_ads())
+        .map(|i| AdSeeds::for_index(opts.seed, i))
+        .collect();
+    tirm_allocate_seeded(problem, opts, &seeds)
+}
+
+/// [`tirm_allocate`] with an explicit per-ad seed plan. With
+/// `AdSeeds::for_index(opts.seed, i)` for every ad this *is*
+/// [`tirm_allocate`]; stable-id plans let a caller reproduce the batch
+/// result for an ad population whose indices have churned.
+pub fn tirm_allocate_seeded(
+    problem: &ProblemInstance<'_>,
+    opts: TirmOptions,
+    ad_seeds: &[AdSeeds],
+) -> (Allocation, AlgoStats) {
+    let warm = (0..problem.num_ads()).map(|_| None).collect();
+    let (alloc, stats, _) = tirm_run(problem, opts, ad_seeds, warm, false);
+    (alloc, stats)
+}
+
+/// The warm-start entry point behind the online serving layer: per-ad
+/// sampling capital flows in (`None` ⇒ cold start for that ad) and the
+/// updated capital flows back out alongside the allocation. The returned
+/// allocation is **bit-identical** to a cold
+/// [`tirm_allocate_seeded`] run with the same `(problem, opts, ad_seeds)`
+/// — warm states only change *where sets come from* (cache vs fresh graph
+/// walks), never their contents or the selection arithmetic. Enforced by
+/// the `replay ≡ batch` property tests in `tirm_online`.
+pub fn tirm_allocate_warm(
+    problem: &ProblemInstance<'_>,
+    opts: TirmOptions,
+    ad_seeds: &[AdSeeds],
+    warm: Vec<Option<AdWarmState>>,
+) -> (Allocation, AlgoStats, Vec<AdWarmState>) {
+    tirm_run(problem, opts, ad_seeds, warm, true)
+}
+
+/// Shared driver behind the three entry points. `want_warm` gates the
+/// θ₀-score base snapshot (an O(n) copy per ad that only pays off when
+/// the caller keeps the warm states).
+fn tirm_run(
+    problem: &ProblemInstance<'_>,
+    opts: TirmOptions,
+    ad_seeds: &[AdSeeds],
+    warm: Vec<Option<AdWarmState>>,
+    want_warm: bool,
+) -> (Allocation, AlgoStats, Vec<AdWarmState>) {
     let start = Instant::now();
     let h = problem.num_ads();
+    assert_eq!(ad_seeds.len(), h, "one seed plan per ad");
+    assert_eq!(warm.len(), h, "one warm slot per ad");
     let n = problem.num_nodes();
     let nf = n as f64;
     let mut alloc = Allocation::empty(h, n);
@@ -120,21 +280,45 @@ pub fn tirm_allocate(problem: &ProblemInstance<'_>, opts: TirmOptions) -> (Alloc
     bound.ell = opts.ell;
     bound.max_theta = opts.max_theta_per_ad;
 
-    // Initialise per-ad state: s_i = 1, θ_i = L(1, ε), sample, build heap
-    // (Algorithm 2, lines 1–3).
+    // Initialise per-ad state: s_i = 1, θ_i = L(1, ε), sample (or
+    // re-activate the cached prefix), build heap (Algorithm 2, lines 1–3).
     let mut states: Vec<AdState<'_>> = Vec::with_capacity(h);
-    for i in 0..h {
+    for (i, slot) in warm.into_iter().enumerate() {
         let sampler = RrSampler::new(problem.graph, &problem.edge_probs[i]);
-        let kpt_config = SamplingConfig::new(opts.threads, opts.seed ^ (0xabcd + i as u64));
+        let seeds = ad_seeds[i];
+        let (kpt, engine, index, base) = match slot {
+            Some(w) => {
+                assert_eq!(w.seeds, seeds, "warm state belongs to another seed plan");
+                assert_eq!(
+                    w.threads, opts.threads,
+                    "warm state from another thread count"
+                );
+                (
+                    KptEstimator::from_state(sampler, opts.ell, w.kpt),
+                    w.engine,
+                    w.index,
+                    w.base,
+                )
+            }
+            None => (
+                KptEstimator::with_config(
+                    sampler,
+                    opts.ell,
+                    SamplingConfig::new(opts.threads, seeds.kpt),
+                ),
+                ParallelSampler::new(SamplingConfig::new(opts.threads, seeds.engine), n),
+                RrIndex::new(n),
+                None,
+            ),
+        };
         let mut st = AdState {
             sampler,
-            coll: WeightedRrCollection::new(n),
+            coll: WeightedRrCollection::from_index(index),
             heap: LazyMaxHeap::new(),
-            kpt: KptEstimator::with_config(sampler, opts.ell, kpt_config),
-            engine: ParallelSampler::new(
-                SamplingConfig::new(opts.threads, opts.seed.wrapping_add(i as u64)),
-                n,
-            ),
+            kpt,
+            engine,
+            base,
+            ad_seeds: seeds,
             s_est: 1,
             seeds: Vec::new(),
             revenue: 0.0,
@@ -145,8 +329,16 @@ pub fn tirm_allocate(problem: &ProblemInstance<'_>, opts: TirmOptions) -> (Alloc
         let kpt1 = st.kpt.estimate(1);
         let (theta, capped) = bound.theta(1, kpt1);
         st.capped = capped;
-        st.engine.sample_into(&st.sampler, theta, &mut st.coll);
-        oracle_calls += theta;
+        match &st.base {
+            // O(n) shortcut past the O(entries) activation walk: the
+            // pristine θ₀ scores are integers, so restoring them is
+            // bit-identical to re-activating set by set.
+            Some((t0, scores)) if *t0 == theta => st.coll.restore_prefix(theta, scores),
+            _ => {
+                st.ensure_theta(theta, &mut oracle_calls);
+                st.base = want_warm.then(|| (theta, st.coll.scores().to_vec()));
+            }
+        }
         rebuild_heap(&mut st);
         states.push(st);
     }
@@ -223,7 +415,18 @@ pub fn tirm_allocate(problem: &ProblemInstance<'_>, opts: TirmOptions) -> (Alloc
         rr_sets_per_ad: states.iter().map(|s| s.coll.num_sets()).collect(),
         oracle_calls,
     };
-    (alloc, stats)
+    let warm_out = states
+        .into_iter()
+        .map(|st| AdWarmState {
+            index: st.coll.take_index(),
+            engine: st.engine,
+            kpt: st.kpt.into_state(),
+            base: st.base,
+            seeds: st.ad_seeds,
+            threads: opts.threads,
+        })
+        .collect();
+    (alloc, stats, warm_out)
 }
 
 /// `MG_i(v) = cpe(i) · n · δ(v,i) · score / θ`.
@@ -371,10 +574,8 @@ fn grow_and_resample(
     let (theta_needed, capped) = bound.theta(st.s_est, opt_lb);
     st.capped |= capped;
     if theta_needed > theta_now {
-        let add = theta_needed - theta_now;
         let first_new_sid = theta_now as u32;
-        st.engine.sample_into(&st.sampler, add, &mut st.coll);
-        *oracle_calls += add;
+        st.ensure_theta(theta_needed, oracle_calls);
         // Algorithm 4: apply existing seeds (in selection order) to the
         // fresh sets so future marginals stay marginal, crediting the
         // extra coverage to each seed.
@@ -622,6 +823,73 @@ mod tests {
         let r_std = evaluate(&p, &a_std, 8_000, 2, 2).regret.total();
         let r_exact = evaluate(&p, &a_exact, 8_000, 2, 2).regret.total();
         assert!(r_exact <= r_std * 1.5 + 1.0, "std {r_std} exact {r_exact}");
+    }
+
+    #[test]
+    fn seeded_with_index_plan_matches_plain() {
+        let g = generators::preferential_attachment(300, 3, 0.2, 5);
+        let h = 2;
+        let ads = (0..h)
+            .map(|_| Advertiser::new(12.0, 1.0, TopicDist::single(1, 0)))
+            .collect::<Vec<_>>();
+        let probs = vec![vec![0.1f32; g.num_edges()]; h];
+        let ctp = CtpTable::constant(300, h, 0.5);
+        let p = ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(2), 0.0);
+        let (a, _) = tirm_allocate(&p, opts(42));
+        let plan: Vec<AdSeeds> = (0..h).map(|i| AdSeeds::for_index(42, i)).collect();
+        let (b, _) = tirm_allocate_seeded(&p, opts(42), &plan);
+        for i in 0..h {
+            assert_eq!(a.seeds(i), b.seeds(i));
+        }
+    }
+
+    #[test]
+    fn warm_rerun_is_bit_identical_and_samples_nothing() {
+        let g = generators::preferential_attachment(400, 4, 0.2, 9);
+        let h = 3;
+        let mk = || {
+            let ads = (0..h)
+                .map(|i| Advertiser::new(10.0 + i as f64, 1.0, TopicDist::single(1, 0)))
+                .collect::<Vec<_>>();
+            let probs = vec![vec![0.06f32; g.num_edges()]; h];
+            let ctp = CtpTable::constant(400, h, 0.3);
+            ProblemInstance::new(&g, ads, probs, ctp, Attention::Uniform(3), 0.0)
+        };
+        let p = mk();
+        let plan: Vec<AdSeeds> = (0..h)
+            .map(|i| AdSeeds::for_ad_id(7, 100 + i as u64))
+            .collect();
+        let (cold, cold_stats, warm) =
+            tirm_allocate_warm(&p, opts(7), &plan, vec![None, None, None]);
+        let cached: Vec<usize> = warm.iter().map(|w| w.num_sets()).collect();
+        assert!(warm.iter().all(|w| w.memory_bytes() > 0));
+
+        // Re-running on the warm capital must reproduce the allocation
+        // bit for bit without drawing a single fresh RR set.
+        let p2 = mk();
+        let (hot, hot_stats, warm2) =
+            tirm_allocate_warm(&p2, opts(7), &plan, warm.into_iter().map(Some).collect());
+        for i in 0..h {
+            assert_eq!(cold.seeds(i), hot.seeds(i), "ad {i}");
+        }
+        assert_eq!(cold_stats.estimated_revenue, hot_stats.estimated_revenue);
+        let cached2: Vec<usize> = warm2.iter().map(|w| w.num_sets()).collect();
+        assert_eq!(cached, cached2, "warm rerun must not sample");
+
+        // And the warm result equals the plain seeded batch run.
+        let (batch, _) = tirm_allocate_seeded(&mk(), opts(7), &plan);
+        for i in 0..h {
+            assert_eq!(batch.seeds(i), hot.seeds(i));
+        }
+    }
+
+    #[test]
+    fn ad_id_seed_plans_are_stable_and_distinct() {
+        let a = AdSeeds::for_ad_id(5, 1);
+        assert_eq!(a, AdSeeds::for_ad_id(5, 1));
+        assert_ne!(a, AdSeeds::for_ad_id(5, 2));
+        assert_ne!(a, AdSeeds::for_ad_id(6, 1));
+        assert_ne!(a.kpt, a.engine);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # tirm-online
+//!
+//! The **online allocation engine**: a long-lived serving layer that
+//! keeps the paper's key asset — the per-ad RR-set index — alive across
+//! campaign churn. The paper's batch experiments rebuild everything per
+//! run; a host serving real traffic sees ads *arrive* with fresh budgets,
+//! get *topped up*, and *depart*, while the reverse-reachability capital
+//! (§5) stays reusable. This crate makes that explicit:
+//!
+//! * [`events`] — the deterministic event vocabulary
+//!   ([`OnlineEvent`]: `AdArrival`, `BudgetTopUp`, `AdDeparture`,
+//!   `Reallocate`, `RegretQuery`) and outcomes.
+//! * [`allocator`] — [`OnlineAllocator`], owning a **sharded inverted RR
+//!   index** (one [`tirm_rrset::RrIndex`] shard per ad: node → RR-set
+//!   postings) with incremental coverage maintenance: arrivals/top-ups
+//!   re-run only the affected ad through the postings lists and the
+//!   lazy-greedy heap when the standing allocation is contention-free,
+//!   and fall back to an exact warm interleaved re-run otherwise.
+//! * [`pool`] — the [`RetainedPool`] departed shards are released into
+//!   (bounded bytes, oldest-first eviction, topic-fingerprint
+//!   invalidation).
+//!
+//! **Correctness anchor:** replaying any event log produces allocations
+//! bit-identical to batch [`tirm_core::tirm_allocate_seeded`] on the
+//! live ad set — the online path changes *where RR sets come from*
+//! (cached postings vs fresh graph walks), never what is computed.
+//! Property-tested in `tests/replay_equivalence.rs`.
+
+pub mod allocator;
+pub mod events;
+pub mod pool;
+
+pub use allocator::{OnlineAllocator, OnlineConfig, OnlineStats};
+pub use events::{AdId, EventKind, EventOutcome, OnlineError, OnlineEvent};
+pub use pool::RetainedPool;

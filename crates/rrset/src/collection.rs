@@ -5,23 +5,21 @@
 //! the number of *uncovered* sets containing it, supports covering all
 //! sets containing a chosen seed (Algorithm 2, line 12), and reports its
 //! exact memory footprint for the Table 4 reproduction.
+//!
+//! Storage and the inverted node → set-id postings live in the shared
+//! [`RrIndex`]; this type adds the covered/marginal-count overlay.
 
+use crate::index::RrIndex;
 use tirm_graph::NodeId;
 
-/// Flat-stored RR-set collection with an inverted node → set-id index.
+/// RR-set collection: an [`RrIndex`] plus a covered-set overlay.
 #[derive(Clone, Debug)]
 pub struct RrCollection {
-    n: usize,
-    /// `offsets[i]..offsets[i+1]` delimits set `i` in `nodes`.
-    offsets: Vec<u32>,
-    /// Flattened membership lists.
-    nodes: Vec<NodeId>,
+    index: RrIndex,
     /// Whether set `i` has been covered by a chosen seed.
     covered: Vec<bool>,
     /// Per node: number of uncovered sets containing it (marginal coverage).
     cov: Vec<u32>,
-    /// Inverted index: node → ids of sets containing it.
-    index: Vec<Vec<u32>>,
     num_covered: usize,
 }
 
@@ -29,12 +27,9 @@ impl RrCollection {
     /// Empty collection over `n` nodes.
     pub fn new(n: usize) -> Self {
         RrCollection {
-            n,
-            offsets: vec![0],
-            nodes: Vec::new(),
+            index: RrIndex::new(n),
             covered: Vec::new(),
             cov: vec![0; n],
-            index: vec![Vec::new(); n],
             num_covered: 0,
         }
     }
@@ -42,7 +37,7 @@ impl RrCollection {
     /// Number of nodes the collection is defined over.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.n
+        self.index.num_nodes()
     }
 
     /// Total number of sets ever added (θ in the paper's notation).
@@ -60,13 +55,10 @@ impl RrCollection {
     /// Adds one RR set (a list of member nodes; duplicates are the
     /// sampler's responsibility to avoid). Returns its set id.
     pub fn add_set(&mut self, members: &[NodeId]) -> u32 {
-        let sid = self.covered.len() as u32;
-        self.nodes.extend_from_slice(members);
-        self.offsets.push(self.nodes.len() as u32);
+        let sid = self.index.push_set(members);
         self.covered.push(false);
         for &v in members {
             self.cov[v as usize] += 1;
-            self.index[v as usize].push(sid);
         }
         sid
     }
@@ -74,9 +66,7 @@ impl RrCollection {
     /// Members of set `sid`.
     #[inline]
     pub fn set(&self, sid: u32) -> &[NodeId] {
-        let lo = self.offsets[sid as usize] as usize;
-        let hi = self.offsets[sid as usize + 1] as usize;
-        &self.nodes[lo..hi]
+        self.index.set(sid)
     }
 
     /// Marginal coverage of `v`: the number of *uncovered* sets containing
@@ -96,24 +86,19 @@ impl RrCollection {
     /// decrementing the marginal coverage of all their members.
     /// Returns how many sets were newly covered (== `cov(v)` beforehand).
     pub fn cover_node(&mut self, v: NodeId) -> u32 {
-        let sids = std::mem::take(&mut self.index[v as usize]);
         let mut newly = 0u32;
-        for &sid in &sids {
+        for &sid in self.index.postings(v) {
             if self.covered[sid as usize] {
                 continue;
             }
             self.covered[sid as usize] = true;
             self.num_covered += 1;
             newly += 1;
-            let lo = self.offsets[sid as usize] as usize;
-            let hi = self.offsets[sid as usize + 1] as usize;
-            for i in lo..hi {
-                let w = self.nodes[i] as usize;
-                debug_assert!(self.cov[w] > 0);
-                self.cov[w] -= 1;
+            for &w in self.index.set(sid) {
+                debug_assert!(self.cov[w as usize] > 0);
+                self.cov[w as usize] -= 1;
             }
         }
-        self.index[v as usize] = sids;
         newly
     }
 
@@ -121,7 +106,8 @@ impl RrCollection {
     /// uncovered — used by TIRM's `UpdateEstimates` (Algorithm 4) to credit
     /// freshly sampled sets to already-chosen seeds.
     pub fn count_uncovered_from(&self, v: NodeId, from_sid: u32) -> u32 {
-        self.index[v as usize]
+        self.index
+            .postings(v)
             .iter()
             .filter(|&&sid| sid >= from_sid && !self.covered[sid as usize])
             .count() as u32
@@ -132,7 +118,7 @@ impl RrCollection {
     /// lazy heap instead).
     pub fn argmax_cov(&self, mut eligible: impl FnMut(NodeId) -> bool) -> Option<(NodeId, u32)> {
         let mut best: Option<(NodeId, u32)> = None;
-        for v in 0..self.n as NodeId {
+        for v in 0..self.num_nodes() as NodeId {
             let c = self.cov[v as usize];
             if c == 0 || !eligible(v) {
                 continue;
@@ -144,24 +130,15 @@ impl RrCollection {
         best
     }
 
-    /// Exact bytes held by this collection (flat lists, flags, counters,
-    /// inverted index) — the Table 4 memory metric.
+    /// Exact bytes held by this collection (index storage, flags,
+    /// counters) — the Table 4 memory metric.
     pub fn memory_bytes(&self) -> usize {
-        let index_bytes: usize = self
-            .index
-            .iter()
-            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
-            .sum();
-        self.nodes.capacity() * 4
-            + self.offsets.capacity() * 4
-            + self.covered.capacity()
-            + self.cov.capacity() * 4
-            + index_bytes
+        self.index.memory_bytes() + self.covered.capacity() + self.cov.capacity() * 4
     }
 
     /// Sum of set sizes (total node entries) — a size diagnostic.
     pub fn total_entries(&self) -> usize {
-        self.nodes.len()
+        self.index.total_entries()
     }
 }
 

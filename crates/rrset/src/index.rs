@@ -1,0 +1,131 @@
+//! The inverted RR index — flat set storage plus node → set-id postings.
+//!
+//! [`RrIndex`] is the storage substrate shared by the coverage overlays
+//! ([`crate::RrCollection`], [`crate::WeightedRrCollection`]) and, since
+//! the online serving layer, a *persistent* asset in its own right: the
+//! `tirm_online` allocator keeps one `RrIndex` per ad alive across
+//! arbitrarily many re-allocations, so the expensive part of TIRM — the
+//! reverse-reachability sampling that fills the index — is paid once per
+//! `(ad, θ)` and the cheap part (coverage overlays, lazy-greedy selection)
+//! is rebuilt from the postings lists on demand.
+//!
+//! Invariants:
+//!
+//! * Sets are append-only and identified by dense ids `0..num_sets()` in
+//!   insertion order.
+//! * Postings lists are strictly ascending in set id (sets are appended in
+//!   id order), so prefix-bounded scans can early-exit.
+//! * Memory accounting ([`RrIndex::memory_bytes`]) is exact over the flat
+//!   arrays and postings capacities — the Table 4 metric and the online
+//!   pool's eviction currency.
+
+use tirm_graph::NodeId;
+
+/// Flat RR-set storage with an inverted node → set-id index.
+#[derive(Clone, Debug)]
+pub struct RrIndex {
+    n: usize,
+    /// `offsets[i]..offsets[i+1]` delimits set `i` in `nodes`.
+    offsets: Vec<u32>,
+    /// Flattened membership lists, in set-id order.
+    nodes: Vec<NodeId>,
+    /// Postings: node → ids of sets containing it, ascending.
+    postings: Vec<Vec<u32>>,
+}
+
+impl RrIndex {
+    /// Empty index over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RrIndex {
+            n,
+            offsets: vec![0],
+            nodes: Vec::new(),
+            postings: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes the index is defined over.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sets stored.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Appends one set (members must be duplicate-free — the sampler's
+    /// contract) and indexes its members. Returns the new set's id.
+    pub fn push_set(&mut self, members: &[NodeId]) -> u32 {
+        let sid = self.num_sets() as u32;
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len() as u32);
+        for &v in members {
+            self.postings[v as usize].push(sid);
+        }
+        sid
+    }
+
+    /// Members of set `sid`, in sampled order.
+    #[inline]
+    pub fn set(&self, sid: u32) -> &[NodeId] {
+        let lo = self.offsets[sid as usize] as usize;
+        let hi = self.offsets[sid as usize + 1] as usize;
+        &self.nodes[lo..hi]
+    }
+
+    /// Ids of the sets containing `v`, ascending.
+    #[inline]
+    pub fn postings(&self, v: NodeId) -> &[u32] {
+        &self.postings[v as usize]
+    }
+
+    /// Sum of set sizes (total membership entries).
+    pub fn total_entries(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact bytes held: flat arrays plus every postings list's capacity
+    /// and header. This is the reusable-capital size the online pool
+    /// budgets against, and the storage share of the Table 4 metric.
+    pub fn memory_bytes(&self) -> usize {
+        let postings_bytes: usize = self
+            .postings
+            .iter()
+            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum();
+        self.nodes.capacity() * 4 + self.offsets.capacity() * 4 + postings_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut ix = RrIndex::new(5);
+        assert_eq!(ix.num_sets(), 0);
+        assert_eq!(ix.push_set(&[0, 2]), 0);
+        assert_eq!(ix.push_set(&[2, 4]), 1);
+        assert_eq!(ix.push_set(&[1]), 2);
+        assert_eq!(ix.num_sets(), 3);
+        assert_eq!(ix.set(1), &[2, 4]);
+        assert_eq!(ix.postings(2), &[0, 1]);
+        assert_eq!(ix.postings(3), &[] as &[u32]);
+        assert_eq!(ix.total_entries(), 5);
+        assert!(ix.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn postings_are_ascending() {
+        let mut ix = RrIndex::new(3);
+        for _ in 0..10 {
+            ix.push_set(&[1]);
+        }
+        let p = ix.postings(1);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+}

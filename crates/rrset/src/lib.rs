@@ -5,9 +5,13 @@
 //! * [`sampler`] — random RR-set generation by reverse BFS with per-arc
 //!   coin flips, plus the CTP-aware **RRC** variant of §5.2 (node-level
 //!   acceptance coins; blocked nodes still propagate).
-//! * [`collection`] — flat storage for a growing collection of RR sets
-//!   with an inverted node→set index, marginal coverage counts, and
-//!   `cover` operations (the Max-Cover primitive TIM and TIRM both use).
+//! * [`index`] — [`RrIndex`], the flat RR-set storage + inverted
+//!   node→set-id postings shared by every coverage overlay, with exact
+//!   memory accounting. Persistent: the online serving layer keeps one
+//!   per ad alive across re-allocations.
+//! * [`collection`] — growing collection of RR sets over an [`RrIndex`]
+//!   with marginal coverage counts and `cover` operations (the Max-Cover
+//!   primitive TIM and TIRM both use).
 //! * [`parallel`] — the deterministic multi-threaded sampling engine
 //!   ([`ParallelSampler`]): θ samples sharded over persistent per-thread
 //!   RNG/workspace pairs, merged contention-free in shard order. Same
@@ -21,6 +25,7 @@
 
 pub mod collection;
 pub mod heap;
+pub mod index;
 pub mod parallel;
 pub mod sampler;
 pub mod special;
@@ -29,7 +34,8 @@ pub mod weighted;
 
 pub use collection::RrCollection;
 pub use heap::LazyMaxHeap;
+pub use index::RrIndex;
 pub use parallel::{ParallelSampler, RrArena, RrSink, SamplingConfig};
 pub use sampler::{RrSampler, SampleWorkspace};
-pub use tim::{tim_select, tim_select_with, KptEstimator, SampleBound, TimResult};
+pub use tim::{tim_select, tim_select_with, KptEstimator, KptState, SampleBound, TimResult};
 pub use weighted::{score_key, WeightedRrCollection};

@@ -19,11 +19,17 @@
 //! * **Serial compatibility.** With `threads = 1` the engine *is* the old
 //!   serial loop: one shard, seeded `seed`, samples appended in draw order —
 //!   bit-identical to `SmallRng::seed_from_u64(seed)` + a `for` loop.
-//!
-//! Batches are split contiguously: `count / threads` per shard with the
-//! remainder spread over the first shards. Splitting (and therefore the
-//! exact output) depends on `threads` by design — reproducibility is
-//! per-configuration, matching `mc_spread_parallel`'s contract.
+//! * **Batch-split invariance.** Global draw `g` (counted across the
+//!   engine's lifetime) is assigned to shard `g mod threads` and the merge
+//!   pass interleaves arenas in that same round-robin order, so
+//!   `sample_into(a); sample_into(b)` produces *exactly* the sequence of
+//!   `sample_into(a + b)`. The engine's output is a single deterministic
+//!   stream of which every batch reads the next window — the property the
+//!   online serving layer's warm RR-index reuse is built on (a cached
+//!   prefix stays valid no matter how a later re-allocation re-chunks its
+//!   θ requests). The stream still depends on `threads` by design —
+//!   reproducibility is per-configuration, matching
+//!   `mc_spread_parallel`'s contract.
 
 use crate::collection::RrCollection;
 use crate::sampler::{RrSampler, SampleWorkspace};
@@ -145,6 +151,12 @@ impl RrArena {
             .windows(2)
             .map(move |w| &self.nodes[w[0] as usize..w[1] as usize])
     }
+
+    /// The `i`-th stored set.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
 }
 
 /// One worker's persistent state.
@@ -187,6 +199,13 @@ impl ParallelSampler {
         self.total_sampled
     }
 
+    /// Bytes held by the engine's persistent per-shard workspaces
+    /// (O(n · threads) mark arrays) — counted by long-lived owners like
+    /// the online serving layer's warm states.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.ws.memory_bytes()).sum()
+    }
+
     /// Caps `count` against the configured cumulative `max_theta`.
     fn admissible(&self, count: usize) -> usize {
         match self.config.max_theta {
@@ -195,12 +214,19 @@ impl ParallelSampler {
         }
     }
 
-    /// Contiguous per-shard quotas for a batch of `count` samples.
-    fn quotas(&self, count: usize) -> Vec<usize> {
+    /// Per-shard quotas for the batch of `count` samples starting at
+    /// global draw `start`: draw `g` belongs to shard `g mod threads`, so
+    /// the quota of shard `i` is the number of such `g` in
+    /// `[start, start + count)`. Depending only on `(start, count)` — not
+    /// on how earlier requests were chunked — is what makes the engine's
+    /// output batch-split invariant.
+    fn quotas(&self, start: usize, count: usize) -> Vec<usize> {
         let t = self.shards.len();
-        let per = count / t;
-        let extra = count % t;
-        (0..t).map(|i| per + usize::from(i < extra)).collect()
+        // Draws of shard i in [0, x).
+        let upto = |x: usize, i: usize| x / t + usize::from(x % t > i);
+        (0..t)
+            .map(|i| upto(start + count, i) - upto(start, i))
+            .collect()
     }
 
     /// Draws `count` classic RR sets into `sink` (θ-batch sampling).
@@ -235,15 +261,16 @@ impl ParallelSampler {
     }
 
     /// Draws `count` RR sets and maps each through `map`, returning the
-    /// results in deterministic shard order (used by KPT width estimation,
-    /// where only a per-set statistic is needed and sets are discarded).
+    /// results in deterministic stream order (used by KPT width
+    /// estimation, where only a per-set statistic is needed and sets are
+    /// discarded).
     pub fn sample_map<T, F>(&mut self, sampler: &RrSampler<'_>, count: usize, map: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&[NodeId]) -> T + Sync,
     {
         let count = self.admissible(count);
-        let quotas = self.quotas(count);
+        let start = self.total_sampled;
         let map = &map;
         let mut out = Vec::with_capacity(count);
         if self.shards.len() == 1 {
@@ -253,6 +280,8 @@ impl ParallelSampler {
                 out.push(map(set));
             }
         } else {
+            let t = self.shards.len();
+            let quotas = self.quotas(start, count);
             let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
@@ -274,8 +303,9 @@ impl ParallelSampler {
                     .map(|h| h.join().expect("sampling worker panicked"))
                     .collect()
             });
-            for chunk in chunks {
-                out.extend(chunk);
+            let mut iters: Vec<_> = chunks.into_iter().map(Vec::into_iter).collect();
+            for g in start..start + count {
+                out.push(iters[g % t].next().expect("quota covers the window"));
             }
         }
         self.total_sampled += count;
@@ -286,8 +316,9 @@ impl ParallelSampler {
     /// sampled set to an `emit` callback. With one shard the emitter *is*
     /// the sink (sets stream straight into the collection, like the old
     /// serial loop); with several, each worker emits into a private
-    /// [`RrArena`] and the arenas are merged into `sink` in shard order —
-    /// byte-identical sink contents either way for a fixed configuration.
+    /// [`RrArena`] and the arenas are merged into `sink` in round-robin
+    /// draw order (`g mod threads`) — byte-identical sink contents for a
+    /// fixed configuration no matter how requests are chunked.
     fn run_batch<W>(&mut self, count: usize, sink: &mut impl RrSink, work: W) -> usize
     where
         W: Fn(&mut Shard, usize, &mut dyn FnMut(&[NodeId])) + Sync,
@@ -296,10 +327,12 @@ impl ParallelSampler {
         if count == 0 {
             return 0;
         }
+        let start = self.total_sampled;
         if self.shards.len() == 1 {
             work(&mut self.shards[0], count, &mut |set| sink.add_rr_set(set));
         } else {
-            let quotas = self.quotas(count);
+            let t = self.shards.len();
+            let quotas = self.quotas(start, count);
             let work = &work;
             let arenas: Vec<RrArena> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
@@ -319,10 +352,11 @@ impl ParallelSampler {
                     .map(|h| h.join().expect("sampling worker panicked"))
                     .collect()
             });
-            for arena in &arenas {
-                for set in arena.iter() {
-                    sink.add_rr_set(set);
-                }
+            let mut cursors = vec![0usize; t];
+            for g in start..start + count {
+                let s = g % t;
+                sink.add_rr_set(arenas[s].get(cursors[s]));
+                cursors[s] += 1;
             }
         }
         self.total_sampled += count;
@@ -455,6 +489,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_split_invariance() {
+        // The engine's output is one deterministic stream: chunking a
+        // request differently must not change the sequence — the warm
+        // RR-index reuse of the online layer depends on this.
+        let g = generators::preferential_attachment(100, 3, 0.2, 4);
+        let probs = probs_for(&g);
+        let sampler = RrSampler::new(&g, &probs);
+        for threads in [1usize, 2, 3, 4] {
+            let run = |splits: &[usize]| {
+                let mut e = ParallelSampler::new(SamplingConfig::new(threads, 17), g.num_nodes());
+                let mut v: Vec<Vec<NodeId>> = Vec::new();
+                for &s in splits {
+                    e.sample_into(&sampler, s, &mut v);
+                }
+                v
+            };
+            let whole = run(&[700]);
+            assert_eq!(whole, run(&[300, 400]), "threads={threads}");
+            assert_eq!(whole, run(&[1, 699]), "threads={threads}");
+            assert_eq!(whole, run(&[233, 233, 234]), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn shard_seeds_are_distinct_and_anchor_shard_zero() {
         let cfg = SamplingConfig::new(8, 0xdead_beef);
         assert_eq!(cfg.shard_seed(0), 0xdead_beef);
@@ -474,5 +532,7 @@ mod tests {
         assert_eq!(a.len(), 3);
         let sets: Vec<&[NodeId]> = a.iter().collect();
         assert_eq!(sets, vec![&[1u32, 2, 3][..], &[][..], &[7][..]]);
+        assert_eq!(a.get(0), &[1, 2, 3]);
+        assert_eq!(a.get(2), &[7]);
     }
 }

@@ -45,6 +45,12 @@ impl SampleWorkspace {
         self.last_root
     }
 
+    /// Bytes held by the workspace (the O(n) mark array dominates) —
+    /// feeds the long-lived owners' memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.mark.capacity() * 4 + (self.queue.capacity() + self.out.capacity()) * 4
+    }
+
     #[inline]
     fn begin(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);

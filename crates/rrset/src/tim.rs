@@ -79,6 +79,16 @@ impl SampleBound {
 /// previously sampled sets. Estimation batches are drawn through a
 /// [`ParallelSampler`], so the geometric rounds scale with cores; with
 /// `threads = 1` the width sequence is identical to the old serial draw.
+///
+/// Because the width cache is always a prefix of one fixed per-seed
+/// stream, [`KptEstimator::estimate`] is a *pure function of `s`* for a
+/// given `(sampler, ell, config)` — the result never depends on which
+/// estimates were asked for earlier. The online serving layer leans on
+/// this: it detaches the width cache ([`KptEstimator::into_state`]) when
+/// an allocation run ends and re-attaches it
+/// ([`KptEstimator::from_state`]) on the next run, so repeated
+/// re-allocations of a long-lived ad never redraw estimation samples yet
+/// return bit-identical estimates.
 pub struct KptEstimator<'a> {
     sampler: RrSampler<'a>,
     m: usize,
@@ -164,6 +174,52 @@ impl<'a> KptEstimator<'a> {
     /// Number of estimation samples drawn so far (diagnostics).
     pub fn samples_used(&self) -> usize {
         self.widths.len()
+    }
+
+    /// Detaches the estimator's persistent capital — the width cache and
+    /// the sampling-engine stream position — for storage by a long-lived
+    /// owner across borrow scopes.
+    pub fn into_state(self) -> KptState {
+        KptState {
+            widths: self.widths,
+            engine: self.engine,
+        }
+    }
+
+    /// Rebuilds an estimator around previously detached state. The
+    /// sampler must project the same graph/probabilities and the state
+    /// must come from an estimator with the same configuration, or the
+    /// width stream would be inconsistent.
+    pub fn from_state(sampler: RrSampler<'a>, ell: f64, state: KptState) -> Self {
+        let g = sampler.graph();
+        let indeg = (0..g.num_nodes() as NodeId)
+            .map(|v| g.in_degree(v) as u32)
+            .collect();
+        KptEstimator {
+            sampler,
+            m: g.num_edges(),
+            ell,
+            widths: state.widths,
+            engine: state.engine,
+            indeg,
+        }
+    }
+}
+
+/// Detached [`KptEstimator`] capital: the cached sample widths plus the
+/// estimation engine's stream position. Owning this (instead of the
+/// estimator itself) avoids tying a long-lived structure to the graph
+/// borrow inside `RrSampler`.
+pub struct KptState {
+    widths: Vec<u64>,
+    engine: ParallelSampler,
+}
+
+impl KptState {
+    /// Bytes held: the width cache plus the estimation engine's O(n)
+    /// per-shard workspaces.
+    pub fn memory_bytes(&self) -> usize {
+        self.widths.capacity() * 8 + self.engine.memory_bytes()
     }
 }
 
@@ -308,6 +364,29 @@ mod tests {
         let with_cap = est.estimate(5);
         let mut uncapped = KptEstimator::with_config(sampler, 1.0, SamplingConfig::new(2, 9));
         assert_eq!(with_cap, uncapped.estimate(5));
+    }
+
+    #[test]
+    fn estimate_is_pure_in_s_and_state_round_trips() {
+        let g = generators::erdos_renyi(300, 1500, 5);
+        let probs = vec![0.1f32; g.num_edges()];
+        let sampler = RrSampler::new(&g, &probs);
+        // Purity: asking for s=5 after s=1 gives the same value as asking
+        // for s=5 first (the width cache is a prefix of one fixed stream).
+        let mut warmed = KptEstimator::new(sampler, 1.0, 9);
+        let _ = warmed.estimate(1);
+        let via_history = warmed.estimate(5);
+        let mut fresh = KptEstimator::new(sampler, 1.0, 9);
+        assert_eq!(fresh.estimate(5), via_history);
+        // State round trip: detach + re-attach preserves estimates and
+        // never redraws cached widths.
+        let used = warmed.samples_used();
+        let state = warmed.into_state();
+        assert!(state.memory_bytes() >= used * 8);
+        let mut back = KptEstimator::from_state(sampler, 1.0, state);
+        assert_eq!(back.samples_used(), used);
+        assert_eq!(back.estimate(5), via_history);
+        assert_eq!(back.samples_used(), used, "cache hit, no new draws");
     }
 
     #[test]

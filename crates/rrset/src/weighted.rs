@@ -20,67 +20,140 @@
 //! hard removal, so the weighted collection strictly generalises
 //! [`crate::RrCollection`]. The difference at small CTPs is measured by
 //! the `ablation` harness binary.
+//!
+//! # Warm reuse: the active window
+//!
+//! Storage and postings live in a shared [`RrIndex`], and the overlay only
+//! *activates* a prefix of the stored sets: `num_sets()` counts active
+//! sets (θ as the algorithms see it), while the index may cache more. The
+//! online serving layer exploits this: a persistent per-ad `RrIndex`
+//! survives across re-allocations, each re-allocation wraps it in a fresh
+//! overlay ([`WeightedRrCollection::from_index`]), re-activates the prefix
+//! it needs ([`WeightedRrCollection::activate_next`] — bit-identical to
+//! having sampled those sets, set by set), and only samples fresh sets
+//! past the cached tail. [`WeightedRrCollection::take_index`] hands the
+//! (possibly grown) index back at the end of the run.
 
+use crate::index::RrIndex;
 use tirm_graph::NodeId;
 
-/// RR-set collection with per-set survival weights.
+/// RR-set collection with per-set survival weights over a prefix of an
+/// [`RrIndex`].
 #[derive(Clone, Debug)]
 pub struct WeightedRrCollection {
-    n: usize,
-    offsets: Vec<u32>,
-    nodes: Vec<NodeId>,
-    /// Survival weight `w_R` per set (1 until a seed in it is chosen).
+    index: RrIndex,
+    /// Survival weight `w_R` per *active* set (1 until a seed in it is
+    /// chosen). `weights.len()` is the active-window size.
     weights: Vec<f64>,
-    /// `score[v] = Σ_{R ∋ v} w_R`.
+    /// `score[v] = Σ_{active R ∋ v} w_R`.
     score: Vec<f64>,
-    /// Inverted index node → set ids.
-    index: Vec<Vec<u32>>,
-    /// `Σ_R (1 − w_R)`.
+    /// `Σ_{active R} (1 − w_R)`.
     deficit: f64,
-    /// Number of sets containing at least one chosen seed (weight < 1) —
-    /// `n·touched/θ` estimates the CTP-free spread `σ_ic(S)`, used as an
-    /// `OPT_s` lower-bound proxy for the θ formula.
+    /// Number of active sets containing at least one chosen seed
+    /// (weight < 1) — `n·touched/θ` estimates the CTP-free spread
+    /// `σ_ic(S)`, used as an `OPT_s` lower-bound proxy for the θ formula.
     touched: usize,
 }
 
 impl WeightedRrCollection {
     /// Empty collection over `n` nodes.
     pub fn new(n: usize) -> Self {
+        Self::from_index(RrIndex::new(n))
+    }
+
+    /// Overlay over an existing index with *zero* active sets: cached sets
+    /// stay dormant until [`Self::activate_next`] re-admits them.
+    pub fn from_index(index: RrIndex) -> Self {
+        let n = index.num_nodes();
         WeightedRrCollection {
-            n,
-            offsets: vec![0],
-            nodes: Vec::new(),
+            index,
             weights: Vec::new(),
             score: vec![0.0; n],
-            index: vec![Vec::new(); n],
             deficit: 0.0,
             touched: 0,
         }
     }
 
+    /// Consumes the overlay, returning the (possibly grown) index for
+    /// reuse by a later overlay.
+    pub fn take_index(self) -> RrIndex {
+        self.index
+    }
+
     /// Number of nodes the collection is defined over.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.n
+        self.index.num_nodes()
     }
 
-    /// Total number of sets added (θ).
+    /// Number of *active* sets (θ as the algorithms see it).
     #[inline]
     pub fn num_sets(&self) -> usize {
         self.weights.len()
     }
 
-    /// Adds one RR set with weight 1; returns its id.
+    /// Number of sets stored in the underlying index (≥ [`Self::num_sets`];
+    /// the difference is the dormant cached tail).
+    #[inline]
+    pub fn num_cached(&self) -> usize {
+        self.index.num_sets()
+    }
+
+    /// Adds one *fresh* RR set with weight 1; returns its id. Only legal
+    /// once the cached tail is exhausted (fresh samples append past it) —
+    /// activate cached sets first.
     pub fn add_set(&mut self, members: &[NodeId]) -> u32 {
-        let sid = self.weights.len() as u32;
-        self.nodes.extend_from_slice(members);
-        self.offsets.push(self.nodes.len() as u32);
+        debug_assert_eq!(
+            self.weights.len(),
+            self.index.num_sets(),
+            "activate cached sets before sampling fresh ones"
+        );
+        let sid = self.index.push_set(members);
         self.weights.push(1.0);
         for &v in members {
             self.score[v as usize] += 1.0;
-            self.index[v as usize].push(sid);
         }
         sid
+    }
+
+    /// Activates up to `count` dormant sets from the cached tail, in id
+    /// order, each with weight 1 — arithmetically identical to having
+    /// just sampled them. Returns how many were activated (less than
+    /// `count` when the cache runs out).
+    pub fn activate_next(&mut self, count: usize) -> usize {
+        let avail = self.index.num_sets() - self.weights.len();
+        let take = count.min(avail);
+        for _ in 0..take {
+            let sid = self.weights.len() as u32;
+            self.weights.push(1.0);
+            for &v in self.index.set(sid) {
+                self.score[v as usize] += 1.0;
+            }
+        }
+        take
+    }
+
+    /// Restores the overlay to a pristine `active`-set prefix using a
+    /// previously captured score vector (see [`Self::scores`]): weights
+    /// all 1, no deficit, no touched sets. Because pristine scores are
+    /// exact integer counts, restoring is bit-identical to re-activating
+    /// the prefix set by set — this is the online layer's O(n) warm-init
+    /// shortcut past the O(entries) activation walk.
+    pub fn restore_prefix(&mut self, active: usize, scores: &[f64]) {
+        assert!(active <= self.index.num_sets(), "prefix exceeds cache");
+        assert_eq!(scores.len(), self.num_nodes());
+        self.weights.clear();
+        self.weights.resize(active, 1.0);
+        self.score.copy_from_slice(scores);
+        self.deficit = 0.0;
+        self.touched = 0;
+    }
+
+    /// Current scores (weighted marginal coverage per node) — capture
+    /// right after activation to feed [`Self::restore_prefix`] later.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.score
     }
 
     /// Current score of `v` (weighted marginal coverage).
@@ -102,7 +175,7 @@ impl WeightedRrCollection {
         self.touched
     }
 
-    /// Commits seed `v` with click probability `delta`: every set
+    /// Commits seed `v` with click probability `delta`: every active set
     /// containing `v` keeps only a `(1 − δ)` share of its weight
     /// (`δ = 1` reproduces the paper's hard removal). Returns `v`'s score
     /// before the decay (its weighted coverage at selection time).
@@ -114,14 +187,18 @@ impl WeightedRrCollection {
     /// `from_sid` — TIRM's `UpdateEstimates` (Algorithm 4) uses this to
     /// apply existing seeds to freshly sampled sets only. Returns `v`'s
     /// weighted score restricted to the touched id range, *before* decay.
+    /// Dormant cached sets (id ≥ active window) are never touched.
     pub fn decay_node_from(&mut self, v: NodeId, delta: f64, from_sid: u32) -> f64 {
         debug_assert!((0.0..=1.0).contains(&delta));
         let keep = 1.0 - delta;
+        let active = self.weights.len() as u32;
         let mut before = 0.0f64;
-        let sids = std::mem::take(&mut self.index[v as usize]);
-        for &sid in &sids {
+        for &sid in self.index.postings(v) {
             if sid < from_sid {
                 continue;
+            }
+            if sid >= active {
+                break; // postings are ascending; the rest are dormant
             }
             let w = self.weights[sid as usize];
             if w <= 0.0 {
@@ -135,14 +212,11 @@ impl WeightedRrCollection {
                 }
                 self.weights[sid as usize] = w * keep;
                 self.deficit += dw;
-                let lo = self.offsets[sid as usize] as usize;
-                let hi = self.offsets[sid as usize + 1] as usize;
-                for i in lo..hi {
-                    self.score[self.nodes[i] as usize] -= dw;
+                for &u in self.index.set(sid) {
+                    self.score[u as usize] -= dw;
                 }
             }
         }
-        self.index[v as usize] = sids;
         before
     }
 
@@ -150,7 +224,7 @@ impl WeightedRrCollection {
     /// the lazy heap instead).
     pub fn argmax_score(&self, mut eligible: impl FnMut(NodeId) -> bool) -> Option<(NodeId, f64)> {
         let mut best: Option<(NodeId, f64)> = None;
-        for v in 0..self.n as NodeId {
+        for v in 0..self.num_nodes() as NodeId {
             let s = self.score[v as usize];
             if s <= 1e-12 || !eligible(v) {
                 continue;
@@ -162,23 +236,14 @@ impl WeightedRrCollection {
         best
     }
 
-    /// Exact bytes held (Table 4 metric).
+    /// Exact bytes held (Table 4 metric): index storage plus the overlay.
     pub fn memory_bytes(&self) -> usize {
-        let index_bytes: usize = self
-            .index
-            .iter()
-            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
-            .sum();
-        self.nodes.capacity() * 4
-            + self.offsets.capacity() * 4
-            + self.weights.capacity() * 8
-            + self.score.capacity() * 8
-            + index_bytes
+        self.index.memory_bytes() + self.weights.capacity() * 8 + self.score.capacity() * 8
     }
 
-    /// Sum of set sizes.
+    /// Sum of stored set sizes.
     pub fn total_entries(&self) -> usize {
-        self.nodes.len()
+        self.index.total_entries()
     }
 }
 
@@ -272,5 +337,66 @@ mod tests {
     fn score_key_orders() {
         assert!(score_key(2.0) > score_key(1.5));
         assert!(score_key(0.1) > score_key(0.0));
+    }
+
+    #[test]
+    fn reactivation_is_bit_identical_to_fresh_adds() {
+        // Build, decay, then rebuild an overlay over the recycled index:
+        // the reactivated collection must behave exactly like the original
+        // freshly-added one.
+        let mut c = sample();
+        c.decay_node(1, 0.7);
+        let index = c.take_index();
+        let mut warm = WeightedRrCollection::from_index(index);
+        assert_eq!(warm.num_sets(), 0);
+        assert_eq!(warm.num_cached(), 3);
+        assert_eq!(warm.activate_next(2), 2);
+        assert_eq!(warm.num_sets(), 2);
+        assert_eq!(warm.score(1), 2.0, "third set still dormant");
+        // Dormant sets are invisible to decays.
+        let before = warm.decay_node(1, 0.5);
+        assert_eq!(before, 2.0);
+        assert_eq!(warm.activate_next(10), 1, "only one dormant set left");
+        assert_eq!(warm.num_sets(), 3);
+        // The batch analogue of the same operation sequence: two adds, a
+        // decay, then a third (fresh) add — late activation must be
+        // bit-identical to it.
+        let fresh = {
+            let mut f = WeightedRrCollection::new(4);
+            f.add_set(&[0, 1]);
+            f.add_set(&[1, 2]);
+            f.decay_node(1, 0.5);
+            f.add_set(&[1]);
+            f
+        };
+        for v in 0..4 {
+            assert_eq!(warm.score(v), fresh.score(v), "node {v}");
+        }
+        assert_eq!(warm.deficit(), fresh.deficit());
+        assert_eq!(warm.union_coverage(), fresh.union_coverage());
+    }
+
+    #[test]
+    fn restore_prefix_matches_activation() {
+        let mut c = sample();
+        let snapshot: Vec<f64> = c.scores().to_vec();
+        c.decay_node(1, 0.9);
+        let index = c.take_index();
+        let mut warm = WeightedRrCollection::from_index(index);
+        warm.restore_prefix(3, &snapshot);
+        assert_eq!(warm.num_sets(), 3);
+        assert_eq!(warm.score(1), 3.0);
+        assert_eq!(warm.deficit(), 0.0);
+        assert_eq!(warm.union_coverage(), 0);
+        // Behaves exactly like the pristine original.
+        assert_eq!(warm.decay_node(1, 1.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix exceeds cache")]
+    fn restore_prefix_rejects_overrun() {
+        let mut c = sample();
+        let scores = c.scores().to_vec();
+        c.restore_prefix(4, &scores);
     }
 }

@@ -159,6 +159,14 @@ impl CtpTable {
     pub fn memory_bytes(&self) -> usize {
         self.per_ad.iter().map(|v| v.len() * 4).sum()
     }
+
+    /// Consumes the table, returning the per-ad columns — the inverse of
+    /// [`CtpTable::direct`]. The online serving layer uses this to hand
+    /// each ad its CTP column back after a re-allocation borrowed them
+    /// into a transient [`CtpTable`].
+    pub fn into_columns(self) -> Vec<Vec<f32>> {
+        self.per_ad
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,18 @@
 //!   laptop or a large server.
 //! * [`scenarios`] — the declarative scenario matrix (dataset ×
 //!   probability model × allocator × threads) behind the perf suite's
-//!   `quick` / `full` tiers.
+//!   `quick` / `full` / `paper` / `online` tiers.
+//! * [`events`] — seeded, replayable event streams for the online
+//!   serving layer (Poisson arrivals, truncated-Pareto budgets,
+//!   top-ups/departures/queries) plus the JSON-lines log format.
+//! * [`replay`] — the replay driver: feeds a log through a
+//!   `tirm_online::OnlineAllocator`, recording per-event-type latency
+//!   histograms and events/s throughput.
 
 pub mod campaigns;
 pub mod datasets;
+pub mod events;
+pub mod replay;
 pub mod scale;
 pub mod scenarios;
 pub mod toy;
@@ -28,5 +36,9 @@ pub use campaigns::{campaign, CampaignSpec};
 pub use datasets::{
     snapshot_dir, Dataset, DatasetKind, DatasetTiming, ProbModel, GENERATOR_VERSION,
 };
+pub use events::{final_population, EventStreamSpec, FinalAd, LogEvent};
+// (`replay::replay` itself is not re-exported at the root: a function
+// and a module sharing the name `replay` breaks rustdoc.)
+pub use replay::{LatencyHistogram, ReplayReport};
 pub use scale::ScaleConfig;
 pub use scenarios::{AllocatorKind, ScenarioSpec, Tier};

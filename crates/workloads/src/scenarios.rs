@@ -58,6 +58,12 @@ pub struct ScenarioSpec {
     /// paper calls Greedy "prohibitively slow"; the cap keeps its cells
     /// bounded while still measuring per-seed cost and early quality.
     pub seed_cap: Option<usize>,
+    /// Online serving cell: instead of one batch allocation, the runner
+    /// replays a generated event stream through the `tirm_online` engine
+    /// and stamps latency percentiles + events/s. `allocator` is `Tirm`
+    /// (the engine *is* TIRM under the hood) and the cell id lives in its
+    /// own `ONLINE/...` namespace.
+    pub online: bool,
 }
 
 impl ScenarioSpec {
@@ -71,12 +77,33 @@ impl ScenarioSpec {
             kappa: 1,
             lambda: 0.0,
             seed_cap: None,
+            online: false,
+        }
+    }
+
+    /// An online-serving cell over the dataset's canonical model.
+    fn online(dataset: DatasetKind, kappa: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            kappa,
+            online: true,
+            ..ScenarioSpec::base(dataset)
         }
     }
 
     /// Stable cell identity, the join key between two baseline files:
-    /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`.
+    /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`, or
+    /// `ONLINE/DATASET/model/t…/k…/l…` for serving cells.
     pub fn id(&self) -> String {
+        if self.online {
+            return format!(
+                "ONLINE/{}/{}/t{}/k{}/l{}",
+                self.dataset.name(),
+                self.model.name(),
+                self.threads,
+                self.kappa,
+                self.lambda
+            );
+        }
         format!(
             "{}/{}/{}/t{}/k{}/l{}",
             self.dataset.name(),
@@ -135,6 +162,12 @@ pub enum Tier {
     /// ingestion, allocation time and memory, like the paper's Fig. 6 /
     /// Table 4, not regret.
     Paper,
+    /// The online serving grid: event-stream replay cells across
+    /// datasets, attention bounds and thread counts, quick-tier fidelity
+    /// (CI-runnable; raise `TIRM_SCALE` for real measurement). The quick
+    /// and full tiers each embed a subset of these cells so the PR gate
+    /// and the nightly watch the serving layer by default.
+    Online,
 }
 
 impl Tier {
@@ -144,6 +177,7 @@ impl Tier {
             Tier::Quick => "quick",
             Tier::Full => "full",
             Tier::Paper => "paper",
+            Tier::Online => "online",
         }
     }
 
@@ -153,6 +187,7 @@ impl Tier {
             "quick" => Some(Tier::Quick),
             "full" => Some(Tier::Full),
             "paper" => Some(Tier::Paper),
+            "online" => Some(Tier::Online),
             _ => None,
         }
     }
@@ -183,6 +218,14 @@ impl Tier {
                 eval_runs: 0,
                 threads: default_threads(),
             },
+            // Serving cells replay dozens of events, each a
+            // re-allocation — quick-tier fidelity keeps the whole grid
+            // CI-sized; TIRM_SCALE raises it for real measurement.
+            Tier::Online => ScaleConfig {
+                scale: 0.08,
+                eval_runs: 200,
+                threads: 1,
+            },
         }
     }
 
@@ -190,14 +233,34 @@ impl Tier {
     /// Greedy-MC cells — the paper itself calls it prohibitively slow).
     fn greedy_cap(self) -> usize {
         match self {
-            Tier::Quick => 20,
+            Tier::Quick | Tier::Online => 20,
             Tier::Full | Tier::Paper => 60,
         }
+    }
+
+    /// The dedicated online-serving grid: quality datasets at κ where the
+    /// delta path gets room (κ ≥ 2, distinct topics) plus the §6.2
+    /// full-competition setups at κ = 1 (every event a warm full re-run)
+    /// and a threads axis.
+    fn online_matrix() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::online(DatasetKind::Flixster, 2),
+            ScenarioSpec::online(DatasetKind::Epinions, 2),
+            ScenarioSpec::online(DatasetKind::Epinions, 1),
+            ScenarioSpec {
+                threads: 2,
+                ..ScenarioSpec::online(DatasetKind::Epinions, 2)
+            },
+            ScenarioSpec::online(DatasetKind::Dblp, 1),
+        ]
     }
 
     /// Enumerates the tier's scenario grid, in a stable order.
     pub fn matrix(self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::new();
+        if self == Tier::Online {
+            return Self::online_matrix();
+        }
         if self == Tier::Paper {
             // §6.2 scalability block at Table-1 scale, Weighted-Cascade,
             // full competition. GREEDY-IRIE only on the DBLP-like network
@@ -254,9 +317,9 @@ impl Tier {
         // GREEDY-IRIE is skipped on LIVEJOURNAL exactly as in the paper.
         let scal_threads: &[usize] = match self {
             Tier::Quick => &[1, 2],
-            // Paper early-returned above; the arm only satisfies match
-            // exhaustiveness.
-            Tier::Full | Tier::Paper => &[1, 2, 4],
+            // Paper and Online early-returned above; the arm only
+            // satisfies match exhaustiveness.
+            Tier::Full | Tier::Paper | Tier::Online => &[1, 2, 4],
         };
         for dataset in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
             for &threads in scal_threads {
@@ -293,6 +356,18 @@ impl Tier {
                     ..ScenarioSpec::base(dataset)
                 });
             }
+        }
+
+        // Online serving cells ride along in the gated tiers so the PR
+        // gate (quick) and the nightly (full) watch the serving layer by
+        // default; the dedicated `online` tier holds the whole grid.
+        match self {
+            Tier::Quick => specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2)),
+            Tier::Full => {
+                specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2));
+                specs.push(ScenarioSpec::online(DatasetKind::Dblp, 1));
+            }
+            Tier::Paper | Tier::Online => {}
         }
 
         specs
@@ -346,8 +421,49 @@ mod tests {
     }
 
     #[test]
+    fn online_grid_shape() {
+        let specs = Tier::Online.matrix();
+        assert!(specs.len() >= 4);
+        assert!(specs.iter().all(|s| s.online), "a pure serving grid");
+        assert!(
+            specs.iter().all(|s| s.id().starts_with("ONLINE/")),
+            "serving cells live in their own id namespace"
+        );
+        assert!(
+            specs.iter().any(|s| s.kappa >= 2),
+            "a cell where the delta path has room"
+        );
+        assert!(
+            specs.iter().any(|s| s.kappa == 1),
+            "a fully-contended cell (warm full re-runs)"
+        );
+        assert!(specs.iter().any(|s| s.threads > 1), "a threads axis");
+        let cfg = Tier::Online.scale_defaults();
+        assert!(cfg.scale <= 0.2 && cfg.eval_runs <= 1000, "CI-sized");
+    }
+
+    #[test]
+    fn gated_tiers_embed_online_cells() {
+        for tier in [Tier::Quick, Tier::Full] {
+            let specs = tier.matrix();
+            assert!(
+                specs.iter().any(|s| s.online),
+                "{tier:?} must watch the serving layer"
+            );
+            // Online cells share (dataset, model) with batch cells, so the
+            // suite reuses the materialised dataset.
+            for s in specs.iter().filter(|s| s.online) {
+                assert!(specs
+                    .iter()
+                    .any(|b| !b.online && b.dataset == s.dataset && b.model == s.model));
+            }
+        }
+        assert!(!Tier::Paper.matrix().iter().any(|s| s.online));
+    }
+
+    #[test]
     fn ids_are_unique_join_keys() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
             let specs = tier.matrix();
             let ids: HashSet<_> = specs.iter().map(|s| s.id()).collect();
             assert_eq!(ids.len(), specs.len(), "duplicate id in {tier:?}");
@@ -386,7 +502,7 @@ mod tests {
 
     #[test]
     fn greedy_cells_are_capped() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
             for s in tier.matrix() {
                 if s.allocator == AllocatorKind::Greedy {
                     assert!(s.seed_cap.is_some(), "uncapped Greedy-MC cell");
@@ -399,7 +515,7 @@ mod tests {
 
     #[test]
     fn tier_parse_round_trips() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper] {
+        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
             assert_eq!(Tier::parse(tier.name()), Some(tier));
         }
         assert_eq!(Tier::parse("nightly"), None);
