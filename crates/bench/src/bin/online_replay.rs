@@ -28,6 +28,13 @@
 //!   graph's size ratio, so one committed log serves every `TIRM_SCALE`.
 //! * `--deferred`     — disable per-event reallocation; the engine
 //!   batches until each explicit `reallocate` event.
+//! * `--dump-final PATH` — also write the final [`AllocationSnapshot`]
+//!   as JSON (atomic temp+rename write; an interrupted run never leaves
+//!   a truncated file). The same payload a `tirm_server` allocation
+//!   query returns — diff two dumps to compare a wire replay against an
+//!   in-process one.
+//!
+//! [`AllocationSnapshot`]: tirm_online::AllocationSnapshot
 //!
 //! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
 //! warm-starts the dataset from the binary snapshot cache.
@@ -45,28 +52,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: online_replay [--log PATH] [--dataset NAME] [--model topic|exp|wc] \
-         [--kappa N] [--lambda F] [--seed N] [--gen N --out PATH] [--raw-budgets] [--deferred]"
+         [--kappa N] [--lambda F] [--seed N] [--gen N --out PATH] [--raw-budgets] [--deferred] \
+         [--dump-final PATH]"
     );
     ExitCode::from(2)
-}
-
-fn parse_dataset(s: &str) -> Option<DatasetKind> {
-    match s.to_ascii_uppercase().as_str() {
-        "FLIXSTER" => Some(DatasetKind::Flixster),
-        "EPINIONS" => Some(DatasetKind::Epinions),
-        "DBLP" => Some(DatasetKind::Dblp),
-        "LIVEJOURNAL" => Some(DatasetKind::LiveJournal),
-        _ => None,
-    }
-}
-
-fn parse_model(s: &str) -> Option<ProbModel> {
-    match s {
-        "topic" => Some(ProbModel::TopicConcentrated),
-        "exp" => Some(ProbModel::Exponential),
-        "wc" => Some(ProbModel::WeightedCascade),
-        _ => None,
-    }
 }
 
 #[derive(serde::Serialize)]
@@ -111,6 +100,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut raw_budgets = false;
     let mut deferred = false;
+    let mut dump_final: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -119,11 +109,11 @@ fn main() -> ExitCode {
                 Some(p) => log_path = PathBuf::from(p),
                 None => return usage("--log expects a path"),
             },
-            "--dataset" => match args.next().as_deref().and_then(parse_dataset) {
+            "--dataset" => match args.next().as_deref().and_then(DatasetKind::parse) {
                 Some(d) => dataset_kind = d,
                 None => return usage("--dataset expects FLIXSTER|EPINIONS|DBLP|LIVEJOURNAL"),
             },
-            "--model" => match args.next().as_deref().and_then(parse_model) {
+            "--model" => match args.next().as_deref().and_then(ProbModel::parse) {
                 Some(m) => model = Some(m),
                 None => return usage("--model expects topic|exp|wc"),
             },
@@ -132,7 +122,7 @@ fn main() -> ExitCode {
                 _ => return usage("--kappa expects a positive integer"),
             },
             "--lambda" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(l) if l >= 0.0 => lambda = l,
+                Some(l) if l >= 0.0 && f64::is_finite(l) => lambda = l,
                 _ => return usage("--lambda expects a non-negative float"),
             },
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
@@ -149,6 +139,10 @@ fn main() -> ExitCode {
             },
             "--raw-budgets" => raw_budgets = true,
             "--deferred" => deferred = true,
+            "--dump-final" => match args.next() {
+                Some(p) => dump_final = Some(PathBuf::from(p)),
+                None => return usage("--dump-final expects a path"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -211,9 +205,7 @@ fn main() -> ExitCode {
     opts.threads = cfg.threads;
     // Scale the per-ad θ cap with the graph scale (the perf suite's
     // convention) so sub-scale replays stay laptop-sized.
-    opts.max_theta_per_ad = opts
-        .max_theta_per_ad
-        .map(|cap| ((cap as f64 * cfg.scale.min(1.0)) as usize).max(50_000));
+    opts.scale_theta_cap(cfg.scale);
     let mut allocator = OnlineAllocator::new(
         &dataset.graph,
         &dataset.topic_probs,
@@ -275,6 +267,22 @@ fn main() -> ExitCode {
         report.final_regret_estimate,
         allocator.memory_bytes() as f64 / 1e6
     );
+
+    if let Some(path) = &dump_final {
+        let snap = allocator.snapshot();
+        match tirm_graph::snapshot::write_atomic(path, snap.to_json().as_bytes()) {
+            Ok(()) => eprintln!(
+                "[snapshot] {} (epoch {}, {} ads)",
+                path.display(),
+                snap.epoch,
+                snap.num_ads()
+            ),
+            Err(e) => {
+                eprintln!("error: writing {} failed: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     write_json(
         "online_replay",

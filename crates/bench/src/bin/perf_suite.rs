@@ -6,11 +6,14 @@
 //! ```
 //!
 //! Flags:
-//! * `--tier quick|full|paper|online` — which grid (default `quick`;
+//! * `--tier quick|full|paper|online|serving` — which grid (default `quick`;
 //!   `paper` is the Table-1-scale scalability grid — LIVEJOURNAL at 4.8M
 //!   nodes, MC evaluation skipped; `online` is the event-stream serving
 //!   grid — cells replay generated campaign streams through the
-//!   `tirm_online` engine and stamp latency percentiles + events/s).
+//!   `tirm_online` engine and stamp latency percentiles + events/s;
+//!   `serving` is the network frontend grid — each cell boots a real
+//!   `tirm_server` on loopback and drives it with the load generator,
+//!   stamping wire latencies, read-path p99/throughput and shed rate).
 //! * `--out PATH`        — artifact path (default
 //!   `target/experiments/BENCH_<sha>.json`, honouring
 //!   `TIRM_EXPERIMENTS_DIR`).
@@ -36,7 +39,7 @@ use tirm_workloads::Tier;
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_suite [--tier quick|full|paper|online] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
+        "usage: perf_suite [--tier quick|full|paper|online|serving] [--out PATH] [--filter SUBSTR] [--seed N] [--list]"
     );
     ExitCode::from(2)
 }
@@ -53,7 +56,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--tier" => match args.next().as_deref().and_then(Tier::parse) {
                 Some(t) => tier = t,
-                None => return usage("--tier expects quick|full|paper|online"),
+                None => return usage("--tier expects quick|full|paper|online|serving"),
             },
             "--out" => match args.next() {
                 Some(p) => out = Some(PathBuf::from(p)),

@@ -363,13 +363,14 @@ fn diff_cell(
         }
 
         // Serving metrics (0 on batch cells, so they never gate there).
-        // Latency percentiles gate like wall-clock with their own noise
-        // floors; throughput gates in the *opposite* direction (a drop
-        // is the regression).
+        // Latency percentiles — including the network read path's p99 —
+        // gate like wall-clock with their own noise floors; throughput
+        // gates in the *opposite* direction (a drop is the regression).
         for (name, o, n) in [
             ("latency_p50_us", oc.latency_p50_us, nc.latency_p50_us),
             ("latency_p95_us", oc.latency_p95_us, nc.latency_p95_us),
             ("latency_p99_us", oc.latency_p99_us, nc.latency_p99_us),
+            ("read_p99_us", oc.read_p99_us, nc.read_p99_us),
         ] {
             if o < LATENCY_MIN_US {
                 continue;
@@ -380,22 +381,33 @@ fn diff_cell(
                 push(name, o, n, Verdict::Improvement);
             }
         }
-        let (o, n) = (oc.events_per_s, nc.events_per_s);
-        if o >= EVENTS_PER_S_MIN {
-            if rel_exceeds(n, o, opts.time_rel_tol) {
-                push("events_per_s", o, n, Verdict::Regression);
-            } else if rel_exceeds(o, n, opts.time_rel_tol) {
-                push("events_per_s", o, n, Verdict::Improvement);
+        for (name, o, n) in [
+            ("events_per_s", oc.events_per_s, nc.events_per_s),
+            ("reads_per_s", oc.reads_per_s, nc.reads_per_s),
+        ] {
+            if o >= EVENTS_PER_S_MIN {
+                if rel_exceeds(n, o, opts.time_rel_tol) {
+                    push(name, o, n, Verdict::Regression);
+                } else if rel_exceeds(o, n, opts.time_rel_tol) {
+                    push(name, o, n, Verdict::Improvement);
+                }
             }
         }
+        // `shed_rate` is recorded but never gated: in deterministic-
+        // delivery runs it measures retry pressure — a pure function of
+        // machine speed, too noisy for a pass/fail threshold.
     }
     out
 }
 
-/// Serving-latency noise gates: sub-200 µs baselines are scheduler
-/// noise on shared runners, and a finding additionally needs ≥ 1 ms of
-/// absolute movement (mirroring `time_abs_slack_s` at event scale).
-const LATENCY_MIN_US: f64 = 200.0;
+/// Serving-latency noise gates: latencies below ~2 ms are wire/scheduler
+/// noise on shared 1-CPU runners (a single delayed response moves a
+/// 150-sample p99 by milliseconds), so only baselines above the floor
+/// gate — the in-process ONLINE cells' allocator latencies (3–20 ms)
+/// and any real serving tail. Sub-floor metrics are still recorded in
+/// the artifact. A finding additionally needs ≥ 1 ms of absolute
+/// movement (mirroring `time_abs_slack_s` at event scale).
+const LATENCY_MIN_US: f64 = 2_000.0;
 const LATENCY_SLACK_US: f64 = 1_000.0;
 /// Throughput below one event per second is a degenerate cell; don't
 /// gate on its ratios.
@@ -435,6 +447,9 @@ mod tests {
             latency_p95_us: 0.0,
             latency_p99_us: 0.0,
             events_per_s: 0.0,
+            read_p99_us: 0.0,
+            reads_per_s: 0.0,
+            shed_rate: 0.0,
             peak_rss_bytes: 64 << 20,
         }
     }
@@ -663,6 +678,39 @@ mod tests {
             &DiffOptions::default(),
         );
         assert!(d.findings.is_empty());
+    }
+
+    #[test]
+    fn read_path_metrics_gate_serving_cells() {
+        let mut serving = cell("SERVING/a");
+        serving.read_p99_us = 2_000.0;
+        serving.reads_per_s = 8_000.0;
+        serving.shed_rate = 0.2;
+        let old = report(vec![serving.clone()]);
+
+        // Read-path p99 blowup is a regression on its own.
+        let mut slow = serving.clone();
+        slow.read_p99_us = 9_000.0;
+        let d = diff_reports(&old, &report(vec![slow]), &DiffOptions::default());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "read_p99_us" && f.verdict == Verdict::Regression));
+
+        // Reader throughput gates inverted.
+        let mut throttled = serving.clone();
+        throttled.reads_per_s = 4_000.0;
+        let d = diff_reports(&old, &report(vec![throttled]), &DiffOptions::default());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "reads_per_s" && f.verdict == Verdict::Regression));
+
+        // Shed rate is recorded, never gated.
+        let mut sheddy = serving.clone();
+        sheddy.shed_rate = 0.9;
+        let d = diff_reports(&old, &report(vec![sheddy]), &DiffOptions::default());
+        assert!(!d.has_regressions(), "{:?}", d.findings);
     }
 
     #[test]

@@ -2,17 +2,19 @@
 //! problem construction from workloads, and result output (aligned text
 //! tables on stdout + JSON rows under `target/experiments/`).
 //!
-//! The measurement backbone lives in three submodules: [`schema`] (the
+//! The measurement backbone lives in four submodules: [`schema`] (the
 //! versioned `BENCH_*.json` artifact every experiment emits), [`suite`]
-//! (the deterministic scenario-matrix runner behind `perf_suite`) and
-//! [`diff`] (the noise-aware baseline comparison behind `bench_diff`).
+//! (the deterministic scenario-matrix runner behind `perf_suite`),
+//! [`diff`] (the noise-aware baseline comparison behind `bench_diff`)
+//! and [`loadgen`] (the open-loop wire-protocol driver behind the
+//! `loadgen` bin and the `SERVING/…` cells).
 
 pub mod diff;
+pub mod loadgen;
 pub mod schema;
 pub mod suite;
 
 use serde::Serialize;
-use std::io::Write as _;
 use std::path::PathBuf;
 use tirm_core::{
     evaluate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
@@ -220,15 +222,14 @@ pub fn experiments_dir() -> PathBuf {
 
 /// Writes experiment rows as pretty-printed JSON under
 /// [`experiments_dir()`]`/<name>.json`, creating the directory if missing.
-/// Returns the written path; IO failures are surfaced as errors.
+/// Returns the written path; IO failures are surfaced as errors. Commits
+/// through the atomic temp+rename writer so an interrupted run never
+/// leaves a truncated artifact.
 pub fn try_write_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
-    let dir = experiments_dir();
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path)?;
+    let path = experiments_dir().join(format!("{name}.json"));
     let s = serde_json::to_string_pretty(rows)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    f.write_all(s.as_bytes())?;
+    tirm_graph::snapshot::write_atomic(&path, s.as_bytes())?;
     Ok(path)
 }
 

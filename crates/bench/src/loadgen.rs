@@ -1,0 +1,327 @@
+//! Open-loop load generator for the `tirm_server` wire protocol.
+//!
+//! One **mutation connection** streams an event log at either a target
+//! open-loop Poisson rate (requests fire on the clock's schedule,
+//! whether or not the server liked the last one — the arrival process
+//! is independent of service times, so backpressure shows up as shed
+//! load, not as a silently slowed generator) or closed-loop as fast as
+//! responses return. A pool of **reader connections** concurrently
+//! hammers the snapshot-swapped read path (`regret` / `stats` / `ad`
+//! queries) for the whole run — per-request-kind latency histograms on
+//! both sides are the measurement the `SERVING/…` bench cells stamp
+//! into the artifact.
+//!
+//! Two delivery modes:
+//! * `retry: true` — deterministic delivery: `Overloaded` responses are
+//!   retried until admitted, so the server's final state is a pure
+//!   function of the log (what the bench cells and the equivalence
+//!   anchor need). Shed responses still count: they measure
+//!   backpressure.
+//! * `retry: false` — open-loop overload probing: shed mutations are
+//!   dropped, as a real ingestion edge would.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use tirm_online::EventKind;
+use tirm_server::{Client, Request, Response, StatsView};
+use tirm_workloads::events::LogEvent;
+use tirm_workloads::LatencyHistogram;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How `drive` offers the log to the server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent reader connections (each closed-loop).
+    pub readers: usize,
+    /// Open-loop Poisson rate in events/s; `None` = closed-loop (send
+    /// the next event as soon as the previous response arrives).
+    pub rate: Option<f64>,
+    /// Retry `Overloaded` mutations until admitted (deterministic
+    /// delivery).
+    pub retry: bool,
+    /// Seed of the pacing clock and the readers' query mix.
+    pub seed: u64,
+    /// After the log is sent, poll until the writer drained the queue
+    /// (epoch stable) before stopping the readers — so read latencies
+    /// cover the busy period, and the caller can snapshot final state.
+    pub drain: bool,
+    /// Pause between a reader's queries. `ZERO` = fully closed-loop
+    /// (maximum read pressure — right for multicore scaling runs); the
+    /// bench cells use a small pause so that on a 1-CPU container the
+    /// reader pool doesn't starve the writer of its own measurement
+    /// (unpaced, cell wall time swings ±30% run-to-run with scheduler
+    /// luck, which would flap the CI wall-clock gate).
+    pub read_pause: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            readers: 4,
+            rate: None,
+            retry: true,
+            seed: 0x10ad,
+            drain: true,
+            read_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// What a `drive` run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Wall-clock seconds from the first request to the drain.
+    pub wall_s: f64,
+    /// Mutation attempts sent (retries count).
+    pub offered: u64,
+    /// Mutations admitted (`Accepted`).
+    pub accepted: u64,
+    /// Mutations shed (`Overloaded`), including attempts later retried.
+    pub shed: u64,
+    /// Per-attempt wire latency of mutations (send → response),
+    /// including shed attempts.
+    pub mutation_latency: LatencyHistogram,
+    /// Mutation latency split by event kind ([`EventKind::ALL`] order;
+    /// `RegretQuery` entries are stream-embedded reads).
+    pub per_kind: Vec<(EventKind, LatencyHistogram)>,
+    /// Read queries served across the reader pool.
+    pub reads: u64,
+    /// Wire latency of the reader pool's queries.
+    pub read_latency: LatencyHistogram,
+    /// Reads served per reader connection (scaling evidence: every
+    /// reader makes progress while the writer grinds).
+    pub reads_per_reader: Vec<u64>,
+    /// Admitted mutations per wall-clock second.
+    pub events_per_s: f64,
+    /// Reader-pool queries per wall-clock second.
+    pub reads_per_s: f64,
+    /// Server statistics after the drain.
+    pub final_stats: StatsView,
+}
+
+impl LoadReport {
+    /// Shed / offered (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Drives `log` against the server at `addr`. Returns when the log is
+/// sent (and, with `drain`, applied) and the readers have stopped.
+pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (mutation_side, read_side) = std::thread::scope(|s| -> io::Result<_> {
+        let readers: Vec<_> = (0..cfg.readers)
+            .map(|r| {
+                let stop = &stop;
+                let pause = cfg.read_pause;
+                let seed = cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                s.spawn(move || reader_loop(addr, stop, seed, pause))
+            })
+            .collect();
+
+        let mutation_side = mutation_loop(addr, log, cfg);
+        stop.store(true, Ordering::Release);
+        let mut read_latency = LatencyHistogram::default();
+        let mut reads_per_reader = Vec::with_capacity(cfg.readers);
+        for handle in readers {
+            let (count, hist) = handle.join().expect("reader panicked")?;
+            reads_per_reader.push(count);
+            for &ns in hist.samples() {
+                read_latency.record(ns);
+            }
+        }
+        Ok((mutation_side?, (read_latency, reads_per_reader)))
+    })?;
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let (offered, accepted, shed, mutation_latency, per_kind, final_stats) = mutation_side;
+    let (read_latency, reads_per_reader) = read_side;
+    let reads: u64 = reads_per_reader.iter().sum();
+    Ok(LoadReport {
+        wall_s,
+        offered,
+        accepted,
+        shed,
+        mutation_latency,
+        per_kind,
+        reads,
+        read_latency,
+        reads_per_reader,
+        events_per_s: if wall_s > 0.0 {
+            accepted as f64 / wall_s
+        } else {
+            0.0
+        },
+        reads_per_s: if wall_s > 0.0 {
+            reads as f64 / wall_s
+        } else {
+            0.0
+        },
+        final_stats,
+    })
+}
+
+type MutationSide = (
+    u64,
+    u64,
+    u64,
+    LatencyHistogram,
+    Vec<(EventKind, LatencyHistogram)>,
+    StatsView,
+);
+
+fn mutation_loop(
+    addr: SocketAddr,
+    log: &[LogEvent],
+    cfg: &LoadgenConfig,
+) -> io::Result<MutationSide> {
+    let mut client = Client::connect(addr)?;
+    let mut overall = LatencyHistogram::default();
+    let mut per_kind: Vec<(EventKind, LatencyHistogram)> = EventKind::ALL
+        .into_iter()
+        .map(|k| (k, LatencyHistogram::default()))
+        .collect();
+    let (mut offered, mut accepted, mut shed) = (0u64, 0u64, 0u64);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let t0 = Instant::now();
+    let mut next = Duration::ZERO;
+    for e in log {
+        // Open-loop pacing: fire on the schedule, not on the last
+        // response.
+        if let Some(rate) = cfg.rate {
+            let gap: f64 = rng.gen::<f64>().max(1e-12);
+            next += Duration::from_secs_f64(-gap.ln() / rate);
+            let now = t0.elapsed();
+            if next > now {
+                std::thread::sleep(next - now);
+            }
+        }
+        let kind = e.event.kind();
+        let record = |hists: &mut Vec<(EventKind, LatencyHistogram)>,
+                      overall: &mut LatencyHistogram,
+                      nanos: u64| {
+            overall.record(nanos);
+            hists
+                .iter_mut()
+                .find(|(k, _)| *k == kind)
+                .expect("all kinds present")
+                .1
+                .record(nanos);
+        };
+        loop {
+            let t = Instant::now();
+            let resp = client.send_event(&e.event)?;
+            let nanos = t.elapsed().as_nanos() as u64;
+            match resp {
+                Response::Accepted { .. } => {
+                    offered += 1;
+                    accepted += 1;
+                    record(&mut per_kind, &mut overall, nanos);
+                    break;
+                }
+                Response::Overloaded { .. } => {
+                    offered += 1;
+                    shed += 1;
+                    record(&mut per_kind, &mut overall, nanos);
+                    if !cfg.retry {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                // Stream-embedded reads and allocator-level rejections
+                // still measure a served request.
+                Response::Regret { .. } | Response::Rejected { .. } => {
+                    record(&mut per_kind, &mut overall, nanos);
+                    break;
+                }
+                // The server draining mid-log means the rest of the log
+                // cannot be delivered — loud failure, never a silent
+                // partial replay (deterministic-delivery callers treat
+                // the final state as a pure function of the *full* log).
+                Response::ShuttingDown => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        format!(
+                            "server began shutdown after {accepted} of {} events",
+                            log.len()
+                        ),
+                    ))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response to mutation: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    // Drain: wait until the writer applied everything it admitted.
+    let mut stats = client.stats()?;
+    if cfg.drain {
+        loop {
+            if stats.queue_depth == 0 {
+                let again = client.stats()?;
+                if again.epoch == stats.epoch {
+                    stats = again;
+                    break;
+                }
+                stats = again;
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+                stats = client.stats()?;
+            }
+        }
+    }
+    Ok((offered, accepted, shed, overall, per_kind, stats))
+}
+
+/// One reader connection: closed-loop mix of `regret` / `stats` / `ad`
+/// queries until stopped.
+fn reader_loop(
+    addr: SocketAddr,
+    stop: &AtomicBool,
+    seed: u64,
+    pause: Duration,
+) -> io::Result<(u64, LatencyHistogram)> {
+    let mut client = Client::connect(addr)?;
+    let mut hist = LatencyHistogram::default();
+    let mut count = 0u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    while !stop.load(Ordering::Acquire) {
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        let roll = rng.gen_range(0..6u32);
+        let req = match roll {
+            0..=2 => Request::RegretQuery,
+            3 | 4 => Request::Stats,
+            _ => Request::AdQuery {
+                id: rng.gen_range(1..12u32) as u64,
+            },
+        };
+        let t = Instant::now();
+        let resp = client.request(&req)?;
+        hist.record(t.elapsed().as_nanos() as u64);
+        match resp {
+            Response::Regret { .. } | Response::Stats(_) | Response::Ad { .. } => count += 1,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected read response: {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok((count, hist))
+}

@@ -25,7 +25,11 @@ use tirm_workloads::ScaleConfig;
 /// v3 added the online-serving metrics `latency_p50_us` /
 /// `latency_p95_us` / `latency_p99_us` / `events_per_s` (0.0 on batch
 /// cells; absent ⇒ 0.0 in v1/v2 artifacts).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the network-serving metrics `read_p99_us` / `reads_per_s` /
+/// `shed_rate` (0.0 outside `SERVING/…` cells; absent ⇒ 0.0 in pre-v4
+/// artifacts).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Where an artifact was measured. Wall-clock comparisons are only
 /// meaningful between comparable environments (same OS/arch/CPU count);
@@ -144,6 +148,17 @@ pub struct BenchCell {
     pub latency_p99_us: f64,
     /// Online cells: accepted events per wall-clock second.
     pub events_per_s: f64,
+    /// Network serving cells: p99 latency of the concurrent readers'
+    /// wire queries in microseconds — the snapshot-swapped read path
+    /// under a grinding writer (0 elsewhere; absent pre-v4, decoded 0).
+    pub read_p99_us: f64,
+    /// Network serving cells: read queries served per wall-clock second
+    /// across the reader pool.
+    pub reads_per_s: f64,
+    /// Network serving cells: mutations shed by admission control /
+    /// offered mutations (retries count as offers, so deterministic-
+    /// delivery runs report their backpressure here).
+    pub shed_rate: f64,
     /// Process peak RSS (`VmHWM`) when the cell finished, bytes; 0 if
     /// unavailable. A high-water mark is monotone across a run, so this
     /// is *not* a per-cell quantity: it depends on matrix order and
@@ -165,6 +180,9 @@ impl BenchCell {
         self.latency_p95_us = 0.0;
         self.latency_p99_us = 0.0;
         self.events_per_s = 0.0;
+        self.read_p99_us = 0.0;
+        self.reads_per_s = 0.0;
+        self.shed_rate = 0.0;
         self.peak_rss_bytes = 0;
     }
 }
@@ -326,6 +344,9 @@ impl BenchCell {
             latency_p95_us: f64_field_since(v, "latency_p95_us", 3, schema_version)?,
             latency_p99_us: f64_field_since(v, "latency_p99_us", 3, schema_version)?,
             events_per_s: f64_field_since(v, "events_per_s", 3, schema_version)?,
+            read_p99_us: f64_field_since(v, "read_p99_us", 4, schema_version)?,
+            reads_per_s: f64_field_since(v, "reads_per_s", 4, schema_version)?,
+            shed_rate: f64_field_since(v, "shed_rate", 4, schema_version)?,
             peak_rss_bytes: usize_field(v, "peak_rss_bytes")?,
         })
     }
@@ -452,6 +473,9 @@ mod tests {
             latency_p95_us: 2_100.0,
             latency_p99_us: 4_200.0,
             events_per_s: 118.5,
+            read_p99_us: 310.0,
+            reads_per_s: 5_400.0,
+            shed_rate: 0.125,
             peak_rss_bytes: 52_428_800,
         }
     }
@@ -516,6 +540,9 @@ mod tests {
         assert_eq!(c.latency_p95_us, 0.0);
         assert_eq!(c.latency_p99_us, 0.0);
         assert_eq!(c.events_per_s, 0.0);
+        assert_eq!(c.read_p99_us, 0.0);
+        assert_eq!(c.reads_per_s, 0.0);
+        assert_eq!(c.shed_rate, 0.0);
         assert_eq!(c.peak_rss_bytes, 0);
         assert_eq!(c.theta, 123_456, "deterministic payload untouched");
         assert_eq!(c.total_regret, 17.25);
@@ -532,7 +559,7 @@ mod tests {
             vec![sample_cell("v1cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 1");
         for key in [
             "dataset_cold_s",
             "dataset_warm_s",
@@ -540,6 +567,9 @@ mod tests {
             "latency_p95_us",
             "latency_p99_us",
             "events_per_s",
+            "read_p99_us",
+            "reads_per_s",
+            "shed_rate",
         ] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
@@ -581,12 +611,15 @@ mod tests {
             vec![sample_cell("v2cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 2");
         for key in [
             "latency_p50_us",
             "latency_p95_us",
             "latency_p99_us",
             "events_per_s",
+            "read_p99_us",
+            "reads_per_s",
+            "shed_rate",
         ] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
@@ -605,6 +638,39 @@ mod tests {
         let v3_missing = text.replace("\"schema_version\": 2", "\"schema_version\": 3");
         assert!(matches!(
             BenchReport::from_json_str(&v3_missing),
+            Err(SchemaError::Field(_))
+        ));
+    }
+
+    #[test]
+    fn v3_artifacts_without_serving_frontend_metrics_still_load() {
+        // PR-4-era baselines are v3: no network-serving metrics. They
+        // must decode with zeros; a v4 artifact missing them is
+        // rejected.
+        let report = BenchReport::new(
+            "quick",
+            EnvFingerprint::current(&ScaleConfig::default()),
+            vec![sample_cell("v3cell")],
+        );
+        let mut text = report.to_json_string();
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        for key in ["read_p99_us", "reads_per_s", "shed_rate"] {
+            let from = text.find(key).expect("field serialized");
+            let to = text[from..].find('\n').unwrap() + from + 1;
+            text.replace_range(from - 1..to, "");
+        }
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.cells[0].read_p99_us, 0.0);
+        assert_eq!(back.cells[0].reads_per_s, 0.0);
+        assert_eq!(back.cells[0].shed_rate, 0.0);
+        assert_eq!(
+            back.cells[0].latency_p99_us, 4_200.0,
+            "v3 fields still strict in v3"
+        );
+        let v4_missing = text.replace("\"schema_version\": 3", "\"schema_version\": 4");
+        assert!(matches!(
+            BenchReport::from_json_str(&v4_missing),
             Err(SchemaError::Field(_))
         ));
     }

@@ -7,12 +7,14 @@
 //! reuse the same layer ([`cell_from_run`], [`run_scalability_cell`]) so
 //! every experiment in the repo emits comparable `BENCH_*.json` cells.
 
+use crate::loadgen::{drive, LoadgenConfig};
 use crate::schema::{BenchCell, BenchReport, EnvFingerprint};
 use crate::tirm_options;
 use std::time::Instant;
 use tirm_core::{
     evaluate, greedy_allocate, greedy_irie_allocate, metrics, tirm_allocate, Advertiser, AlgoStats,
     Allocation, Attention, Evaluation, GreedyIrieOptions, GreedyOptions, ProblemInstance,
+    TirmOptions,
 };
 use tirm_diffusion::McOracle;
 use tirm_irie::IrieConfig;
@@ -103,14 +105,28 @@ pub fn run_suite(cfg: &SuiteConfig) -> BenchReport {
                 slot.insert(dataset)
             }
         };
-        let mut cell = if spec.online {
+        let mut cell = if spec.serving {
+            run_serving_cell(dataset, spec, &cfg.scale, cfg.base_seed)
+        } else if spec.online {
             run_online_cell(dataset, spec, &cfg.scale, cfg.base_seed)
         } else {
             run_scenario_on(dataset, spec, &cfg.scale, cfg.base_seed)
         };
         cell.dataset_cold_s = timing.cold_s;
         cell.dataset_warm_s = timing.warm_s;
-        if spec.online {
+        if spec.serving {
+            eprintln!(
+                "        {:.2}s served, {:.0} ev/s, wire p99={:.0}µs, read p99={:.0}µs \
+                 ({:.0} reads/s), shed {:.1}%, regret={:.2}",
+                cell.wall_s,
+                cell.events_per_s,
+                cell.latency_p99_us,
+                cell.read_p99_us,
+                cell.reads_per_s,
+                cell.shed_rate * 100.0,
+                cell.total_regret
+            );
+        } else if spec.online {
             eprintln!(
                 "        {:.2}s replay, {:.0} ev/s, p50={:.0}µs p99={:.0}µs, regret={:.2}",
                 cell.wall_s,
@@ -140,7 +156,9 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: &ScaleConfig, base_seed: u64) ->
         scale,
         spec.problem_seed(base_seed),
     );
-    if spec.online {
+    if spec.serving {
+        run_serving_cell(&dataset, spec, scale, base_seed)
+    } else if spec.online {
         run_online_cell(&dataset, spec, scale, base_seed)
     } else {
         run_scenario_on(&dataset, spec, scale, base_seed)
@@ -163,27 +181,8 @@ pub fn run_online_cell(
 ) -> BenchCell {
     assert!(spec.online, "not an online cell: {}", spec.id());
     let aseed = spec.seed(base_seed);
-    let quality = spec.is_quality();
-    // Same budget conventions as the batch cells: paper-scale budgets ×
-    // size ratio, with the √-boost restoring budget ≫ single-seed-spread
-    // on sub-paper-scale scalability graphs (no-op at scale ≥ 1).
-    let boost = if quality {
-        1.0
-    } else {
-        (1.0 / scale.scale.min(1.0)).sqrt()
-    };
-    let stream = EventStreamSpec::for_dataset(
-        spec.dataset,
-        ONLINE_EVENTS_PER_CELL,
-        spec.problem_seed(base_seed) ^ 0xeb57,
-    );
-    let log = stream.generate(dataset.size_ratio * boost);
-
-    let mut opts = tirm_options(quality, aseed);
-    opts.threads = spec.threads;
-    opts.max_theta_per_ad = opts
-        .max_theta_per_ad
-        .map(|cap| ((cap as f64 * scale.scale.min(1.0)) as usize).max(50_000));
+    let log = serving_stream(dataset, spec, scale, base_seed, 0xeb57);
+    let opts = serving_tirm_options(spec, scale, aseed);
     let mut allocator = OnlineAllocator::new(
         &dataset.graph,
         &dataset.topic_probs,
@@ -201,39 +200,10 @@ pub fn run_online_cell(
 
     // Evaluate the final allocation against the final ad population —
     // exactly the batch problem the replay is bit-equivalent to.
-    let finals = final_population(&log);
     let alloc = allocator.allocation();
-    let n = dataset.graph.num_nodes();
     let theta = allocator.total_rr_sets();
     let memory_bytes = allocator.memory_bytes();
-    let (nodes, edges) = (n, dataset.graph.num_edges());
-    let (ev, eval_s) = if finals.is_empty() || scale.eval_runs == 0 {
-        (None, 0.0)
-    } else {
-        let ads: Vec<Advertiser> = finals
-            .iter()
-            .map(|f| Advertiser::new(f.budget, f.cpe, f.topics.clone()))
-            .collect();
-        let probs: Vec<Vec<f32>> = finals
-            .iter()
-            .map(|f| dataset.topic_probs.project(&f.topics))
-            .collect();
-        let ctp = CtpTable::direct(finals.iter().map(|f| vec![f.ctp; n]).collect());
-        let problem = ProblemInstance::new(
-            &dataset.graph,
-            ads,
-            probs,
-            ctp,
-            Attention::Uniform(spec.kappa),
-            spec.lambda,
-        );
-        alloc
-            .validate(&problem)
-            .expect("online engine produced an invalid allocation");
-        let t1 = Instant::now();
-        let ev = evaluate(&problem, &alloc, scale.eval_runs, 0xe7a1, spec.threads);
-        (Some(ev), t1.elapsed().as_secs_f64())
-    };
+    let (finals, ev, eval_s) = eval_final_allocation(dataset, spec, scale, &log, &alloc);
 
     BenchCell {
         id: spec.id(),
@@ -244,9 +214,9 @@ pub fn run_online_cell(
         kappa: spec.kappa,
         lambda: spec.lambda,
         seed: aseed,
-        nodes,
-        edges,
-        ads: finals.len(),
+        nodes: dataset.graph.num_nodes(),
+        edges: dataset.graph.num_edges(),
+        ads: finals,
         theta,
         total_seeds: alloc.total_seeds(),
         distinct_targeted: alloc.distinct_targeted(),
@@ -268,8 +238,206 @@ pub fn run_online_cell(
         latency_p95_us: report.overall.percentile_us(95.0),
         latency_p99_us: report.overall.percentile_us(99.0),
         events_per_s: report.events_per_s,
+        read_p99_us: 0.0,
+        reads_per_s: 0.0,
+        shed_rate: 0.0,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
+}
+
+/// Reader connections every `SERVING/…` cell drives concurrently with
+/// its mutation stream — the acceptance floor for "readers served
+/// lock-free while the writer grinds".
+pub const SERVING_READERS: usize = 4;
+
+/// Runs one network serving cell: boot a real `tirm_server` on a
+/// loopback port over the shared dataset, drive it with the load
+/// generator (mutation stream in deterministic-delivery mode — every
+/// event is retried until admitted, so the drained final snapshot is a
+/// pure function of the log — plus [`SERVING_READERS`] concurrent
+/// reader connections), then MC-evaluate the drained allocation exactly
+/// like the online cells. Wire latencies, the read path's p99/through-
+/// put and the shed rate land in the artifact's v4 fields.
+pub fn run_serving_cell(
+    dataset: &Dataset,
+    spec: &ScenarioSpec,
+    scale: &ScaleConfig,
+    base_seed: u64,
+) -> BenchCell {
+    assert!(spec.serving, "not a serving cell: {}", spec.id());
+    let aseed = spec.seed(base_seed);
+    // A distinct stream salt: the serving cell measures the same grid
+    // point as its ONLINE sibling but must not share its exact event
+    // stream, or one cell's regression hides in the other's noise.
+    let log = serving_stream(dataset, spec, scale, base_seed, 0x5e11);
+    let opts = serving_tirm_options(spec, scale, aseed);
+    let server_cfg = tirm_server::ServerConfig {
+        online: OnlineConfig {
+            tirm: opts,
+            kappa: spec.kappa,
+            lambda: spec.lambda,
+            ..OnlineConfig::default()
+        },
+        queue_depth: 32,
+        ..tirm_server::ServerConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let (load, served) =
+        tirm_server::serve(&dataset.graph, &dataset.topic_probs, server_cfg, |handle| {
+            drive(
+                handle.addr(),
+                &log,
+                &LoadgenConfig {
+                    readers: SERVING_READERS,
+                    rate: None,
+                    retry: true,
+                    seed: aseed,
+                    drain: true,
+                    // Paced readers: still thousands of concurrent reads
+                    // per cell, but the writer's wall time — the metric
+                    // the CI gate watches — stays reproducible on 1 CPU.
+                    read_pause: std::time::Duration::from_micros(500),
+                },
+            )
+            .expect("load generator failed")
+        })
+        .expect("serving cell server failed");
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        served.rejected, 0,
+        "generated streams are always valid once fully delivered"
+    );
+    assert!(
+        load.reads_per_reader.iter().all(|&c| c > 0),
+        "every reader connection must make progress while the writer grinds"
+    );
+
+    // The drained snapshot is the allocation the cell evaluates —
+    // deterministic because delivery was deterministic.
+    let snap = &served.final_snapshot;
+    let mut alloc = Allocation::empty(snap.num_ads(), dataset.graph.num_nodes());
+    for (i, ad) in snap.ads.iter().enumerate() {
+        for &v in &ad.seeds {
+            alloc.assign(v, i);
+        }
+    }
+    let (finals, ev, eval_s) = eval_final_allocation(dataset, spec, scale, &log, &alloc);
+    assert_eq!(finals, snap.num_ads(), "snapshot ≡ folded final population");
+
+    BenchCell {
+        id: spec.id(),
+        dataset: dataset.kind.name().to_string(),
+        prob_model: spec.model.name().to_string(),
+        allocator: "SERVING".to_string(),
+        threads: spec.threads,
+        kappa: spec.kappa,
+        lambda: spec.lambda,
+        seed: aseed,
+        nodes: dataset.graph.num_nodes(),
+        edges: dataset.graph.num_edges(),
+        ads: finals,
+        theta: snap.total_rr_sets,
+        total_seeds: alloc.total_seeds(),
+        distinct_targeted: alloc.distinct_targeted(),
+        total_regret: ev.as_ref().map(|e| e.regret.total()).unwrap_or(0.0),
+        relative_regret: ev
+            .as_ref()
+            .map(|e| e.regret.relative_regret())
+            .unwrap_or(0.0),
+        revenue: ev.as_ref().map(|e| e.regret.total_revenue()).unwrap_or(0.0),
+        memory_bytes: snap.engine_memory_bytes,
+        wall_s,
+        eval_s,
+        dataset_cold_s: 0.0,
+        dataset_warm_s: 0.0,
+        rr_sets_per_s: 0.0,
+        // Wire-level mutation latencies (send → typed response,
+        // including retried attempts).
+        latency_p50_us: load.mutation_latency.percentile_us(50.0),
+        latency_p95_us: load.mutation_latency.percentile_us(95.0),
+        latency_p99_us: load.mutation_latency.percentile_us(99.0),
+        events_per_s: load.events_per_s,
+        read_p99_us: load.read_latency.percentile_us(99.0),
+        reads_per_s: load.reads_per_s,
+        shed_rate: load.shed_rate(),
+        peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
+    }
+}
+
+/// The event stream of a serving-type cell (online or network): same
+/// budget conventions as the batch cells — paper-scale budgets × size
+/// ratio, with the √-boost restoring budget ≫ single-seed-spread on
+/// sub-paper-scale scalability graphs (no-op at scale ≥ 1).
+fn serving_stream(
+    dataset: &Dataset,
+    spec: &ScenarioSpec,
+    scale: &ScaleConfig,
+    base_seed: u64,
+    salt: u64,
+) -> Vec<tirm_workloads::LogEvent> {
+    let boost = if spec.is_quality() {
+        1.0
+    } else {
+        (1.0 / scale.scale.min(1.0)).sqrt()
+    };
+    let stream = EventStreamSpec::for_dataset(
+        spec.dataset,
+        ONLINE_EVENTS_PER_CELL,
+        spec.problem_seed(base_seed) ^ salt,
+    );
+    stream.generate(dataset.size_ratio * boost)
+}
+
+/// TIRM options of a serving-type cell (the per-ad θ cap scaled with
+/// the tier's graph scale, like every other cell family).
+fn serving_tirm_options(spec: &ScenarioSpec, scale: &ScaleConfig, aseed: u64) -> TirmOptions {
+    let mut opts = tirm_options(spec.is_quality(), aseed);
+    opts.threads = spec.threads;
+    opts.scale_theta_cap(scale.scale);
+    opts
+}
+
+/// MC-evaluates a serving-type cell's final allocation against the ad
+/// population left live by the log — exactly the batch problem the
+/// replay is bit-equivalent to. Returns (final ads, evaluation, eval
+/// seconds); evaluation is `None` when the population is empty or the
+/// tier skips MC.
+fn eval_final_allocation(
+    dataset: &Dataset,
+    spec: &ScenarioSpec,
+    scale: &ScaleConfig,
+    log: &[tirm_workloads::LogEvent],
+    alloc: &Allocation,
+) -> (usize, Option<Evaluation>, f64) {
+    let finals = final_population(log);
+    let n = dataset.graph.num_nodes();
+    if finals.is_empty() || scale.eval_runs == 0 {
+        return (finals.len(), None, 0.0);
+    }
+    let ads: Vec<Advertiser> = finals
+        .iter()
+        .map(|f| Advertiser::new(f.budget, f.cpe, f.topics.clone()))
+        .collect();
+    let probs: Vec<Vec<f32>> = finals
+        .iter()
+        .map(|f| dataset.topic_probs.project(&f.topics))
+        .collect();
+    let ctp = CtpTable::direct(finals.iter().map(|f| vec![f.ctp; n]).collect());
+    let problem = ProblemInstance::new(
+        &dataset.graph,
+        ads,
+        probs,
+        ctp,
+        Attention::Uniform(spec.kappa),
+        spec.lambda,
+    );
+    alloc
+        .validate(&problem)
+        .expect("serving layer produced an invalid allocation");
+    let t1 = Instant::now();
+    let ev = evaluate(&problem, alloc, scale.eval_runs, 0xe7a1, spec.threads);
+    (finals.len(), Some(ev), t1.elapsed().as_secs_f64())
 }
 
 /// [`run_scenario`] on a pre-generated dataset — the suite loop caches
@@ -395,11 +563,8 @@ fn run_allocator(
             let mut opts = tirm_options(quality, seed);
             opts.threads = spec.threads;
             // The per-ad θ cap is tuned for scale-1 graphs; shrink it with
-            // the tier's graph scale so quick-tier cells stay CI-sized
-            // (the floor keeps coverage estimates meaningful).
-            opts.max_theta_per_ad = opts
-                .max_theta_per_ad
-                .map(|cap| ((cap as f64 * scale.scale.min(1.0)) as usize).max(50_000));
+            // the tier's graph scale so quick-tier cells stay CI-sized.
+            opts.scale_theta_cap(scale.scale);
             tirm_allocate(problem, opts)
         }
         AllocatorKind::GreedyIrie => greedy_irie_allocate(
@@ -501,11 +666,14 @@ pub fn cell_from_run(
         } else {
             0.0
         },
-        // Serving metrics are stamped only by the online cells.
+        // Serving metrics are stamped only by the online/serving cells.
         latency_p50_us: 0.0,
         latency_p95_us: 0.0,
         latency_p99_us: 0.0,
         events_per_s: 0.0,
+        read_p99_us: 0.0,
+        reads_per_s: 0.0,
+        shed_rate: 0.0,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
 }

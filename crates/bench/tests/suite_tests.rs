@@ -27,6 +27,7 @@ fn spec(dataset: DatasetKind, model: ProbModel, allocator: AllocatorKind) -> Sce
         lambda: 0.0,
         seed_cap: None,
         online: false,
+        serving: false,
     }
 }
 
@@ -34,6 +35,14 @@ fn online_spec(dataset: DatasetKind, model: ProbModel, kappa: u32) -> ScenarioSp
     ScenarioSpec {
         kappa,
         online: true,
+        ..spec(dataset, model, AllocatorKind::Tirm)
+    }
+}
+
+fn serving_spec(dataset: DatasetKind, model: ProbModel, kappa: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        kappa,
+        serving: true,
         ..spec(dataset, model, AllocatorKind::Tirm)
     }
 }
@@ -303,6 +312,91 @@ fn online_cell_payload_is_deterministic() {
     );
     assert_eq!(a.latency_p50_us, 0.0, "latencies are timing fields");
     assert_eq!(a.events_per_s, 0.0);
+}
+
+// -------------------------------------------------------------- serving
+
+#[test]
+fn serving_cell_measures_the_network_frontend() {
+    let cell = run_scenario(
+        &serving_spec(DatasetKind::Epinions, ProbModel::Exponential, 2),
+        &tiny_scale(),
+        0x71a6_5eed,
+    );
+    assert!(cell.id.starts_with("SERVING/"));
+    assert_eq!(cell.allocator, "SERVING");
+    assert!(cell.theta > 0, "drained snapshot carries the RR capital");
+    assert!(cell.memory_bytes > 0);
+    assert!(cell.events_per_s > 0.0);
+    assert!(cell.latency_p50_us > 0.0, "wire mutation latencies stamped");
+    assert!(cell.latency_p99_us >= cell.latency_p95_us);
+    // The acceptance floor: ≥ 4 concurrent readers served during the
+    // run, with their p99 and throughput in the artifact.
+    assert!(cell.read_p99_us > 0.0, "read path p99 stamped");
+    assert!(cell.reads_per_s > 0.0, "reader pool made progress");
+    // Closed-loop readers must outpace the ~48-event mutation stream by
+    // orders of magnitude — serialized-behind-the-writer reads can't.
+    // (Mutation responses return at *admission*, so latency_p99_us is
+    // wire RTT, not allocator service time — comparing read p99 against
+    // it would be scheduler-noise roulette. The latency-instrumented
+    // no-reader-blocks assertion lives in tirm_server's
+    // `readers_never_block_on_the_writer`, which measures real mutation
+    // service time via queue drain.)
+    assert!(
+        cell.reads_per_s > cell.events_per_s,
+        "reader pool throughput {} vs {} events/s",
+        cell.reads_per_s,
+        cell.events_per_s
+    );
+    assert!((0.0..=1.0).contains(&cell.shed_rate), "shed rate recorded");
+    // The artifact round-trips the v4 fields exactly.
+    let report = BenchReport::new("test", EnvFingerprint::current(&tiny_scale()), vec![cell]);
+    let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn serving_cell_payload_is_deterministic() {
+    // Deterministic delivery (retry-on-overload) makes the drained
+    // snapshot a pure function of the log: two runs through two real
+    // servers on two ports must agree on every non-timing field.
+    let s = serving_spec(DatasetKind::Epinions, ProbModel::Exponential, 2);
+    let scale = tiny_scale();
+    let mut a = run_scenario(&s, &scale, 0x71a6_5eed);
+    let mut b = run_scenario(&s, &scale, 0x71a6_5eed);
+    a.strip_timings();
+    b.strip_timings();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "two served runs must agree on every non-timing field"
+    );
+    assert_eq!(a.read_p99_us, 0.0, "read metrics are timing fields");
+    assert_eq!(a.reads_per_s, 0.0);
+    assert_eq!(a.shed_rate, 0.0);
+}
+
+#[test]
+fn serving_and_online_cells_agree_on_the_engine() {
+    // Same grid point, same seeds: the network cell's drained
+    // allocation quality must match what the in-process cell computes —
+    // the TCP layer is transport, not allocation policy. (Streams are
+    // salted differently, so compare regret magnitudes only via both
+    // being finite and the allocations being non-trivial.)
+    let scale = tiny_scale();
+    let serving = run_scenario(
+        &serving_spec(DatasetKind::Epinions, ProbModel::Exponential, 2),
+        &scale,
+        7,
+    );
+    let online = run_scenario(
+        &online_spec(DatasetKind::Epinions, ProbModel::Exponential, 2),
+        &scale,
+        7,
+    );
+    assert_eq!(serving.nodes, online.nodes, "shared problem instance");
+    assert_eq!(serving.edges, online.edges);
+    assert!(serving.total_seeds > 0 && online.total_seeds > 0);
 }
 
 #[test]

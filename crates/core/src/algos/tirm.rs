@@ -70,6 +70,22 @@ pub struct TirmOptions {
     pub hard_cover: bool,
 }
 
+impl TirmOptions {
+    /// Shrinks the per-ad θ cap linearly with a sub-unit graph scale
+    /// (the workspace-wide convention shared by the perf suite's cells
+    /// and the `online_replay` / `tirm_server` binaries, so artifacts
+    /// and binaries always measure under the same cap): a 50 000-set
+    /// floor keeps coverage estimates meaningful at CI scales, and
+    /// scales ≥ 1 are a no-op. The floor never *raises* a configured
+    /// cap that was already below it, and uncapped options stay
+    /// uncapped.
+    pub fn scale_theta_cap(&mut self, scale: f64) {
+        self.max_theta_per_ad = self
+            .max_theta_per_ad
+            .map(|cap| ((cap as f64 * scale.min(1.0)) as usize).max(cap.min(50_000)));
+    }
+}
+
 impl Default for TirmOptions {
     fn default() -> Self {
         TirmOptions {
@@ -638,6 +654,29 @@ mod tests {
             max_theta_per_ad: Some(200_000),
             ..TirmOptions::default()
         }
+    }
+
+    #[test]
+    fn scale_theta_cap_convention() {
+        let capped = |cap, scale| {
+            let mut o = TirmOptions {
+                max_theta_per_ad: cap,
+                ..TirmOptions::default()
+            };
+            o.scale_theta_cap(scale);
+            o.max_theta_per_ad
+        };
+        // Linear shrink below scale 1, floored at 50k.
+        assert_eq!(capped(Some(400_000), 0.1), Some(50_000));
+        assert_eq!(capped(Some(1_000_000), 0.5), Some(500_000));
+        // Scales ≥ 1 are a no-op — even for caps under the floor.
+        assert_eq!(capped(Some(400_000), 1.0), Some(400_000));
+        assert_eq!(capped(Some(400_000), 40.0), Some(400_000));
+        assert_eq!(capped(Some(20_000), 1.0), Some(20_000));
+        // The floor never raises a small configured cap.
+        assert_eq!(capped(Some(20_000), 0.1), Some(20_000));
+        // Uncapped stays uncapped.
+        assert_eq!(capped(None, 0.1), None);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod stats;
 
 pub use builder::{build_from_stream, GraphBuilder};
 pub use csr::{CsrParts, DiGraph, EdgeId, NodeId};
-pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotError};
+pub use snapshot::{
+    read_snapshot, write_atomic, write_atomic_with, write_snapshot, Snapshot, SnapshotError,
+};
 pub use stats::GraphStats;
 
 /// Convenience alias used across the workspace: a list of `(source, target)`

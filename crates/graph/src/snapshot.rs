@@ -247,11 +247,50 @@ fn expected_len(n: u64, m: u64, k: u64) -> u64 {
     HEADER_BYTES + 4 * (2 * (n + 1) + 3 * m + m * k) + CHECKSUM_BYTES
 }
 
+/// Writes `contents` to `path` **atomically**: bytes go to a sibling
+/// process-unique temp file and are renamed into place, so a crashed or
+/// interrupted writer (SIGKILL, SIGINT mid-write, disk-full) can never
+/// leave a half-written file under the final name — the path either
+/// holds the previous content or the complete new content. Parent
+/// directories are created. This is the workspace-wide durable-output
+/// primitive: binary dataset snapshots, JSONL event logs and experiment
+/// artifacts all commit through it.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(contents))
+}
+
+/// Streaming variant of [`write_atomic`]: `fill` produces the bytes into
+/// a buffered writer backed by the temp file; the rename happens only
+/// after `fill` succeeds and the buffer is flushed. On any error the
+/// temp file is removed and the final path is left untouched.
+pub fn write_atomic_with(
+    path: &Path,
+    fill: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| -> io::Result<()> {
+        let mut w = BufWriter::with_capacity(1 << 20, File::create(&tmp)?);
+        fill(&mut w)?;
+        w.flush()
+    })();
+    match result {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
 /// Writes `graph` and its `num_topics × m` edge-major probability matrix
-/// to `path` through a buffered writer. The file appears atomically: data
-/// goes to a sibling temp file first and is renamed into place, so a
-/// crashed writer can never leave a half-written cache entry under the
-/// final name.
+/// to `path` through a buffered writer. The file appears atomically via
+/// [`write_atomic_with`], so a crashed writer can never leave a
+/// half-written cache entry under the final name.
 pub fn write_snapshot(
     path: &Path,
     graph: &DiGraph,
@@ -265,14 +304,7 @@ pub fn write_snapshot(
         graph.num_edges() * num_topics,
         "probability matrix shape must be m × K"
     );
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    let result = (|| -> io::Result<()> {
-        let mut w = BufWriter::with_capacity(1 << 20, File::create(&tmp)?);
+    write_atomic_with(path, |w| {
         let mut hasher = WordHasher::new();
         let mut buf = vec![0u8; 4 * CHUNK_ELEMS];
         let (out_offsets, out_targets, in_offsets, in_sources, in_edge_ids) = graph.csr_parts();
@@ -294,7 +326,7 @@ pub fn write_snapshot(
             in_edge_ids,
         ] {
             hasher.update(words);
-            write_words(&mut w, &mut buf, words)?;
+            write_words(w, &mut buf, words)?;
         }
         // f32s travel as raw bits — the round trip is bit-exact.
         hasher.update_f32(edge_probs);
@@ -305,17 +337,8 @@ pub fn write_snapshot(
             w.write_all(&buf[..chunk.len() * 4])?;
         }
 
-        w.write_all(&hasher.finalize().to_le_bytes())?;
-        w.flush()?;
-        Ok(())
-    })();
-    match result {
-        Ok(()) => std::fs::rename(&tmp, path),
-        Err(e) => {
-            std::fs::remove_file(&tmp).ok();
-            Err(e)
-        }
-    }
+        w.write_all(&hasher.finalize().to_le_bytes())
+    })
 }
 
 /// Loads a snapshot written by [`write_snapshot`]. All failure modes —
@@ -530,6 +553,32 @@ mod tests {
             .unwrap()
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().contains("atomic.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_commits_or_leaves_previous_content() {
+        let path = tmp_path("atomic_bytes.txt");
+        // Creates parent dirs and commits.
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrite is all-or-nothing: success replaces…
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // …a failing fill leaves the previous content and no temp file.
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"half-written")?;
+            Err(io::Error::other("simulated SIGINT"))
+        });
+        assert!(err.is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("atomic_bytes.tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp file left behind: {leftovers:?}");
         std::fs::remove_file(&path).ok();

@@ -33,6 +33,8 @@
 
 use crate::events::{AdId, EventKind, EventOutcome, OnlineError, OnlineEvent};
 use crate::pool::RetainedPool;
+use crate::snapshot::{AdSnapshot, AllocationSnapshot};
+use std::sync::Arc;
 use tirm_core::{
     ad_regret, tirm_allocate_warm, AdSeeds, AdWarmState, Advertiser, Allocation, Attention,
     ProblemInstance, TirmOptions,
@@ -131,6 +133,10 @@ pub struct OnlineAllocator<'g> {
     /// per-ad trajectories may be coupled, so the delta path is unsound
     /// until a full re-run lands contention-free.
     contended: bool,
+    /// Mutating events applied (arrivals, top-ups, departures and
+    /// reallocates that returned `Ok`; queries and rejected events never
+    /// bump it). Snapshots carry it as their lineage stamp.
+    epoch: u64,
     stats: OnlineStats,
 }
 
@@ -144,6 +150,10 @@ impl<'g> OnlineAllocator<'g> {
             "topic probabilities must cover the graph"
         );
         assert!(cfg.kappa >= 1, "attention bound must admit at least one ad");
+        assert!(
+            cfg.lambda.is_finite() && cfg.lambda >= 0.0,
+            "seed-size penalty must be finite and non-negative"
+        );
         let max_retained = cfg.max_retained_bytes;
         OnlineAllocator {
             graph,
@@ -154,6 +164,7 @@ impl<'g> OnlineAllocator<'g> {
             dirty: Vec::new(),
             stale: false,
             contended: false,
+            epoch: 0,
             stats: OnlineStats::default(),
         }
     }
@@ -195,6 +206,7 @@ impl<'g> OnlineAllocator<'g> {
         // A departure withdraws its seeds immediately, so the standing
         // allocation changed even when no recomputation was needed.
         let reallocated = reconciled || kind == EventKind::Departure;
+        self.epoch += 1;
         Ok(EventOutcome {
             kind,
             reallocated,
@@ -272,19 +284,22 @@ impl<'g> OnlineAllocator<'g> {
                 self.pool.release(id, ad.adv.topics.clone(), state);
             }
         }
-        if self.contended {
-            // The departed seeds may have been blocking others: every
-            // remaining ad's regret can potentially improve, so they all
-            // go back through the (full) re-allocation.
+        if self.contended || self.cfg.tirm.max_total_seeds.is_some() {
+            // The departed seeds may have been blocking others
+            // (attention contention), or a global `max_total_seeds` cap
+            // may have gained headroom the departed ad was consuming:
+            // either way every remaining ad's regret can potentially
+            // improve, so they all go back through the (full)
+            // re-allocation.
             let ids: Vec<AdId> = self.live.iter().map(|a| a.id).collect();
             for id in ids {
                 self.mark_dirty(id);
             }
             self.stale = true;
         }
-        // Contention-free: no other ad's trajectory depended on the
-        // departed seeds, so withdrawing them *is* the re-allocation —
-        // `stale` is left exactly as it was.
+        // Contention-free and uncapped: no other ad's trajectory
+        // depended on the departed seeds, so withdrawing them *is* the
+        // re-allocation — `stale` is left exactly as it was.
         Ok(())
     }
 
@@ -439,6 +454,42 @@ impl<'g> OnlineAllocator<'g> {
             }
         }
         alloc
+    }
+
+    /// Extracts the standing allocation as a cheap immutable view: the
+    /// live ads in arrival order with their budgets, seed sets and
+    /// revenue estimates, stamped with the current [`Self::epoch`].
+    /// O(live ads + Σ|S_i|) — no RR capital is copied — and the result
+    /// owns all its data, so it can cross threads behind the `Arc` while
+    /// the allocator keeps mutating. This is what the serving frontend
+    /// publishes after every applied event and what
+    /// `online_replay --dump-final` writes.
+    pub fn snapshot(&self) -> Arc<AllocationSnapshot> {
+        Arc::new(AllocationSnapshot {
+            epoch: self.epoch,
+            kappa: self.cfg.kappa,
+            lambda: self.cfg.lambda,
+            ads: self
+                .live
+                .iter()
+                .map(|a| AdSnapshot {
+                    id: a.id,
+                    budget: a.adv.budget,
+                    cpe: a.adv.cpe,
+                    seeds: a.seeds.clone(),
+                    revenue_est: a.revenue_est,
+                })
+                .collect(),
+            regret_estimate: self.regret_estimate(),
+            total_rr_sets: self.total_rr_sets(),
+            engine_memory_bytes: self.memory_bytes(),
+            stats: self.stats,
+        })
+    }
+
+    /// Mutating events applied so far (the lineage stamp snapshots carry).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Live ad ids in arrival order.
@@ -755,6 +806,99 @@ mod tests {
         for i in 0..2 {
             assert_eq!(alloc.seeds(i), batch.seeds(i), "ad {i}");
         }
+    }
+
+    #[test]
+    fn allocator_is_send() {
+        // The serving frontend moves the allocator into a writer thread
+        // (std::thread::scope); this pins the Send plumbing at compile
+        // time — a non-Send field would break the whole frontend.
+        fn assert_send<T: Send>() {}
+        assert_send::<OnlineAllocator<'static>>();
+        assert_send::<crate::AllocationSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_tracks_epoch_and_allocation() {
+        let (g, probs) = setup();
+        let mut a = allocator(&g, &probs, 2);
+        let s0 = a.snapshot();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.num_ads(), 0);
+        assert_eq!(s0.total_seeds(), 0);
+
+        a.process(&arrival(1, 8.0, 0)).unwrap();
+        let s1 = a.snapshot();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(s1.num_ads(), 1);
+        assert_eq!(s1.ad(1).unwrap().seeds, a.allocation().seeds(0));
+        assert_eq!(
+            s1.ad(1).unwrap().revenue_est.to_bits(),
+            a.revenue_estimate(1).unwrap().to_bits()
+        );
+        assert_eq!(s1.regret_estimate.to_bits(), a.regret_estimate().to_bits());
+        assert_eq!(s1.total_rr_sets, a.total_rr_sets());
+        assert_eq!(s1.engine_memory_bytes, a.memory_bytes());
+        assert!(s1.memory_bytes() > 0, "exact snapshot accounting");
+
+        // Queries never bump the epoch; rejected events don't either.
+        a.process(&OnlineEvent::RegretQuery).unwrap();
+        assert!(a.process(&arrival(1, 8.0, 0)).is_err());
+        assert_eq!(a.epoch(), 1);
+
+        // Snapshots are detached: further mutation leaves s1 untouched.
+        a.process(&OnlineEvent::BudgetTopUp { id: 1, amount: 4.0 })
+            .unwrap();
+        assert_eq!(a.epoch(), 2);
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.ad(1).unwrap().budget, 8.0);
+        let s2 = a.snapshot();
+        assert_eq!(s2.ad(1).unwrap().budget, 12.0);
+        assert!(!s1.same_allocation(&s2));
+        assert!(s2.same_allocation(&a.snapshot()));
+    }
+
+    #[test]
+    fn global_seed_cap_departure_rematches_batch() {
+        // A departure under a global cap frees headroom the departed ad
+        // was consuming: the remaining ads must be re-allocated (batch
+        // on the live set would give them more seeds), even without
+        // attention contention.
+        let (g, probs) = setup();
+        let mut opts = quick_opts(5);
+        opts.max_total_seeds = Some(4);
+        let mut a = OnlineAllocator::new(
+            &g,
+            &probs,
+            OnlineConfig {
+                tirm: opts,
+                kappa: 3, // plenty of attention: no contention in play
+                ..OnlineConfig::default()
+            },
+        );
+        a.process(&arrival(1, 9.0, 0)).unwrap();
+        a.process(&arrival(2, 9.0, 1)).unwrap();
+        let ad2_shared = a.allocation().seeds(1).to_vec();
+        let out = a.process(&OnlineEvent::AdDeparture { id: 1 }).unwrap();
+        assert!(out.reallocated);
+
+        // Batch ground truth on the live set {ad 2} under the same cap.
+        use tirm_core::{tirm_allocate_seeded, ProblemInstance};
+        let mut opts = quick_opts(5);
+        opts.max_total_seeds = Some(4);
+        let n = g.num_nodes();
+        let ads = vec![Advertiser::new(9.0, 1.0, TopicDist::single(2, 1))];
+        let eps = vec![probs.project(&ads[0].topics)];
+        let ctp = CtpTable::direct(vec![vec![0.5f32; n]]);
+        let problem = ProblemInstance::new(&g, ads, eps, ctp, Attention::Uniform(3), 0.0);
+        let plan = [AdSeeds::for_ad_id(opts.seed, 2)];
+        let (batch, _) = tirm_allocate_seeded(&problem, opts, &plan);
+        assert_eq!(a.allocation().seeds(0), batch.seeds(0));
+        assert!(
+            batch.seeds(0).len() >= ad2_shared.len(),
+            "alone under the cap, ad 2 can only gain seeds"
+        );
     }
 
     #[test]

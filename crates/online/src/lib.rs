@@ -19,6 +19,10 @@
 //! * [`pool`] — the [`RetainedPool`] departed shards are released into
 //!   (bounded bytes, oldest-first eviction, topic-fingerprint
 //!   invalidation).
+//! * [`snapshot`] — [`AllocationSnapshot`], the immutable read-model a
+//!   serving frontend publishes after every applied event
+//!   ([`OnlineAllocator::snapshot`] extracts one in O(live ads + seeds));
+//!   readers answer queries from it without ever touching the allocator.
 //!
 //! **Correctness anchor:** replaying any event log produces allocations
 //! bit-identical to batch [`tirm_core::tirm_allocate_seeded`] on the
@@ -29,7 +33,9 @@
 pub mod allocator;
 pub mod events;
 pub mod pool;
+pub mod snapshot;
 
 pub use allocator::{OnlineAllocator, OnlineConfig, OnlineStats};
 pub use events::{AdId, EventKind, EventOutcome, OnlineError, OnlineEvent};
 pub use pool::RetainedPool;
+pub use snapshot::{AdSnapshot, AllocationSnapshot};

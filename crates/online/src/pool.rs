@@ -165,6 +165,65 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_exceeding_whole_budget_is_evicted_on_release() {
+        // A non-zero budget smaller than one shard: the release itself
+        // must trim the pool back under budget — evicting the shard that
+        // was just released — and leave the accounting at exactly zero,
+        // not wedge the pool over budget forever.
+        let w = warm_state(1);
+        let bytes = w.memory_bytes();
+        assert!(bytes > 1, "fixture shard must be non-trivial");
+        let mut pool = RetainedPool::new(bytes / 2);
+        let topics = TopicDist::single(1, 0);
+        pool.release(1, topics.clone(), w);
+        assert!(pool.is_empty(), "oversized shard cannot be retained");
+        assert_eq!(pool.memory_bytes(), 0, "accounting back to zero");
+        assert_eq!(pool.evictions(), 1);
+        assert!(pool.reclaim(1, &topics).is_none());
+
+        // The pool still works afterwards: a shard that fits is kept.
+        let w = warm_state(2);
+        let mut pool = RetainedPool::new(w.memory_bytes());
+        pool.release(2, topics.clone(), w);
+        assert_eq!(pool.len(), 1, "exactly-fitting shard is retained");
+        assert!(pool.reclaim(2, &topics).is_some());
+    }
+
+    #[test]
+    fn topic_invalidation_races_reclaim_on_resumption() {
+        // The resumption race: ad 1 departs under topics A, "resumes"
+        // with changed topics B (same id — the generator's resume path
+        // re-uses ids), departs again and re-releases under B, then a
+        // *stale* reclaim still presenting A arrives. The fingerprint
+        // must win every interleaving: the A-reclaim gets nothing AND
+        // drops the B-shard it collided with (sampled data must never
+        // survive a fingerprint mismatch), so a following B-reclaim
+        // cannot be served a shard the stale reclaim already consumed.
+        let a = TopicDist::single(2, 0);
+        let b = TopicDist::single(2, 1);
+        let mut pool = RetainedPool::new(usize::MAX);
+
+        pool.release(1, a.clone(), warm_state(1));
+        // Resumption under B replaces the pooled entry (same id).
+        pool.release(1, b.clone(), warm_state(2));
+        assert_eq!(pool.len(), 1, "same id replaces, never duplicates");
+
+        // Stale reclaim under A: invalid, and the entry is consumed.
+        assert!(pool.reclaim(1, &a).is_none());
+        assert!(pool.is_empty(), "mismatched shard dropped, not kept");
+        assert_eq!(pool.memory_bytes(), 0);
+        // The well-fingerprinted reclaim that lost the race resamples.
+        assert!(pool.reclaim(1, &b).is_none());
+
+        // Opposite interleaving: the valid reclaim arrives first and is
+        // served; the stale one then finds nothing.
+        pool.release(1, b.clone(), warm_state(3));
+        assert!(pool.reclaim(1, &b).is_some());
+        assert!(pool.reclaim(1, &a).is_none());
+        assert_eq!(pool.evictions(), 0, "invalidations are not evictions");
+    }
+
+    #[test]
     fn zero_budget_retains_nothing() {
         let mut pool = RetainedPool::new(0);
         pool.release(1, TopicDist::single(1, 0), warm_state(1));

@@ -1,0 +1,167 @@
+//! Stand-alone serving frontend: generate (or snapshot-load) a dataset,
+//! bind a TCP port, and serve the wire protocol until a client sends a
+//! `shutdown` request.
+//!
+//! ```text
+//! # terminal 1 — serve an EPINIONS-like network on port 7401
+//! cargo run -p tirm_server --bin tirm_server --release -- \
+//!     --dataset EPINIONS --bind 127.0.0.1:7401
+//!
+//! # terminal 2 — drive it (see `loadgen` in tirm_bench)
+//! cargo run -p tirm_bench --bin loadgen --release -- \
+//!     --addr 127.0.0.1:7401 --events 200 --readers 4 --shutdown
+//! ```
+//!
+//! Flags:
+//! * `--dataset NAME`   — FLIXSTER | EPINIONS | DBLP | LIVEJOURNAL
+//!   (default EPINIONS).
+//! * `--model NAME`     — topic | exp | wc (default: canonical).
+//! * `--bind ADDR`      — listen address (default `127.0.0.1:7401`;
+//!   port 0 picks an ephemeral port, printed on stderr).
+//! * `--kappa N` / `--lambda F` / `--seed N` — serving parameters.
+//! * `--queue-depth N`  — write-queue bound (admission control; default
+//!   64).
+//! * `--max-connections N` — connection admission bound (default 64).
+//!
+//! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
+//! warm-starts the dataset from the binary snapshot cache.
+
+use std::process::ExitCode;
+use tirm_core::TirmOptions;
+use tirm_online::OnlineConfig;
+use tirm_server::{serve, ServerConfig};
+use tirm_workloads::{Dataset, DatasetKind, ProbModel, ScaleConfig};
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tirm_server [--dataset NAME] [--model topic|exp|wc] [--bind ADDR] \
+         [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut dataset_kind = DatasetKind::Epinions;
+    let mut model: Option<ProbModel> = None;
+    let mut bind = "127.0.0.1:7401".to_string();
+    let mut kappa = 2u32;
+    let mut lambda = 0.0f64;
+    let mut seed = 0x0e5e_17f1u64;
+    let mut queue_depth = 64usize;
+    let mut max_connections = 64usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dataset" => match args.next().as_deref().and_then(DatasetKind::parse) {
+                Some(d) => dataset_kind = d,
+                None => return usage("--dataset expects FLIXSTER|EPINIONS|DBLP|LIVEJOURNAL"),
+            },
+            "--model" => match args.next().as_deref().and_then(ProbModel::parse) {
+                Some(m) => model = Some(m),
+                None => return usage("--model expects topic|exp|wc"),
+            },
+            "--bind" => match args.next() {
+                Some(a) => bind = a,
+                None => return usage("--bind expects an address"),
+            },
+            "--kappa" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(k) if k >= 1 => kappa = k,
+                _ => return usage("--kappa expects a positive integer"),
+            },
+            "--lambda" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(l) if l >= 0.0 && f64::is_finite(l) => lambda = l,
+                _ => return usage("--lambda expects a non-negative float"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--queue-depth" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => queue_depth = n,
+                _ => return usage("--queue-depth expects a positive integer"),
+            },
+            "--max-connections" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => max_connections = n,
+                _ => return usage("--max-connections expects a positive integer"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let model = model.unwrap_or_else(|| ProbModel::canonical(dataset_kind));
+    let cfg = ScaleConfig::from_env();
+    eprintln!(
+        "== tirm_server {} / {} κ={kappa} λ={lambda} | scale={} threads={} ==",
+        dataset_kind.name(),
+        model.name(),
+        cfg.scale,
+        cfg.threads
+    );
+    let (dataset, timing) = Dataset::load_or_generate_env(dataset_kind, model, &cfg, seed);
+    if timing.warm_s > 0.0 {
+        eprintln!("dataset warm-loaded from snapshot in {:.3}s", timing.warm_s);
+    } else {
+        eprintln!("dataset generated in {:.3}s", timing.cold_s);
+    }
+
+    let quality = matches!(dataset_kind, DatasetKind::Flixster | DatasetKind::Epinions);
+    let mut tirm = TirmOptions {
+        eps: if quality { 0.1 } else { 0.2 },
+        seed,
+        max_theta_per_ad: Some(if quality { 1_000_000 } else { 400_000 }),
+        ..TirmOptions::default()
+    };
+    tirm.threads = cfg.threads;
+    // The perf suite's θ-cap scaling convention, so a served instance
+    // measures under the same cap as the suite's cells at this scale.
+    tirm.scale_theta_cap(cfg.scale);
+
+    let server_cfg = ServerConfig {
+        online: OnlineConfig {
+            tirm,
+            kappa,
+            lambda,
+            ..OnlineConfig::default()
+        },
+        bind,
+        queue_depth,
+        max_connections,
+        ..ServerConfig::default()
+    };
+    let served = serve(&dataset.graph, &dataset.topic_probs, server_cfg, |handle| {
+        eprintln!(
+            "listening on {} (queue depth {queue_depth}, ≤ {max_connections} connections); \
+             send {{\"type\":\"shutdown\"}} to stop",
+            handle.addr()
+        );
+        handle.wait_shutdown();
+        eprintln!("shutdown requested — draining the write queue");
+    });
+    match served {
+        Ok(((), report)) => {
+            eprintln!(
+                "drained. epoch {} | {} accepted / {} shed ({:.1}% shed) / {} rejected / {} bad \
+                 frames | max queue {} | {} connections ({} refused) | {} live ads, {} seeds, \
+                 regret {:.3}",
+                report.final_snapshot.epoch,
+                report.accepted,
+                report.shed,
+                report.shed_rate() * 100.0,
+                report.rejected,
+                report.bad_requests,
+                report.max_queue_depth,
+                report.connections,
+                report.connections_refused,
+                report.final_snapshot.num_ads(),
+                report.final_snapshot.total_seeds(),
+                report.final_snapshot.regret_estimate,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

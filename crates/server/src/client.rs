@@ -1,0 +1,114 @@
+//! A small blocking client for the wire protocol — what the load
+//! generator, the soak test and the equivalence harness speak.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsView};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use tirm_online::{AllocationSnapshot, OnlineEvent};
+
+/// One connection to a `tirm_server`. Requests are strictly
+/// request/response on the connection; open several clients for
+/// concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A protocol-level failure surfaced as `io::Error` with context.
+fn protocol_err(why: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why)
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY` — frames are small and
+    /// latency-sensitive).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.send_raw_frame(req.encode().as_bytes())
+    }
+
+    /// Sends an arbitrary frame body and reads the typed response —
+    /// how harnesses probe the server's handling of malformed requests.
+    pub fn send_raw_frame(&mut self, body: &[u8]) -> io::Result<Response> {
+        write_frame(&mut self.stream, body)?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| protocol_err("server closed the connection".to_string()))?;
+        Response::decode(&frame).map_err(protocol_err)
+    }
+
+    /// Sends a mutating event (or routes `RegretQuery` to the read
+    /// path), returning the raw admission/read response.
+    pub fn send_event(&mut self, ev: &OnlineEvent) -> io::Result<Response> {
+        let req = match ev {
+            OnlineEvent::RegretQuery => Request::RegretQuery,
+            other => Request::Mutate(other.clone()),
+        };
+        self.request(&req)
+    }
+
+    /// [`send_event`](Self::send_event) with bounded retry on
+    /// [`Response::Overloaded`] — the deterministic-delivery mode replay
+    /// harnesses use (every mutation eventually lands, so the server's
+    /// final snapshot is a pure function of the log). Backs off by
+    /// `backoff` between attempts; gives up after `deadline`.
+    pub fn send_event_retrying(
+        &mut self,
+        ev: &OnlineEvent,
+        backoff: Duration,
+        deadline: Duration,
+    ) -> io::Result<Response> {
+        let t0 = Instant::now();
+        loop {
+            match self.send_event(ev)? {
+                Response::Overloaded { .. } if t0.elapsed() < deadline => {
+                    std::thread::sleep(backoff);
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// The full standing allocation from the latest snapshot.
+    pub fn allocation(&mut self) -> io::Result<AllocationSnapshot> {
+        match self.request(&Request::AllocationQuery)? {
+            Response::Allocation(snap) => Ok(snap),
+            other => Err(protocol_err(format!("expected allocation, got {other:?}"))),
+        }
+    }
+
+    /// The regret estimate from the latest snapshot.
+    pub fn regret(&mut self) -> io::Result<(u64, f64)> {
+        match self.request(&Request::RegretQuery)? {
+            Response::Regret {
+                epoch,
+                regret_estimate,
+                ..
+            } => Ok((epoch, regret_estimate)),
+            other => Err(protocol_err(format!("expected regret, got {other:?}"))),
+        }
+    }
+
+    /// Serving statistics.
+    pub fn stats(&mut self) -> io::Result<StatsView> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(protocol_err(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to begin graceful shutdown.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(protocol_err(format!(
+                "expected shutting_down, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # tirm-server
+//!
+//! The **network serving frontend** over the online allocation engine:
+//! the paper frames TIRM as the allocation core of a social-ad serving
+//! platform, and this crate is the request/response boundary that makes
+//! the reproduction one — a std-only multithreaded TCP server fronting
+//! [`tirm_online::OnlineAllocator`] with a length-prefixed JSON wire
+//! protocol.
+//!
+//! * [`protocol`] — the wire vocabulary: mutation requests *are* event
+//!   log lines (shared codec with `tirm_workloads::events`), reads are
+//!   `allocation` / `ad` / `regret_query` / `stats`, responses are
+//!   typed (`accepted` / `overloaded` / `shutting_down` / payloads).
+//! * [`swap`] — the snapshot-swap cell: the writer publishes an
+//!   immutable [`tirm_online::AllocationSnapshot`] after every applied
+//!   event; readers serve queries from a cached `Arc` without ever
+//!   blocking on allocator work.
+//! * [`server`] — [`serve`]: one writer thread owns the allocator and
+//!   drains a **bounded** MPSC queue; admission control sheds mutations
+//!   with a typed `Overloaded` response when the queue is full (the
+//!   accept path never blocks on the writer), and the drain-then-close
+//!   shutdown applies every admitted mutation before exit.
+//! * [`client`] — a blocking client ([`Client`]) for load generators
+//!   and harnesses, including the retry-on-overload deterministic
+//!   delivery mode.
+//!
+//! **Correctness anchor:** replaying an event log through the server
+//! (mutations over the wire, in order) lands on a final
+//! `AllocationSnapshot` bit-identical — allocations *and* revenue
+//! estimates — to `tirm_online` replaying the same log in-process.
+//! Property-tested in `tests/wire_equivalence.rs`.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod swap;
+
+pub use client::Client;
+pub use protocol::{Request, Response, StatsView, MAX_FRAME_BYTES};
+pub use server::{serve, ServeReport, ServerConfig, ServerHandle};
+pub use swap::{SnapshotReader, SnapshotSwap};

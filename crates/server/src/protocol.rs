@@ -1,0 +1,640 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one **frame**: a 4-byte little-endian length prefix
+//! followed by exactly that many bytes of UTF-8 JSON. Frames are capped
+//! at [`MAX_FRAME_BYTES`] — a peer announcing a larger frame is a
+//! protocol error, not an allocation request.
+//!
+//! Requests reuse the event-log vocabulary verbatim: a mutation request
+//! is exactly the JSON object [`tirm_workloads::events::event_json_fields`]
+//! produces for the same event, so any log line (minus its `at` pacing
+//! field) is a valid request body and the server and the log reader
+//! reject exactly the same malformed payloads. Read requests use `type`
+//! tags outside the event vocabulary (`allocation`, `ad`, `stats`,
+//! `shutdown`).
+//!
+//! Responses are typed: the admission-control outcomes (`accepted` /
+//! `overloaded` / `shutting_down`), the read-path payloads (`regret` /
+//! `allocation` / `ad` / `stats`) and `rejected` for malformed requests.
+//! Allocation payloads embed [`AllocationSnapshot::to_json`] and decode
+//! bit-exactly (shortest round-trip float printing), so a client can
+//! verify the server's allocation against an in-process replay down to
+//! revenue-estimate bits.
+
+use serde_json::Value;
+use std::io::{ErrorKind, Read, Write};
+use tirm_online::{AdId, AdSnapshot, AllocationSnapshot, OnlineEvent};
+use tirm_workloads::events::{event_from_value, event_json_fields};
+
+/// Hard cap on one frame's body. Requests are small (an arrival with a
+/// full topic-weight vector is hundreds of bytes); responses embed at
+/// most one allocation snapshot. 16 MiB leaves three orders of
+/// magnitude of headroom while bounding what a hostile peer can make
+/// the server buffer.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// One decoded request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A mutating event for the writer queue (`arrival` / `topup` /
+    /// `departure` / `reallocate` in event-log notation).
+    Mutate(OnlineEvent),
+    /// Current regret estimate, served from the snapshot
+    /// (`regret_query` — the event vocabulary's only read is a wire
+    /// read too).
+    RegretQuery,
+    /// The full standing allocation (`{"type":"allocation"}`).
+    AllocationQuery,
+    /// One ad's slice of the allocation (`{"type":"ad","id":N}`).
+    AdQuery {
+        /// Advertiser id to look up.
+        id: AdId,
+    },
+    /// Serving statistics (`{"type":"stats"}`).
+    Stats,
+    /// Ask the server to begin graceful shutdown
+    /// (`{"type":"shutdown"}`).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a JSON object (frame body).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Mutate(ev) => format!("{{{}}}", event_json_fields(ev)),
+            Request::RegretQuery => "{\"type\":\"regret_query\"}".to_string(),
+            Request::AllocationQuery => "{\"type\":\"allocation\"}".to_string(),
+            Request::AdQuery { id } => format!("{{\"type\":\"ad\",\"id\":{id}}}"),
+            Request::Stats => "{\"type\":\"stats\"}".to_string(),
+            Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Decodes a frame body. Mutating events go through the shared
+    /// event codec; `RegretQuery` — an event kind that mutates nothing —
+    /// is routed to the read path.
+    pub fn decode(bytes: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| "missing `type`".to_string())?;
+        match ty {
+            "allocation" => Ok(Request::AllocationQuery),
+            "ad" => Ok(Request::AdQuery {
+                id: v
+                    .get("id")
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| "missing `id`".to_string())?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            _ => match event_from_value(&v)? {
+                OnlineEvent::RegretQuery => Ok(Request::RegretQuery),
+                ev => Ok(Request::Mutate(ev)),
+            },
+        }
+    }
+}
+
+/// Serving statistics as reported over the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsView {
+    /// Mutating events applied (the published snapshot's epoch).
+    pub epoch: u64,
+    /// Live campaigns.
+    pub live_ads: usize,
+    /// Seeds allocated in total.
+    pub total_seeds: usize,
+    /// RR sets held across live shards.
+    pub total_rr_sets: usize,
+    /// Allocator index + capital bytes.
+    pub engine_memory_bytes: usize,
+    /// Mutations currently queued or in flight at the writer.
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth` over the server's lifetime.
+    pub max_queue_depth: usize,
+    /// Mutations admitted to the queue.
+    pub accepted: u64,
+    /// Mutations shed with `overloaded` (queue full).
+    pub shed: u64,
+    /// Admitted mutations the allocator rejected (unknown ids, malformed
+    /// payload domains).
+    pub rejected: u64,
+    /// Frames that failed to decode as requests.
+    pub bad_requests: u64,
+    /// Currently open connections.
+    pub connections: usize,
+}
+
+/// One decoded response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The mutation was admitted to the writer queue: it will be
+    /// **processed** before the server exits (the drain guarantee).
+    /// Admission is a delivery promise, not a validity one — the
+    /// allocator may still reject the event when it is applied
+    /// (duplicate arrival id, unknown top-up target); such rejections
+    /// count into `stats.rejected`, and a client that needs
+    /// confirmation queries the ad (or watches the epoch) afterwards.
+    /// Exactly the same events are rejected by an in-process replay, so
+    /// the bit-identity anchor is unaffected. `epoch` is the snapshot
+    /// epoch visible at admission, not the one the event will produce.
+    Accepted {
+        /// Snapshot epoch at admission time.
+        epoch: u64,
+        /// Queue depth right after admission.
+        queue_depth: usize,
+    },
+    /// The write queue is full: the mutation was **shed**, not queued.
+    /// The client may retry; the server never blocks its accept loop on
+    /// a slow writer.
+    Overloaded {
+        /// Queue depth observed when the mutation was shed.
+        queue_depth: usize,
+    },
+    /// The server is draining and no longer admits mutations.
+    ShuttingDown,
+    /// The request was malformed (decode failure); nothing was admitted.
+    Rejected {
+        /// Human-readable decode failure.
+        why: String,
+    },
+    /// Regret estimate from the latest snapshot.
+    Regret {
+        /// Snapshot epoch.
+        epoch: u64,
+        /// Live campaigns.
+        live_ads: usize,
+        /// Engine regret estimate.
+        regret_estimate: f64,
+    },
+    /// The full standing allocation from the latest snapshot.
+    Allocation(AllocationSnapshot),
+    /// One ad's slice of the latest snapshot (`None`: not live).
+    Ad {
+        /// Snapshot epoch.
+        epoch: u64,
+        /// The ad's slice, if live.
+        ad: Option<AdSnapshot>,
+    },
+    /// Serving statistics.
+    Stats(StatsView),
+}
+
+impl Response {
+    /// Encodes the response as a JSON object (frame body).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted { epoch, queue_depth } => {
+                format!("{{\"type\":\"accepted\",\"epoch\":{epoch},\"queue_depth\":{queue_depth}}}")
+            }
+            Response::Overloaded { queue_depth } => {
+                format!("{{\"type\":\"overloaded\",\"queue_depth\":{queue_depth}}}")
+            }
+            Response::ShuttingDown => "{\"type\":\"shutting_down\"}".to_string(),
+            Response::Rejected { why } => format!(
+                "{{\"type\":\"rejected\",\"why\":{}}}",
+                serde_json::to_string(why).expect("string serialization is infallible")
+            ),
+            Response::Regret {
+                epoch,
+                live_ads,
+                regret_estimate,
+            } => format!(
+                "{{\"type\":\"regret\",\"epoch\":{epoch},\"live_ads\":{live_ads},\
+                 \"regret_estimate\":{regret_estimate}}}"
+            ),
+            Response::Allocation(snap) => {
+                format!(
+                    "{{\"type\":\"allocation\",\"snapshot\":{}}}",
+                    snap.to_json()
+                )
+            }
+            Response::Ad { epoch, ad } => {
+                let ad_json = match ad {
+                    None => "null".to_string(),
+                    Some(a) => a.to_json(),
+                };
+                format!("{{\"type\":\"ad\",\"epoch\":{epoch},\"ad\":{ad_json}}}")
+            }
+            Response::Stats(s) => format!(
+                "{{\"type\":\"stats\",\"epoch\":{},\"live_ads\":{},\"total_seeds\":{},\
+                 \"total_rr_sets\":{},\"engine_memory_bytes\":{},\"queue_depth\":{},\
+                 \"max_queue_depth\":{},\"accepted\":{},\"shed\":{},\"rejected\":{},\
+                 \"bad_requests\":{},\"connections\":{}}}",
+                s.epoch,
+                s.live_ads,
+                s.total_seeds,
+                s.total_rr_sets,
+                s.engine_memory_bytes,
+                s.queue_depth,
+                s.max_queue_depth,
+                s.accepted,
+                s.shed,
+                s.rejected,
+                s.bad_requests,
+                s.connections
+            ),
+        }
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(bytes: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| "missing `type`".to_string())?;
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        let f = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        match ty {
+            "accepted" => Ok(Response::Accepted {
+                epoch: u("epoch")?,
+                queue_depth: u("queue_depth")? as usize,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                queue_depth: u("queue_depth")? as usize,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "rejected" => Ok(Response::Rejected {
+                why: v
+                    .get("why")
+                    .and_then(|x| x.as_str())
+                    .ok_or_else(|| "missing `why`".to_string())?
+                    .to_string(),
+            }),
+            "regret" => Ok(Response::Regret {
+                epoch: u("epoch")?,
+                live_ads: u("live_ads")? as usize,
+                regret_estimate: f("regret_estimate")?,
+            }),
+            "allocation" => {
+                let snap = v
+                    .get("snapshot")
+                    .ok_or_else(|| "missing `snapshot`".to_string())?;
+                Ok(Response::Allocation(snapshot_from_value(snap)?))
+            }
+            "ad" => {
+                let ad = match v.get("ad") {
+                    None => return Err("missing `ad`".to_string()),
+                    Some(a) if a.is_null() => None,
+                    Some(a) => Some(ad_from_value(a)?),
+                };
+                Ok(Response::Ad {
+                    epoch: u("epoch")?,
+                    ad,
+                })
+            }
+            "stats" => Ok(Response::Stats(StatsView {
+                epoch: u("epoch")?,
+                live_ads: u("live_ads")? as usize,
+                total_seeds: u("total_seeds")? as usize,
+                total_rr_sets: u("total_rr_sets")? as usize,
+                engine_memory_bytes: u("engine_memory_bytes")? as usize,
+                queue_depth: u("queue_depth")? as usize,
+                max_queue_depth: u("max_queue_depth")? as usize,
+                accepted: u("accepted")?,
+                shed: u("shed")?,
+                rejected: u("rejected")?,
+                bad_requests: u("bad_requests")?,
+                connections: u("connections")? as usize,
+            })),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// Decodes one ad object of an allocation payload.
+fn ad_from_value(v: &Value) -> Result<AdSnapshot, String> {
+    let seeds = v
+        .get("seeds")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| "missing `seeds`".to_string())?
+        .iter()
+        .map(|s| s.as_u64().map(|x| x as u32))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| "non-integer seed".to_string())?;
+    let f = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    Ok(AdSnapshot {
+        id: v
+            .get("id")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| "missing `id`".to_string())?,
+        budget: f("budget")?,
+        cpe: f("cpe")?,
+        seeds,
+        revenue_est: f("revenue_est")?,
+    })
+}
+
+/// Decodes an [`AllocationSnapshot::to_json`] payload. Lifetime counters
+/// are not on the wire ([`AllocationSnapshot::same_allocation`] ignores
+/// them), so `stats` decodes to zeros.
+pub fn snapshot_from_value(v: &Value) -> Result<AllocationSnapshot, String> {
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let f = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let ads = v
+        .get("ads")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| "missing `ads`".to_string())?
+        .iter()
+        .map(ad_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AllocationSnapshot {
+        epoch: u("epoch")?,
+        kappa: u("kappa")? as u32,
+        lambda: f("lambda")?,
+        ads,
+        regret_estimate: f("regret_estimate")?,
+        total_rr_sets: u("total_rr_sets")? as usize,
+        engine_memory_bytes: u("engine_memory_bytes")? as usize,
+        stats: Default::default(),
+    })
+}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    assert!(body.len() <= MAX_FRAME_BYTES, "frame too large to send");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking. `Ok(None)` on clean EOF before the first
+/// header byte; errors on truncation mid-frame or an oversized length
+/// prefix.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    read_frame_polling(r, || false)
+}
+
+/// [`read_frame`] with a cancellation probe for sockets carrying a read
+/// timeout: on `WouldBlock`/`TimedOut` with **no bytes buffered yet**,
+/// `should_stop()` decides between waiting for the next request
+/// (`false`) and a clean `Ok(None)` exit (`true`). A *partial* frame is
+/// never abandoned at the first timeout — the peer gets a grace period
+/// of further polls to finish it (so a slow writer isn't corrupted by
+/// shutdown racing its frame), after which truncation is an error.
+pub fn read_frame_polling(
+    r: &mut impl Read,
+    should_stop: impl Fn() -> bool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_polling(r, &mut header, &should_stop, true)? {
+        ReadOutcome::CleanExit => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_polling(r, &mut body, &should_stop, false)? {
+        ReadOutcome::CleanExit => unreachable!("mid-frame reads never exit cleanly"),
+        ReadOutcome::Done => Ok(Some(body)),
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    CleanExit,
+}
+
+/// Number of timeout polls a peer gets to finish a frame it started
+/// after shutdown was requested. With the default 25 ms poll interval
+/// this is a ~2 s grace period.
+const PARTIAL_FRAME_GRACE_POLLS: u32 = 80;
+
+fn read_exact_polling(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    should_stop: &impl Fn() -> bool,
+    eof_is_clean: bool,
+) -> std::io::Result<ReadOutcome> {
+    let mut filled = 0usize;
+    let mut stopped_polls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if eof_is_clean && filled == 0 {
+                    Ok(ReadOutcome::CleanExit)
+                } else {
+                    Err(ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if should_stop() {
+                    if filled == 0 && eof_is_clean {
+                        return Ok(ReadOutcome::CleanExit);
+                    }
+                    stopped_polls += 1;
+                    if stopped_polls > PARTIAL_FRAME_GRACE_POLLS {
+                        return Err(ErrorKind::TimedOut.into());
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tirm_topics::TopicDist;
+
+    fn arrival() -> OnlineEvent {
+        OnlineEvent::AdArrival {
+            id: 7,
+            budget: 12.5,
+            cpe: 1.25,
+            topics: TopicDist::concentrated(4, 1, 0.91),
+            ctp: 0.03,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Mutate(arrival()),
+            Request::Mutate(OnlineEvent::BudgetTopUp { id: 3, amount: 2.5 }),
+            Request::Mutate(OnlineEvent::AdDeparture { id: 3 }),
+            Request::Mutate(OnlineEvent::Reallocate),
+            Request::RegretQuery,
+            Request::AllocationQuery,
+            Request::AdQuery { id: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let text = req.encode();
+            let back = Request::decode(text.as_bytes()).unwrap();
+            assert_eq!(back, req, "{text}");
+        }
+    }
+
+    #[test]
+    fn mutation_requests_are_event_log_lines() {
+        // The wire vocabulary IS the log vocabulary: a log line without
+        // its `at` field decodes as the same request.
+        let ev = arrival();
+        let log_line = format!("{{{}}}", event_json_fields(&ev));
+        assert_eq!(
+            Request::decode(log_line.as_bytes()).unwrap(),
+            Request::Mutate(ev)
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        assert!(Request::decode(b"not json").is_err());
+        assert!(Request::decode(b"{\"type\":\"martian\"}").is_err());
+        assert!(Request::decode(b"{\"budget\":5}").is_err());
+        assert!(
+            Request::decode(b"{\"type\":\"ad\"}").is_err(),
+            "ad needs id"
+        );
+        assert!(Request::decode(&[0xff, 0xfe]).is_err(), "not UTF-8");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let snap = AllocationSnapshot {
+            epoch: 5,
+            kappa: 2,
+            lambda: 0.5,
+            ads: vec![AdSnapshot {
+                id: 7,
+                budget: 12.5,
+                cpe: 1.25,
+                seeds: vec![3, 1, 4],
+                revenue_est: 11.0625,
+            }],
+            regret_estimate: 1.4375,
+            total_rr_sets: 1000,
+            engine_memory_bytes: 4096,
+            stats: Default::default(),
+        };
+        let resps = [
+            Response::Accepted {
+                epoch: 4,
+                queue_depth: 2,
+            },
+            Response::Overloaded { queue_depth: 64 },
+            Response::ShuttingDown,
+            Response::Rejected {
+                why: "bad \"quote\" and\nnewline".to_string(),
+            },
+            Response::Regret {
+                epoch: 5,
+                live_ads: 1,
+                regret_estimate: 1.4375,
+            },
+            Response::Allocation(snap.clone()),
+            Response::Ad {
+                epoch: 5,
+                ad: Some(snap.ads[0].clone()),
+            },
+            Response::Ad { epoch: 5, ad: None },
+            Response::Stats(StatsView {
+                epoch: 5,
+                live_ads: 1,
+                total_seeds: 3,
+                total_rr_sets: 1000,
+                engine_memory_bytes: 4096,
+                queue_depth: 1,
+                max_queue_depth: 7,
+                accepted: 40,
+                shed: 2,
+                rejected: 1,
+                bad_requests: 3,
+                connections: 5,
+            }),
+        ];
+        for resp in resps {
+            let text = resp.encode();
+            let back = Response::decode(text.as_bytes()).unwrap();
+            assert_eq!(back, resp, "{text}");
+        }
+    }
+
+    #[test]
+    fn allocation_payload_is_bit_exact() {
+        // The equivalence contract extends over the wire: floats decode
+        // to the same bits they were encoded from.
+        let snap = AllocationSnapshot {
+            epoch: 1,
+            kappa: 1,
+            lambda: 0.1 + 0.2, // a value with no short decimal form
+            ads: vec![AdSnapshot {
+                id: 1,
+                budget: 1.0 / 3.0,
+                cpe: 2.0 / 7.0,
+                seeds: vec![42],
+                revenue_est: 0.123_456_789_012_345_67,
+            }],
+            regret_estimate: std::f64::consts::PI,
+            total_rr_sets: 0,
+            engine_memory_bytes: 0,
+            stats: Default::default(),
+        };
+        let text = Response::Allocation(snap.clone()).encode();
+        match Response::decode(text.as_bytes()).unwrap() {
+            Response::Allocation(back) => {
+                assert!(back.same_allocation(&snap), "wire round trip drifted");
+                assert_eq!(back.lambda.to_bits(), snap.lambda.to_bits());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // Oversized announced length is refused before allocation.
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+
+        // Truncation mid-frame is an error, not silence.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, b"hello").unwrap();
+        truncated.truncate(6);
+        let mut r = &truncated[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

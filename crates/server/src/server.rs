@@ -1,0 +1,487 @@
+//! The serving loop: one writer thread owning the allocator, N
+//! connection handler threads serving reads lock-free from the latest
+//! snapshot, and explicit admission control on the write path.
+//!
+//! # Topology
+//!
+//! ```text
+//!              TcpListener (acceptor thread)
+//!                   │ one handler thread per connection
+//!        ┌──────────┼──────────┐
+//!   handler     handler     handler          reads: answered from the
+//!        │          │          │              handler's cached snapshot
+//!        └── try_send ─┬───────┘              (SnapshotReader, lock-free)
+//!                      ▼
+//!         bounded sync_channel (queue_depth)   ← admission control:
+//!                      │                          full ⇒ typed Overloaded,
+//!                      ▼                          never a blocked accept
+//!             writer thread (owns OnlineAllocator)
+//!                      │ after each applied event
+//!                      ▼
+//!             SnapshotSwap::publish(Arc<AllocationSnapshot>)
+//! ```
+//!
+//! # Shutdown (drain-then-close)
+//!
+//! [`serve`] stops in a fixed order that makes the drain guarantee
+//! structural: (1) the stop flag flips and the acceptor is woken — no
+//! new connections; (2) handler threads finish their in-flight request
+//! and exit, dropping their queue senders; (3) with all senders gone
+//! the writer drains every admitted mutation from the channel,
+//! processes it, publishes, and only then returns the final snapshot.
+//! An admitted (`Accepted`) mutation is therefore *always* processed
+//! before exit — applied if valid, counted into `rejected` if the
+//! allocator refuses it (exactly as an in-process replay would); a
+//! shed (`Overloaded`) one never was admitted in the first place.
+
+use crate::protocol::{read_frame_polling, write_frame, Request, Response, StatsView};
+use crate::swap::{SnapshotReader, SnapshotSwap};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tirm_graph::DiGraph;
+use tirm_online::{AllocationSnapshot, OnlineAllocator, OnlineConfig, OnlineEvent, OnlineStats};
+use tirm_topics::TopicEdgeProbs;
+
+/// Configuration of a [`serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Allocator configuration (TIRM options, κ, λ, pool budget).
+    pub online: OnlineConfig,
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub bind: String,
+    /// Write-queue bound: mutations beyond this many queued + in-flight
+    /// are shed with [`Response::Overloaded`]. Must be ≥ 1.
+    pub queue_depth: usize,
+    /// Connection admission bound: connections beyond this many open at
+    /// once are answered with one `Overloaded` frame and closed.
+    pub max_connections: usize,
+    /// Handler read-poll interval — the granularity at which idle
+    /// connections notice shutdown. Also bounds how long an exiting
+    /// handler can block on an idle socket.
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            online: OnlineConfig::default(),
+            bind: "127.0.0.1:0".to_string(),
+            queue_depth: 64,
+            max_connections: 64,
+            read_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Counters and flags shared by every thread of a server.
+struct Shared {
+    stop: AtomicBool,
+    /// Mutations queued or in flight at the writer.
+    queue_len: AtomicUsize,
+    max_queue_len: AtomicUsize,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    connections_open: AtomicUsize,
+    connections_total: AtomicU64,
+    connections_refused: AtomicU64,
+    /// Set by a wire `shutdown` request (or [`ServerHandle::request_shutdown`]);
+    /// [`ServerHandle::wait_shutdown`] blocks on it.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl Shared {
+    fn new() -> Arc<Shared> {
+        Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            queue_len: AtomicUsize::new(0),
+            max_queue_len: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            connections_open: AtomicUsize::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        })
+    }
+
+    fn request_shutdown(&self) {
+        let mut requested = self
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag poisoned");
+        *requested = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// The caller's view of a running server (passed to [`serve`]'s
+/// closure).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    swap: Arc<SnapshotSwap>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (the ephemeral port when
+    /// the config bound port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// An in-process reader over the same snapshot cell the connection
+    /// handlers use.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(self.swap.clone())
+    }
+
+    /// Mutations currently queued or in flight at the writer.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_len.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the write queue.
+    pub fn max_queue_depth(&self) -> usize {
+        self.shared.max_queue_len.load(Ordering::Relaxed)
+    }
+
+    /// Mutations shed with `Overloaded` so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Flags the server for shutdown (same as a wire `shutdown`
+    /// request): [`wait_shutdown`](Self::wait_shutdown) unblocks, and
+    /// [`serve`] begins the drain-then-close sequence when its closure
+    /// returns.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until some client sends a `shutdown` request (or
+    /// [`request_shutdown`](Self::request_shutdown) is called) — how the
+    /// `tirm_server` binary's main thread parks itself.
+    pub fn wait_shutdown(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag poisoned");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown flag poisoned");
+        }
+    }
+}
+
+/// What a completed [`serve`] run did.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The snapshot after the last drained mutation — bit-identical to
+    /// an in-process replay of the admitted events.
+    pub final_snapshot: Arc<AllocationSnapshot>,
+    /// Allocator lifetime counters.
+    pub stats: OnlineStats,
+    /// Mutations admitted to the write queue (all of them were applied).
+    pub accepted: u64,
+    /// Mutations shed with `Overloaded`.
+    pub shed: u64,
+    /// Admitted mutations the allocator rejected (unknown ids etc.).
+    pub rejected: u64,
+    /// Frames that failed to decode.
+    pub bad_requests: u64,
+    /// Write-queue high-water mark.
+    pub max_queue_depth: usize,
+    /// Connections handled over the run.
+    pub connections: u64,
+    /// Connections refused by the admission bound.
+    pub connections_refused: u64,
+}
+
+impl ServeReport {
+    /// Offered mutation load (admitted + shed).
+    pub fn offered(&self) -> u64 {
+        self.accepted + self.shed
+    }
+
+    /// Fraction of offered mutations shed (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered() as f64
+        }
+    }
+}
+
+/// Runs a server over `graph`/`topic_probs`, calls `f` with its
+/// [`ServerHandle`] once the listener is live, and performs the
+/// drain-then-close shutdown when `f` returns. Returns `f`'s result and
+/// the [`ServeReport`] with the final (fully drained) snapshot.
+///
+/// The allocator borrows the graph, so the whole server runs inside a
+/// `std::thread::scope` — no `'static` bounds, no graph cloning; the
+/// caller keeps ownership of the multi-GB dataset.
+pub fn serve<R>(
+    graph: &DiGraph,
+    topic_probs: &TopicEdgeProbs,
+    cfg: ServerConfig,
+    f: impl FnOnce(&ServerHandle) -> R,
+) -> std::io::Result<(R, ServeReport)> {
+    assert!(cfg.queue_depth >= 1, "queue_depth must admit something");
+    assert!(cfg.max_connections >= 1, "need at least one connection");
+    let listener = TcpListener::bind(&cfg.bind)?;
+    let addr = listener.local_addr()?;
+
+    let mut allocator = OnlineAllocator::new(graph, topic_probs, cfg.online.clone());
+    let swap = SnapshotSwap::new(allocator.snapshot());
+    let shared = Shared::new();
+    let (tx, rx) = std::sync::mpsc::sync_channel::<OnlineEvent>(cfg.queue_depth);
+    let handle = ServerHandle {
+        addr,
+        swap: swap.clone(),
+        shared: shared.clone(),
+    };
+
+    let (result, final_snapshot, stats) = std::thread::scope(|s| {
+        // Writer: the only thread that ever touches the allocator.
+        let writer = {
+            let swap = swap.clone();
+            let shared = shared.clone();
+            s.spawn(move || {
+                while let Ok(ev) = rx.recv() {
+                    // A rejected event changed nothing (and didn't bump
+                    // the epoch): skip the O(ads + seeds) snapshot copy
+                    // and the reader-side refresh it would force.
+                    match allocator.process(&ev) {
+                        Ok(_) => swap.publish(allocator.snapshot()),
+                        Err(_) => {
+                            shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                }
+                // All senders dropped ⇒ every admitted mutation above
+                // was applied: the drain guarantee.
+                (allocator.snapshot(), allocator.stats())
+            })
+        };
+
+        // Acceptor: spawns one handler per admitted connection.
+        let acceptor = {
+            let shared = shared.clone();
+            let swap = swap.clone();
+            let tx = tx.clone();
+            let read_poll = cfg.read_poll;
+            let max_connections = cfg.max_connections;
+            s.spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if shared.connections_open.load(Ordering::Relaxed) >= max_connections {
+                        shared.connections_refused.fetch_add(1, Ordering::Relaxed);
+                        refuse_connection(stream);
+                        continue;
+                    }
+                    shared.connections_open.fetch_add(1, Ordering::Relaxed);
+                    shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                    let shared = shared.clone();
+                    let swap = swap.clone();
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        handle_connection(stream, tx, swap, &shared, read_poll);
+                        shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        };
+
+        // The stop guard runs on BOTH exits from `f`: a clean return and
+        // an unwind. A panicking closure (a failed harness expectation)
+        // would otherwise leave the acceptor parked in `accept()`
+        // forever — the scope joins all threads before re-raising, so
+        // the panic would hang instead of propagating.
+        struct StopGuard<'a> {
+            shared: &'a Shared,
+            addr: SocketAddr,
+        }
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                self.shared.stop.store(true, Ordering::Release);
+                self.shared.request_shutdown();
+                // Wake the blocked accept with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
+        let result = {
+            let _stop = StopGuard {
+                shared: &shared,
+                addr,
+            };
+            f(&handle)
+        };
+
+        // Drain-then-close (the guard above already flipped stop and
+        // woke the acceptor). Handlers exit via their read-poll stop
+        // checks, dropping their queue senders; once ours goes too the
+        // writer drains whatever was admitted and returns the final
+        // snapshot. The explicit join order just makes the sequence
+        // readable — the scope would join everything anyway.
+        acceptor.join().expect("acceptor panicked");
+        drop(tx);
+        let (final_snapshot, stats) = writer.join().expect("writer panicked");
+        (result, final_snapshot, stats)
+    });
+
+    let report = ServeReport {
+        final_snapshot,
+        stats,
+        accepted: shared.accepted.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        bad_requests: shared.bad_requests.load(Ordering::Relaxed),
+        max_queue_depth: shared.max_queue_len.load(Ordering::Relaxed),
+        connections: shared.connections_total.load(Ordering::Relaxed),
+        connections_refused: shared.connections_refused.load(Ordering::Relaxed),
+    };
+    Ok((result, report))
+}
+
+/// How long a response write may block on a peer that isn't reading
+/// before the connection is dropped (handlers must stay joinable for
+/// the drain-then-close shutdown).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Answers one over-admission connection with `Overloaded` and closes
+/// it.
+fn refuse_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let resp = Response::Overloaded { queue_depth: 0 }.encode();
+    let _ = write_frame(&mut stream, resp.as_bytes());
+    let _ = stream.flush();
+}
+
+/// One connection's request loop. Reads answer from the handler's
+/// cached snapshot (no lock unless the writer published); mutations are
+/// `try_send` admission — full queue ⇒ `Overloaded`, never a block.
+fn handle_connection(
+    mut stream: TcpStream,
+    tx: SyncSender<OnlineEvent>,
+    swap: Arc<SnapshotSwap>,
+    shared: &Shared,
+    read_poll: Duration,
+) {
+    // The write timeout bounds a peer that stops *reading*: without it,
+    // a full kernel send buffer would block the handler in `write_all`
+    // forever — unjoinable at shutdown. A timed-out write corrupts that
+    // connection's framing, so the handler drops the connection.
+    if stream.set_read_timeout(Some(read_poll)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut reader = SnapshotReader::new(swap);
+    loop {
+        let frame = match read_frame_polling(&mut stream, || shared.stop.load(Ordering::Acquire)) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, stop while idle, or a broken peer: close.
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Request::decode(&frame) {
+            Err(why) => {
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Response::Rejected { why }
+            }
+            Ok(Request::Mutate(ev)) => admit(&ev, &tx, &mut reader, shared),
+            Ok(Request::RegretQuery) => {
+                let snap = reader.latest();
+                Response::Regret {
+                    epoch: snap.epoch,
+                    live_ads: snap.num_ads(),
+                    regret_estimate: snap.regret_estimate,
+                }
+            }
+            Ok(Request::AllocationQuery) => Response::Allocation((**reader.latest()).clone()),
+            Ok(Request::AdQuery { id }) => {
+                let snap = reader.latest();
+                Response::Ad {
+                    epoch: snap.epoch,
+                    ad: snap.ad(id).cloned(),
+                }
+            }
+            Ok(Request::Stats) => {
+                let snap = reader.latest();
+                Response::Stats(StatsView {
+                    epoch: snap.epoch,
+                    live_ads: snap.num_ads(),
+                    total_seeds: snap.total_seeds(),
+                    total_rr_sets: snap.total_rr_sets,
+                    engine_memory_bytes: snap.engine_memory_bytes,
+                    queue_depth: shared.queue_len.load(Ordering::Relaxed),
+                    max_queue_depth: shared.max_queue_len.load(Ordering::Relaxed),
+                    accepted: shared.accepted.load(Ordering::Relaxed),
+                    shed: shared.shed.load(Ordering::Relaxed),
+                    rejected: shared.rejected.load(Ordering::Relaxed),
+                    bad_requests: shared.bad_requests.load(Ordering::Relaxed),
+                    connections: shared.connections_open.load(Ordering::Relaxed),
+                })
+            }
+            Ok(Request::Shutdown) => {
+                shared.request_shutdown();
+                Response::ShuttingDown
+            }
+        };
+        if write_frame(&mut stream, response.encode().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission control for one mutation: count it into the queue depth
+/// first (so the writer's decrement can never race below zero), then
+/// try to enqueue; a full queue rolls the count back and sheds.
+fn admit(
+    ev: &OnlineEvent,
+    tx: &SyncSender<OnlineEvent>,
+    reader: &mut SnapshotReader,
+    shared: &Shared,
+) -> Response {
+    let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+    match tx.try_send(ev.clone()) {
+        Ok(()) => {
+            shared.max_queue_len.fetch_max(depth, Ordering::Relaxed);
+            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            Response::Accepted {
+                epoch: reader.latest().epoch,
+                queue_depth: depth,
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            Response::Overloaded {
+                queue_depth: depth - 1,
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+            Response::ShuttingDown
+        }
+    }
+}

@@ -74,6 +74,27 @@ impl DatasetKind {
             _ => 1,
         }
     }
+
+    /// Parses a CLI dataset name (case-insensitive) — the shared
+    /// vocabulary of every `--dataset` flag in the workspace.
+    pub fn parse(s: &str) -> Option<DatasetKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "FLIXSTER" => Some(DatasetKind::Flixster),
+            "EPINIONS" => Some(DatasetKind::Epinions),
+            "DBLP" => Some(DatasetKind::Dblp),
+            "LIVEJOURNAL" => Some(DatasetKind::LiveJournal),
+            _ => None,
+        }
+    }
+
+    /// The `size_ratio` a dataset generated under `cfg` will carry,
+    /// *without* generating it — pure arithmetic on the node counts.
+    /// This is what wire clients (the load generator) use to map a
+    /// paper-scale event log onto whatever scale the server was booted
+    /// at, matching [`Dataset::generate`]'s own ratio exactly.
+    pub fn size_ratio_at(self, cfg: &ScaleConfig) -> f64 {
+        cfg.nodes(self.default_nodes()) as f64 / self.paper_nodes() as f64
+    }
 }
 
 /// Which §6 probability model decorates a network's arcs. Every paper
@@ -99,6 +120,17 @@ impl ProbModel {
             ProbModel::TopicConcentrated => "topic",
             ProbModel::Exponential => "exp",
             ProbModel::WeightedCascade => "wc",
+        }
+    }
+
+    /// Parses a CLI model name (`topic` / `exp` / `wc`) — the shared
+    /// vocabulary of every `--model` flag in the workspace.
+    pub fn parse(s: &str) -> Option<ProbModel> {
+        match s {
+            "topic" => Some(ProbModel::TopicConcentrated),
+            "exp" => Some(ProbModel::Exponential),
+            "wc" => Some(ProbModel::WeightedCascade),
+            _ => None,
         }
     }
 

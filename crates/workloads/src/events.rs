@@ -266,53 +266,63 @@ pub fn scale_budgets(log: &mut [LogEvent], factor: f64) {
     }
 }
 
+/// The comma-separated JSON fields of one event (`"type":…` plus the
+/// payload, no braces) — the shared vocabulary of the JSONL log format
+/// and the `tirm_server` wire protocol. Floats print in shortest
+/// round-trip notation, so decoding is bit-exact.
+pub fn event_json_fields(event: &OnlineEvent) -> String {
+    match event {
+        OnlineEvent::AdArrival {
+            id,
+            budget,
+            cpe,
+            topics,
+            ctp,
+        } => {
+            let k = topics.k();
+            let main = topics.dominant_topic();
+            let mass = topics.weight(main);
+            // Compact single/concentrated form only when it
+            // reconstructs the distribution bit-for-bit; otherwise
+            // serialize the full weight vector — the format's
+            // bit-exact replay contract covers arbitrary dists.
+            let compact = if k == 1 || mass >= 1.0 {
+                TopicDist::single(k, main)
+            } else {
+                TopicDist::concentrated(k, main, mass)
+            };
+            let topic_repr = if compact == *topics {
+                format!("\"k\":{k},\"topic\":{main},\"mass\":{mass}")
+            } else {
+                let weights: Vec<String> = topics.weights().iter().map(|w| w.to_string()).collect();
+                format!("\"weights\":[{}]", weights.join(","))
+            };
+            format!(
+                "\"type\":\"arrival\",\"id\":{id},\"budget\":{budget},\"cpe\":{cpe},\
+                 {topic_repr},\"ctp\":{ctp}"
+            )
+        }
+        OnlineEvent::BudgetTopUp { id, amount } => {
+            format!("\"type\":\"topup\",\"id\":{id},\"amount\":{amount}")
+        }
+        OnlineEvent::AdDeparture { id } => {
+            format!("\"type\":\"departure\",\"id\":{id}")
+        }
+        OnlineEvent::Reallocate => "\"type\":\"reallocate\"".to_string(),
+        OnlineEvent::RegretQuery => "\"type\":\"regret_query\"".to_string(),
+    }
+}
+
 /// Serializes a log as JSON-lines (one event object per line; floats in
 /// shortest round-trip notation, so replay is bit-exact).
 pub fn log_to_jsonl(log: &[LogEvent]) -> String {
     let mut out = String::new();
     for e in log {
-        let body = match &e.event {
-            OnlineEvent::AdArrival {
-                id,
-                budget,
-                cpe,
-                topics,
-                ctp,
-            } => {
-                let k = topics.k();
-                let main = topics.dominant_topic();
-                let mass = topics.weight(main);
-                // Compact single/concentrated form only when it
-                // reconstructs the distribution bit-for-bit; otherwise
-                // serialize the full weight vector — the format's
-                // bit-exact replay contract covers arbitrary dists.
-                let compact = if k == 1 || mass >= 1.0 {
-                    TopicDist::single(k, main)
-                } else {
-                    TopicDist::concentrated(k, main, mass)
-                };
-                let topic_repr = if compact == *topics {
-                    format!("\"k\":{k},\"topic\":{main},\"mass\":{mass}")
-                } else {
-                    let weights: Vec<String> =
-                        topics.weights().iter().map(|w| w.to_string()).collect();
-                    format!("\"weights\":[{}]", weights.join(","))
-                };
-                format!(
-                    "\"type\":\"arrival\",\"id\":{id},\"budget\":{budget},\"cpe\":{cpe},\
-                     {topic_repr},\"ctp\":{ctp}"
-                )
-            }
-            OnlineEvent::BudgetTopUp { id, amount } => {
-                format!("\"type\":\"topup\",\"id\":{id},\"amount\":{amount}")
-            }
-            OnlineEvent::AdDeparture { id } => {
-                format!("\"type\":\"departure\",\"id\":{id}")
-            }
-            OnlineEvent::Reallocate => "\"type\":\"reallocate\"".to_string(),
-            OnlineEvent::RegretQuery => "\"type\":\"regret_query\"".to_string(),
-        };
-        out.push_str(&format!("{{\"at\":{},{body}}}\n", e.at));
+        out.push_str(&format!(
+            "{{\"at\":{},{}}}\n",
+            e.at,
+            event_json_fields(&e.event)
+        ));
     }
     out
 }
@@ -337,6 +347,78 @@ impl std::fmt::Display for LogError {
 
 impl std::error::Error for LogError {}
 
+/// Decodes one event object — the `type` + payload fields produced by
+/// [`event_json_fields`]; any surrounding fields (like a log line's
+/// `at`) are ignored. Shared by the JSONL log reader and the
+/// `tirm_server` wire protocol, so both reject exactly the same
+/// malformed payloads.
+pub fn event_from_value(v: &serde_json::Value) -> Result<OnlineEvent, String> {
+    let ty = v
+        .get("type")
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| "missing `type`".to_string())?;
+    let id = || {
+        v.get("id")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| "missing `id`".to_string())
+    };
+    let f64_of = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let event = match ty {
+        "arrival" => {
+            let topics = if let Some(ws) = v.get("weights") {
+                // Explicit weight vector (non-single/concentrated).
+                let ws = ws
+                    .as_array()
+                    .ok_or_else(|| "`weights` must be an array".to_string())?;
+                let weights: Vec<f32> = ws
+                    .iter()
+                    .map(|w| w.as_f64().map(|x| x as f32))
+                    .collect::<Option<_>>()
+                    .ok_or_else(|| "non-numeric topic weight".to_string())?;
+                TopicDist::new(weights).map_err(|e| format!("bad topic weights: {e}"))?
+            } else {
+                let k = v
+                    .get("k")
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| "missing `k`".to_string())? as usize;
+                let topic =
+                    v.get("topic")
+                        .and_then(|x| x.as_u64())
+                        .ok_or_else(|| "missing `topic`".to_string())? as usize;
+                let mass = f64_of("mass")? as f32;
+                if k == 0 || topic >= k || !(0.0..=1.0).contains(&mass) {
+                    return Err("inconsistent topic distribution".to_string());
+                }
+                if k == 1 || mass >= 1.0 {
+                    TopicDist::single(k, topic)
+                } else {
+                    TopicDist::concentrated(k, topic, mass)
+                }
+            };
+            OnlineEvent::AdArrival {
+                id: id()?,
+                budget: f64_of("budget")?,
+                cpe: f64_of("cpe")?,
+                topics,
+                ctp: f64_of("ctp")? as f32,
+            }
+        }
+        "topup" => OnlineEvent::BudgetTopUp {
+            id: id()?,
+            amount: f64_of("amount")?,
+        },
+        "departure" => OnlineEvent::AdDeparture { id: id()? },
+        "reallocate" => OnlineEvent::Reallocate,
+        "regret_query" => OnlineEvent::RegretQuery,
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(event)
+}
+
 /// Parses a JSON-lines log produced by [`log_to_jsonl`] (empty lines are
 /// skipped).
 pub fn log_from_jsonl(text: &str) -> Result<Vec<LogEvent>, LogError> {
@@ -346,94 +428,25 @@ pub fn log_from_jsonl(text: &str) -> Result<Vec<LogEvent>, LogError> {
         if line.is_empty() {
             continue;
         }
-        let bad = |why: &str| LogError::Malformed {
-            line: no + 1,
-            why: why.to_string(),
-        };
-        let v = serde_json::from_str(line).map_err(|e| bad(&format!("invalid JSON: {e}")))?;
+        let bad = |why: String| LogError::Malformed { line: no + 1, why };
+        let v = serde_json::from_str(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
         let at = v
             .get("at")
             .and_then(|x| x.as_f64())
-            .ok_or_else(|| bad("missing `at`"))?;
-        let ty = v
-            .get("type")
-            .and_then(|x| x.as_str())
-            .ok_or_else(|| bad("missing `type`"))?
-            .to_string();
-        let id = || {
-            v.get("id")
-                .and_then(|x| x.as_u64())
-                .ok_or_else(|| bad("missing `id`"))
-        };
-        let f64_of = |key: &str| {
-            v.get(key)
-                .and_then(|x| x.as_f64())
-                .ok_or_else(|| bad(&format!("missing `{key}`")))
-        };
-        let event = match ty.as_str() {
-            "arrival" => {
-                let topics = if let Some(ws) = v.get("weights") {
-                    // Explicit weight vector (non-single/concentrated).
-                    let ws = ws
-                        .as_array()
-                        .ok_or_else(|| bad("`weights` must be an array"))?;
-                    let weights: Vec<f32> = ws
-                        .iter()
-                        .map(|w| w.as_f64().map(|x| x as f32))
-                        .collect::<Option<_>>()
-                        .ok_or_else(|| bad("non-numeric topic weight"))?;
-                    TopicDist::new(weights).map_err(|e| bad(&format!("bad topic weights: {e}")))?
-                } else {
-                    let k = v
-                        .get("k")
-                        .and_then(|x| x.as_u64())
-                        .ok_or_else(|| bad("missing `k`"))? as usize;
-                    let topic = v
-                        .get("topic")
-                        .and_then(|x| x.as_u64())
-                        .ok_or_else(|| bad("missing `topic`"))?
-                        as usize;
-                    let mass = f64_of("mass")? as f32;
-                    if k == 0 || topic >= k || !(0.0..=1.0).contains(&mass) {
-                        return Err(bad("inconsistent topic distribution"));
-                    }
-                    if k == 1 || mass >= 1.0 {
-                        TopicDist::single(k, topic)
-                    } else {
-                        TopicDist::concentrated(k, topic, mass)
-                    }
-                };
-                OnlineEvent::AdArrival {
-                    id: id()?,
-                    budget: f64_of("budget")?,
-                    cpe: f64_of("cpe")?,
-                    topics,
-                    ctp: f64_of("ctp")? as f32,
-                }
-            }
-            "topup" => OnlineEvent::BudgetTopUp {
-                id: id()?,
-                amount: f64_of("amount")?,
-            },
-            "departure" => OnlineEvent::AdDeparture { id: id()? },
-            "reallocate" => OnlineEvent::Reallocate,
-            "regret_query" => OnlineEvent::RegretQuery,
-            other => return Err(bad(&format!("unknown event type {other:?}"))),
-        };
+            .ok_or_else(|| bad("missing `at`".to_string()))?;
+        let event = event_from_value(&v).map_err(bad)?;
         log.push(LogEvent { at, event });
     }
     Ok(log)
 }
 
 /// Writes a log file ([`log_to_jsonl`] format), creating parent
-/// directories.
+/// directories. The file is committed through the atomic temp+rename
+/// writer ([`tirm_graph::snapshot::write_atomic`]), so an interrupted
+/// writer (SIGINT mid-generation) can never leave a partially written
+/// JSONL log under the final name.
 pub fn write_log(path: &Path, log: &[LogEvent]) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
-    std::fs::write(path, log_to_jsonl(log))
+    tirm_graph::snapshot::write_atomic(path, log_to_jsonl(log).as_bytes())
 }
 
 /// Reads a log file.

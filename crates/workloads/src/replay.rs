@@ -32,6 +32,12 @@ impl LatencyHistogram {
         self.samples.len()
     }
 
+    /// The raw nanosecond samples, arrival order (merging histograms
+    /// across worker threads is the caller's `for`-loop).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// Nearest-rank percentile in microseconds (`p` in `[0, 100]`); 0.0
     /// when empty.
     pub fn percentile_us(&self, p: f64) -> f64 {

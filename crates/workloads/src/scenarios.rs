@@ -64,6 +64,12 @@ pub struct ScenarioSpec {
     /// (the engine *is* TIRM under the hood) and the cell id lives in its
     /// own `ONLINE/...` namespace.
     pub online: bool,
+    /// Network serving cell: the runner boots a real `tirm_server` on a
+    /// loopback port, drives it with the load generator (mutation stream
+    /// in deterministic-delivery mode + a concurrent reader pool), and
+    /// stamps wire latencies, read-path percentiles and the shed rate.
+    /// Ids live in the `SERVING/...` namespace.
+    pub serving: bool,
 }
 
 impl ScenarioSpec {
@@ -78,6 +84,7 @@ impl ScenarioSpec {
             lambda: 0.0,
             seed_cap: None,
             online: false,
+            serving: false,
         }
     }
 
@@ -90,13 +97,25 @@ impl ScenarioSpec {
         }
     }
 
+    /// A network-serving cell (real TCP server + load generator) over
+    /// the dataset's canonical model.
+    fn serving(dataset: DatasetKind, kappa: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            kappa,
+            serving: true,
+            ..ScenarioSpec::base(dataset)
+        }
+    }
+
     /// Stable cell identity, the join key between two baseline files:
-    /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`, or
-    /// `ONLINE/DATASET/model/t…/k…/l…` for serving cells.
+    /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`,
+    /// `ONLINE/DATASET/model/t…/k…/l…` for in-process serving cells, or
+    /// `SERVING/DATASET/model/t…/k…/l…` for network serving cells.
     pub fn id(&self) -> String {
-        if self.online {
+        if self.online || self.serving {
             return format!(
-                "ONLINE/{}/{}/t{}/k{}/l{}",
+                "{}/{}/{}/t{}/k{}/l{}",
+                if self.serving { "SERVING" } else { "ONLINE" },
                 self.dataset.name(),
                 self.model.name(),
                 self.threads,
@@ -168,6 +187,13 @@ pub enum Tier {
     /// and full tiers each embed a subset of these cells so the PR gate
     /// and the nightly watch the serving layer by default.
     Online,
+    /// The network serving grid: each cell boots a real `tirm_server`
+    /// on a loopback port and drives it with the load generator
+    /// (deterministic-delivery mutations + a concurrent reader pool),
+    /// stamping wire latency percentiles, read-path p99 and the shed
+    /// rate. Quick-tier fidelity; the quick tier embeds one of these
+    /// cells so the PR gate watches the network frontend.
+    Serving,
 }
 
 impl Tier {
@@ -178,6 +204,7 @@ impl Tier {
             Tier::Full => "full",
             Tier::Paper => "paper",
             Tier::Online => "online",
+            Tier::Serving => "serving",
         }
     }
 
@@ -188,6 +215,7 @@ impl Tier {
             "full" => Some(Tier::Full),
             "paper" => Some(Tier::Paper),
             "online" => Some(Tier::Online),
+            "serving" => Some(Tier::Serving),
             _ => None,
         }
     }
@@ -221,7 +249,7 @@ impl Tier {
             // Serving cells replay dozens of events, each a
             // re-allocation — quick-tier fidelity keeps the whole grid
             // CI-sized; TIRM_SCALE raises it for real measurement.
-            Tier::Online => ScaleConfig {
+            Tier::Online | Tier::Serving => ScaleConfig {
                 scale: 0.08,
                 eval_runs: 200,
                 threads: 1,
@@ -233,7 +261,7 @@ impl Tier {
     /// Greedy-MC cells — the paper itself calls it prohibitively slow).
     fn greedy_cap(self) -> usize {
         match self {
-            Tier::Quick | Tier::Online => 20,
+            Tier::Quick | Tier::Online | Tier::Serving => 20,
             Tier::Full | Tier::Paper => 60,
         }
     }
@@ -255,11 +283,27 @@ impl Tier {
         ]
     }
 
+    /// The dedicated network-serving grid: the quality serving pair
+    /// (delta-path room at κ = 2) plus a fully-contended EPINIONS cell
+    /// and the §6.2 full-competition DBLP setup — each cell a real
+    /// server + load generator on loopback.
+    fn serving_matrix() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::serving(DatasetKind::Epinions, 2),
+            ScenarioSpec::serving(DatasetKind::Flixster, 2),
+            ScenarioSpec::serving(DatasetKind::Epinions, 1),
+            ScenarioSpec::serving(DatasetKind::Dblp, 1),
+        ]
+    }
+
     /// Enumerates the tier's scenario grid, in a stable order.
     pub fn matrix(self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::new();
         if self == Tier::Online {
             return Self::online_matrix();
+        }
+        if self == Tier::Serving {
+            return Self::serving_matrix();
         }
         if self == Tier::Paper {
             // §6.2 scalability block at Table-1 scale, Weighted-Cascade,
@@ -317,9 +361,9 @@ impl Tier {
         // GREEDY-IRIE is skipped on LIVEJOURNAL exactly as in the paper.
         let scal_threads: &[usize] = match self {
             Tier::Quick => &[1, 2],
-            // Paper and Online early-returned above; the arm only
-            // satisfies match exhaustiveness.
-            Tier::Full | Tier::Paper | Tier::Online => &[1, 2, 4],
+            // Paper, Online and Serving early-returned above; the arm
+            // only satisfies match exhaustiveness.
+            Tier::Full | Tier::Paper | Tier::Online | Tier::Serving => &[1, 2, 4],
         };
         for dataset in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
             for &threads in scal_threads {
@@ -358,16 +402,22 @@ impl Tier {
             }
         }
 
-        // Online serving cells ride along in the gated tiers so the PR
-        // gate (quick) and the nightly (full) watch the serving layer by
-        // default; the dedicated `online` tier holds the whole grid.
+        // Serving cells ride along in the gated tiers so the PR gate
+        // (quick) and the nightly (full) watch both serving layers by
+        // default; the dedicated `online` / `serving` tiers hold the
+        // full grids. The network cell shares (dataset, model) with
+        // batch cells, so the suite reuses the materialised instance.
         match self {
-            Tier::Quick => specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2)),
+            Tier::Quick => {
+                specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2));
+                specs.push(ScenarioSpec::serving(DatasetKind::Epinions, 2));
+            }
             Tier::Full => {
                 specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2));
                 specs.push(ScenarioSpec::online(DatasetKind::Dblp, 1));
+                specs.push(ScenarioSpec::serving(DatasetKind::Epinions, 2));
             }
-            Tier::Paper | Tier::Online => {}
+            Tier::Paper | Tier::Online | Tier::Serving => {}
         }
 
         specs
@@ -443,27 +493,57 @@ mod tests {
     }
 
     #[test]
-    fn gated_tiers_embed_online_cells() {
+    fn gated_tiers_embed_online_and_serving_cells() {
         for tier in [Tier::Quick, Tier::Full] {
             let specs = tier.matrix();
             assert!(
                 specs.iter().any(|s| s.online),
                 "{tier:?} must watch the serving layer"
             );
-            // Online cells share (dataset, model) with batch cells, so the
-            // suite reuses the materialised dataset.
-            for s in specs.iter().filter(|s| s.online) {
-                assert!(specs
-                    .iter()
-                    .any(|b| !b.online && b.dataset == s.dataset && b.model == s.model));
+            assert!(
+                specs.iter().any(|s| s.serving),
+                "{tier:?} must watch the network frontend"
+            );
+            // Serving cells share (dataset, model) with batch cells, so
+            // the suite reuses the materialised dataset.
+            for s in specs.iter().filter(|s| s.online || s.serving) {
+                assert!(specs.iter().any(|b| !b.online
+                    && !b.serving
+                    && b.dataset == s.dataset
+                    && b.model == s.model));
             }
         }
-        assert!(!Tier::Paper.matrix().iter().any(|s| s.online));
+        assert!(!Tier::Paper.matrix().iter().any(|s| s.online || s.serving));
+    }
+
+    #[test]
+    fn serving_grid_shape() {
+        let specs = Tier::Serving.matrix();
+        assert!(specs.len() >= 4);
+        assert!(specs.iter().all(|s| s.serving && !s.online));
+        assert!(specs.iter().all(|s| s.id().starts_with("SERVING/")));
+        assert!(
+            specs.iter().any(|s| s.kappa >= 2) && specs.iter().any(|s| s.kappa == 1),
+            "both delta-path room and full contention"
+        );
+        let cfg = Tier::Serving.scale_defaults();
+        assert!(cfg.scale <= 0.2 && cfg.eval_runs <= 1000, "CI-sized");
+        // The namespaces never collide even at equal parameters.
+        let online = ScenarioSpec::online(DatasetKind::Epinions, 2);
+        let serving = ScenarioSpec::serving(DatasetKind::Epinions, 2);
+        assert_ne!(online.id(), serving.id());
+        assert_ne!(online.seed(7), serving.seed(7));
     }
 
     #[test]
     fn ids_are_unique_join_keys() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
+        for tier in [
+            Tier::Quick,
+            Tier::Full,
+            Tier::Paper,
+            Tier::Online,
+            Tier::Serving,
+        ] {
             let specs = tier.matrix();
             let ids: HashSet<_> = specs.iter().map(|s| s.id()).collect();
             assert_eq!(ids.len(), specs.len(), "duplicate id in {tier:?}");
@@ -502,7 +582,13 @@ mod tests {
 
     #[test]
     fn greedy_cells_are_capped() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
+        for tier in [
+            Tier::Quick,
+            Tier::Full,
+            Tier::Paper,
+            Tier::Online,
+            Tier::Serving,
+        ] {
             for s in tier.matrix() {
                 if s.allocator == AllocatorKind::Greedy {
                     assert!(s.seed_cap.is_some(), "uncapped Greedy-MC cell");
@@ -515,7 +601,13 @@ mod tests {
 
     #[test]
     fn tier_parse_round_trips() {
-        for tier in [Tier::Quick, Tier::Full, Tier::Paper, Tier::Online] {
+        for tier in [
+            Tier::Quick,
+            Tier::Full,
+            Tier::Paper,
+            Tier::Online,
+            Tier::Serving,
+        ] {
             assert_eq!(Tier::parse(tier.name()), Some(tier));
         }
         assert_eq!(Tier::parse("nightly"), None);

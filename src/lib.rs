@@ -20,7 +20,9 @@ pub use tirm_core as core;
 pub use tirm_diffusion as diffusion;
 pub use tirm_graph as graph;
 pub use tirm_irie as irie;
+pub use tirm_online as online;
 pub use tirm_rrset as rrset;
+pub use tirm_server as server;
 pub use tirm_topics as topics;
 pub use tirm_workloads as workloads;
 
