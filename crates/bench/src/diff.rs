@@ -326,6 +326,20 @@ fn diff_cell(
         }
     }
 
+    // RR-index layout: bytes-per-posting is deterministic (a pure
+    // function of the run's postings), so it gates like memory but
+    // cross-machine too. A zero baseline (pre-v5 artifact, or a non-RR
+    // cell) has nothing to compare — the field's introduction surfaces
+    // as drift, not a regression.
+    let (o, n) = (oc.bytes_per_posting, nc.bytes_per_posting);
+    if o > 0.0 && rel_exceeds(o, n, opts.mem_rel_tol) {
+        push("bytes_per_posting", o, n, Verdict::Regression);
+    } else if o > 0.0 && rel_exceeds(n, o, opts.mem_rel_tol) {
+        push("bytes_per_posting", o, n, Verdict::Improvement);
+    } else if (o - n).abs() > DET_EPS * o.abs().max(1.0) {
+        push("bytes_per_posting", o, n, Verdict::Drift);
+    }
+
     // Remaining deterministic payload: any movement is drift.
     for (name, o, n) in [
         ("theta", oc.theta as f64, nc.theta as f64),
@@ -336,6 +350,11 @@ fn diff_cell(
             nc.distinct_targeted as f64,
         ),
         ("revenue", oc.revenue, nc.revenue),
+        (
+            "legacy_bytes_per_posting",
+            oc.legacy_bytes_per_posting,
+            nc.legacy_bytes_per_posting,
+        ),
         ("nodes", oc.nodes as f64, nc.nodes as f64),
         ("edges", oc.edges as f64, nc.edges as f64),
     ] {
@@ -438,11 +457,14 @@ mod tests {
             relative_regret: 0.1,
             revenue: 110.0,
             memory_bytes: 8 << 20,
+            bytes_per_posting: 5.2,
+            legacy_bytes_per_posting: 7.8,
             wall_s: 2.0,
             eval_s: 0.5,
             dataset_cold_s: 1.0,
             dataset_warm_s: 0.0,
             rr_sets_per_s: 25_000.0,
+            postings_scan_mentries_per_s: 350.0,
             latency_p50_us: 0.0,
             latency_p95_us: 0.0,
             latency_p99_us: 0.0,
@@ -595,6 +617,48 @@ mod tests {
         tiny.memory_bytes = 500_000;
         let d = diff_reports(&old, &report(vec![tiny]), &DiffOptions::default());
         assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn bytes_per_posting_gates_like_memory_but_cross_machine() {
+        // Layout bloat beyond the memory tolerance fails the gate even
+        // though the ratio rides in the deterministic payload.
+        let old = report(vec![cell("a")]);
+        let mut fat = cell("a");
+        fat.bytes_per_posting *= 1.5;
+        let d = diff_reports(&old, &report(vec![fat]), &DiffOptions::default());
+        assert!(d.has_regressions());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "bytes_per_posting" && f.verdict == Verdict::Regression));
+
+        // A leaner layout is an improvement, not a failure.
+        let mut lean = cell("a");
+        lean.bytes_per_posting *= 0.6;
+        let d = diff_reports(&old, &report(vec![lean]), &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "bytes_per_posting" && f.verdict == Verdict::Improvement));
+
+        // Pre-v5 baselines decode the field as 0: its first appearance
+        // is informational drift, never a regression.
+        let mut prev5 = cell("a");
+        prev5.bytes_per_posting = 0.0;
+        prev5.legacy_bytes_per_posting = 0.0;
+        let old = report(vec![prev5]);
+        let d = diff_reports(&old, &report(vec![cell("a")]), &DiffOptions::default());
+        assert!(!d.has_regressions(), "{:?}", d.findings);
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "bytes_per_posting" && f.verdict == Verdict::Drift));
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.metric == "legacy_bytes_per_posting" && f.verdict == Verdict::Drift));
     }
 
     #[test]

@@ -29,7 +29,13 @@ use tirm_workloads::ScaleConfig;
 /// v4 added the network-serving metrics `read_p99_us` / `reads_per_s` /
 /// `shed_rate` (0.0 outside `SERVING/…` cells; absent ⇒ 0.0 in pre-v4
 /// artifacts).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the RR-index layout metrics `bytes_per_posting` /
+/// `legacy_bytes_per_posting` (deterministic — the arena-vs-legacy
+/// footprint ratio the regression gate pins) and the machine-dependent
+/// `postings_scan_mentries_per_s` scan-throughput probe (0.0 outside
+/// TIRM cells; absent ⇒ 0.0 in pre-v5 artifacts).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Where an artifact was measured. Wall-clock comparisons are only
 /// meaningful between comparable environments (same OS/arch/CPU count);
@@ -123,6 +129,17 @@ pub struct BenchCell {
     pub revenue: f64,
     /// Bytes held by the algorithm's dominant structures (Table 4 metric).
     pub memory_bytes: usize,
+    /// RR-index bytes per stored posting entry after end-of-run
+    /// compaction — `postings_bytes / postings_entries`. Deterministic
+    /// (both numerator and denominator are), so cross-machine diffs can
+    /// pin the arena layout's footprint. 0 for non-RR cells and cells
+    /// that sampled nothing; absent pre-v5, decoded as 0.
+    pub bytes_per_posting: f64,
+    /// Same ratio costed under the pre-arena `Vec<Vec<u32>>` layout
+    /// (per-node header + capacity slack). The `bytes_per_posting /
+    /// legacy_bytes_per_posting` quotient is the layout's measured
+    /// reduction. 0 for non-RR cells; absent pre-v5, decoded as 0.
+    pub legacy_bytes_per_posting: f64,
     /// Allocation wall-clock seconds.
     pub wall_s: f64,
     /// Evaluation wall-clock seconds (0 when evaluation is skipped).
@@ -139,6 +156,12 @@ pub struct BenchCell {
     pub dataset_warm_s: f64,
     /// RR-set sampling throughput, `theta / wall_s` (0 for non-RR cells).
     pub rr_sets_per_s: f64,
+    /// Synthetic postings-scan probe: millions of posting entries
+    /// traversed per second through the arena index, measured once per
+    /// suite run and stamped on its TIRM cells (0 elsewhere). Machine-
+    /// dependent — a cache-locality canary, not a gate; absent pre-v5,
+    /// decoded as 0.
+    pub postings_scan_mentries_per_s: f64,
     /// Online cells: median per-event serving latency in microseconds
     /// (0 on batch cells; absent in pre-v3 artifacts, decoded as 0).
     pub latency_p50_us: f64,
@@ -176,6 +199,7 @@ impl BenchCell {
         self.dataset_cold_s = 0.0;
         self.dataset_warm_s = 0.0;
         self.rr_sets_per_s = 0.0;
+        self.postings_scan_mentries_per_s = 0.0;
         self.latency_p50_us = 0.0;
         self.latency_p95_us = 0.0;
         self.latency_p99_us = 0.0;
@@ -335,11 +359,24 @@ impl BenchCell {
             relative_regret: f64_field(v, "relative_regret")?,
             revenue: f64_field(v, "revenue")?,
             memory_bytes: usize_field(v, "memory_bytes")?,
+            bytes_per_posting: f64_field_since(v, "bytes_per_posting", 5, schema_version)?,
+            legacy_bytes_per_posting: f64_field_since(
+                v,
+                "legacy_bytes_per_posting",
+                5,
+                schema_version,
+            )?,
             wall_s: f64_field(v, "wall_s")?,
             eval_s: f64_field(v, "eval_s")?,
             dataset_cold_s: f64_field_since(v, "dataset_cold_s", 2, schema_version)?,
             dataset_warm_s: f64_field_since(v, "dataset_warm_s", 2, schema_version)?,
             rr_sets_per_s: f64_field(v, "rr_sets_per_s")?,
+            postings_scan_mentries_per_s: f64_field_since(
+                v,
+                "postings_scan_mentries_per_s",
+                5,
+                schema_version,
+            )?,
             latency_p50_us: f64_field_since(v, "latency_p50_us", 3, schema_version)?,
             latency_p95_us: f64_field_since(v, "latency_p95_us", 3, schema_version)?,
             latency_p99_us: f64_field_since(v, "latency_p99_us", 3, schema_version)?,
@@ -464,11 +501,14 @@ mod tests {
             relative_regret: 0.31,
             revenue: 38.5,
             memory_bytes: 1_048_576,
+            bytes_per_posting: 5.5,
+            legacy_bytes_per_posting: 8.25,
             wall_s: 0.75,
             eval_s: 0.125,
             dataset_cold_s: 3.5,
             dataset_warm_s: 0.25,
             rr_sets_per_s: 164_608.0,
+            postings_scan_mentries_per_s: 420.0,
             latency_p50_us: 850.0,
             latency_p95_us: 2_100.0,
             latency_p99_us: 4_200.0,
@@ -536,6 +576,7 @@ mod tests {
         assert_eq!(c.dataset_cold_s, 0.0);
         assert_eq!(c.dataset_warm_s, 0.0);
         assert_eq!(c.rr_sets_per_s, 0.0);
+        assert_eq!(c.postings_scan_mentries_per_s, 0.0);
         assert_eq!(c.latency_p50_us, 0.0);
         assert_eq!(c.latency_p95_us, 0.0);
         assert_eq!(c.latency_p99_us, 0.0);
@@ -546,6 +587,11 @@ mod tests {
         assert_eq!(c.peak_rss_bytes, 0);
         assert_eq!(c.theta, 123_456, "deterministic payload untouched");
         assert_eq!(c.total_regret, 17.25);
+        assert_eq!(
+            c.bytes_per_posting, 5.5,
+            "layout ratios are deterministic, not timings"
+        );
+        assert_eq!(c.legacy_bytes_per_posting, 8.25);
     }
 
     #[test]
@@ -559,17 +605,22 @@ mod tests {
             vec![sample_cell("v1cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 4", "\"schema_version\": 1");
+        text = text.replace("\"schema_version\": 5", "\"schema_version\": 1");
         for key in [
             "dataset_cold_s",
             "dataset_warm_s",
             "latency_p50_us",
             "latency_p95_us",
             "latency_p99_us",
-            "events_per_s",
             "read_p99_us",
             "reads_per_s",
             "shed_rate",
+            // v5 additions; list the plain key before its `legacy_…`
+            // superstring so `find` strips the right line.
+            "bytes_per_posting",
+            "legacy_bytes_per_posting",
+            "postings_scan_mentries_per_s",
+            "events_per_s",
         ] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
@@ -611,7 +662,7 @@ mod tests {
             vec![sample_cell("v2cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 4", "\"schema_version\": 2");
+        text = text.replace("\"schema_version\": 5", "\"schema_version\": 2");
         for key in [
             "latency_p50_us",
             "latency_p95_us",
@@ -653,7 +704,7 @@ mod tests {
             vec![sample_cell("v3cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        text = text.replace("\"schema_version\": 5", "\"schema_version\": 3");
         for key in ["read_p99_us", "reads_per_s", "shed_rate"] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
@@ -671,6 +722,45 @@ mod tests {
         let v4_missing = text.replace("\"schema_version\": 3", "\"schema_version\": 4");
         assert!(matches!(
             BenchReport::from_json_str(&v4_missing),
+            Err(SchemaError::Field(_))
+        ));
+    }
+
+    #[test]
+    fn v4_artifacts_without_postings_layout_metrics_still_load() {
+        // PR-5-era baselines are v4: no RR-index layout metrics. They
+        // must decode with zeros; a v5 artifact missing them is
+        // rejected.
+        let report = BenchReport::new(
+            "quick",
+            EnvFingerprint::current(&ScaleConfig::default()),
+            vec![sample_cell("v4cell")],
+        );
+        let mut text = report.to_json_string();
+        text = text.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        // The plain key before its `legacy_…` superstring so `find`
+        // strips the right line.
+        for key in [
+            "bytes_per_posting",
+            "legacy_bytes_per_posting",
+            "postings_scan_mentries_per_s",
+        ] {
+            let from = text.find(key).expect("field serialized");
+            let to = text[from..].find('\n').unwrap() + from + 1;
+            text.replace_range(from - 1..to, "");
+        }
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.cells[0].bytes_per_posting, 0.0);
+        assert_eq!(back.cells[0].legacy_bytes_per_posting, 0.0);
+        assert_eq!(back.cells[0].postings_scan_mentries_per_s, 0.0);
+        assert_eq!(
+            back.cells[0].read_p99_us, 310.0,
+            "v4 fields still strict in v4"
+        );
+        let v5_missing = text.replace("\"schema_version\": 4", "\"schema_version\": 5");
+        assert!(matches!(
+            BenchReport::from_json_str(&v5_missing),
             Err(SchemaError::Field(_))
         ));
     }

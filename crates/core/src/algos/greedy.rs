@@ -96,6 +96,7 @@ pub fn greedy_allocate<O: SpreadOracle>(
         memory_bytes: 0,
         rr_sets_per_ad: vec![],
         oracle_calls,
+        ..AlgoStats::default()
     };
     (alloc, stats)
 }

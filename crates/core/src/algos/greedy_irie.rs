@@ -100,6 +100,7 @@ pub fn greedy_irie_allocate(
         memory_bytes: iries.iter().map(|i| i.memory_bytes()).sum(),
         rr_sets_per_ad: vec![],
         oracle_calls,
+        ..AlgoStats::default()
     };
     (alloc, stats)
 }

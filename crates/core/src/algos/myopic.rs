@@ -50,6 +50,7 @@ pub fn myopic_allocate(problem: &ProblemInstance<'_>) -> (Allocation, AlgoStats)
         memory_bytes: 0,
         rr_sets_per_ad: vec![],
         oracle_calls: 0,
+        ..AlgoStats::default()
     };
     (alloc, stats)
 }

@@ -75,6 +75,7 @@ pub fn myopic_plus_allocate(problem: &ProblemInstance<'_>) -> (Allocation, AlgoS
         memory_bytes: 0,
         rr_sets_per_ad: vec![],
         oracle_calls: 0,
+        ..AlgoStats::default()
     };
     (alloc, stats)
 }

@@ -33,13 +33,14 @@ use crate::allocation::Allocation;
 use crate::metrics::AlgoStats;
 use crate::problem::ProblemInstance;
 use crate::regret::ad_regret;
+use std::sync::Arc;
 use std::time::Instant;
 use tirm_graph::NodeId;
 use tirm_rrset::heap::Verdict;
 use tirm_rrset::weighted::{score_key, WeightedRrCollection};
 use tirm_rrset::{
-    KptEstimator, KptState, LazyMaxHeap, ParallelSampler, RrIndex, RrSampler, SampleBound,
-    SamplingConfig,
+    FastPath, KptEstimator, KptState, LazyMaxHeap, ParallelSampler, RrIndex, RrSampler,
+    SampleBound, SamplingConfig, SamplingLayout,
 };
 
 /// Options for TIRM.
@@ -68,6 +69,46 @@ pub struct TirmOptions {
     /// Ablation: the paper's literal line-12 rule — remove covered sets
     /// regardless of the covering seed's CTP (exact only at `δ = 1`).
     pub hard_cover: bool,
+    /// Mark-layout policy for the sampling hot path (see [`RelabelMode`]).
+    /// Pure cache optimization: the allocation (seeds, revenue estimates,
+    /// regret) is bit-identical under every mode — pinned by the
+    /// `relabel_equivalence` property tests. Defaults to the
+    /// `TIRM_RELABEL` env var (`0` ⇒ [`RelabelMode::Off`], any other
+    /// value ⇒ [`RelabelMode::On`], unset ⇒ [`RelabelMode::Auto`]).
+    pub relabel: RelabelMode,
+}
+
+/// Degree-relabeling only pays once the O(n) mark table stops fitting in
+/// cache: below that, every row is a hit whatever its index, and the
+/// relabeled arm's extra per-arc `marks[pos]` stream (4 more bytes per
+/// arc) is pure cost. 2¹⁸ nodes puts the table at 1 MiB — around where it
+/// outgrows typical L2 and scattered hub rows start missing.
+pub const RELABEL_AUTO_MIN_NODES: usize = 1 << 18;
+
+/// Policy for the degree-ordered mark layout of the sampling hot path.
+/// The sampled sets — and therefore the whole allocation — are
+/// bit-identical under every variant; this only picks where the mark
+/// array's bytes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelabelMode {
+    /// Relabel only when the graph is large enough for the mark table to
+    /// outgrow cache (`n ≥` [`RELABEL_AUTO_MIN_NODES`]). The default.
+    Auto,
+    /// Always use the degree-ordered layout.
+    On,
+    /// Always use the identity layout.
+    Off,
+}
+
+impl RelabelMode {
+    /// Whether a graph of `n` nodes gets the degree-ordered layout.
+    pub fn enabled_for(self, n: usize) -> bool {
+        match self {
+            RelabelMode::Auto => n >= RELABEL_AUTO_MIN_NODES,
+            RelabelMode::On => true,
+            RelabelMode::Off => false,
+        }
+    }
 }
 
 impl TirmOptions {
@@ -97,6 +138,11 @@ impl Default for TirmOptions {
             max_total_seeds: None,
             exact_drop_selection: false,
             hard_cover: false,
+            relabel: match std::env::var("TIRM_RELABEL").as_deref() {
+                Ok("0") => RelabelMode::Off,
+                Ok(_) => RelabelMode::On,
+                Err(_) => RelabelMode::Auto,
+            },
         }
     }
 }
@@ -192,6 +238,9 @@ impl AdWarmState {
 /// Per-ad sampling and coverage state.
 struct AdState<'a> {
     sampler: RrSampler<'a>,
+    /// Precomputed fast sampling route (thresholds + shared mark layout);
+    /// bit-identical to the plain route, used for every draw.
+    fast: FastPath,
     coll: WeightedRrCollection,
     heap: LazyMaxHeap,
     kpt: KptEstimator<'a>,
@@ -227,7 +276,9 @@ impl<'a> AdState<'a> {
         let mut need = theta - have;
         need -= self.coll.activate_next(need);
         if need > 0 {
-            let drawn = self.engine.sample_into(&self.sampler, need, &mut self.coll);
+            let drawn =
+                self.engine
+                    .sample_into_with(&self.sampler, Some(&self.fast), need, &mut self.coll);
             debug_assert_eq!(drawn, need, "θ engines run uncapped");
             *oracle_calls += drawn;
         }
@@ -296,11 +347,21 @@ fn tirm_run(
     bound.ell = opts.ell;
     bound.max_theta = opts.max_theta_per_ad;
 
+    // One mark layout for the whole run (same graph for every ad); the
+    // per-ad FastPaths share it. Building the degree ordering is
+    // O(n log n + m) once — noise against the sampling volume.
+    let layout = Arc::new(if opts.relabel.enabled_for(n) {
+        SamplingLayout::degree_ordered(problem.graph)
+    } else {
+        SamplingLayout::identity()
+    });
+
     // Initialise per-ad state: s_i = 1, θ_i = L(1, ε), sample (or
     // re-activate the cached prefix), build heap (Algorithm 2, lines 1–3).
     let mut states: Vec<AdState<'_>> = Vec::with_capacity(h);
     for (i, slot) in warm.into_iter().enumerate() {
         let sampler = RrSampler::new(problem.graph, &problem.edge_probs[i]);
+        let fast = FastPath::new(layout.clone(), problem.graph, &problem.edge_probs[i]);
         let seeds = ad_seeds[i];
         let (kpt, engine, index, base) = match slot {
             Some(w) => {
@@ -329,6 +390,7 @@ fn tirm_run(
         };
         let mut st = AdState {
             sampler,
+            fast,
             coll: WeightedRrCollection::from_index(index),
             heap: LazyMaxHeap::new(),
             kpt,
@@ -342,7 +404,7 @@ fn tirm_run(
             saturated: false,
             capped: false,
         };
-        let kpt1 = st.kpt.estimate(1);
+        let kpt1 = st.kpt.estimate_with(1, Some(&st.fast));
         let (theta, capped) = bound.theta(1, kpt1);
         st.capped = capped;
         match &st.base {
@@ -423,6 +485,13 @@ fn tirm_run(
         }
     }
 
+    // Settle the postings layout before measuring so artifacts report the
+    // exact-fit frozen tier, not the transient hot-arena slack. (Inside
+    // `start.elapsed()` on purpose: compaction is part of the work the
+    // allocation pays for.)
+    for st in &mut states {
+        st.coll.compact_postings();
+    }
     let stats = AlgoStats {
         runtime: start.elapsed(),
         seeds_per_ad: (0..h).map(|i| alloc.seeds(i).len()).collect(),
@@ -430,6 +499,9 @@ fn tirm_run(
         memory_bytes: states.iter().map(|s| s.coll.memory_bytes()).sum(),
         rr_sets_per_ad: states.iter().map(|s| s.coll.num_sets()).collect(),
         oracle_calls,
+        postings_bytes: states.iter().map(|s| s.coll.postings_bytes()).sum(),
+        postings_entries: states.iter().map(|s| s.coll.total_entries()).sum(),
+        legacy_postings_bytes: states.iter().map(|s| s.coll.legacy_postings_bytes()).sum(),
     };
     let warm_out = states
         .into_iter()
@@ -583,7 +655,7 @@ fn grow_and_resample(
     // bound: the larger of KPT(s_i) and the (1−ε)-discounted CTP-free
     // union-coverage estimate of the current seed set (both are
     // high-probability lower bounds on OPT_{s_i}).
-    let kpt = st.kpt.estimate(st.s_est);
+    let kpt = st.kpt.estimate_with(st.s_est, Some(&st.fast));
     let theta_now = st.coll.num_sets();
     let union_est = nf * st.coll.union_coverage() as f64 / theta_now.max(1) as f64;
     let opt_lb = kpt.max(union_est * (1.0 - bound.eps)).max(1.0);
@@ -654,6 +726,14 @@ mod tests {
             max_theta_per_ad: Some(200_000),
             ..TirmOptions::default()
         }
+    }
+
+    #[test]
+    fn relabel_mode_policy() {
+        assert!(!RelabelMode::Auto.enabled_for(RELABEL_AUTO_MIN_NODES - 1));
+        assert!(RelabelMode::Auto.enabled_for(RELABEL_AUTO_MIN_NODES));
+        assert!(RelabelMode::On.enabled_for(1));
+        assert!(!RelabelMode::Off.enabled_for(usize::MAX));
     }
 
     #[test]

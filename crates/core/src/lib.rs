@@ -24,7 +24,7 @@ pub mod report;
 pub use algos::{
     greedy_allocate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
     tirm_allocate_seeded, tirm_allocate_warm, AdSeeds, AdWarmState, GreedyIrieOptions,
-    GreedyOptions, TirmOptions,
+    GreedyOptions, RelabelMode, TirmOptions,
 };
 pub use allocation::Allocation;
 pub use eval::{default_threads, evaluate, evaluate_rr, Evaluation, DEFAULT_EVAL_RUNS};

@@ -24,6 +24,16 @@ pub struct AlgoStats {
     pub rr_sets_per_ad: Vec<usize>,
     /// Spread-oracle / simulation calls performed (scalability diagnostic).
     pub oracle_calls: usize,
+    /// Bytes held by the RR indexes' inverted postings (after compaction)
+    /// across ads — TIRM only, zero otherwise.
+    pub postings_bytes: usize,
+    /// Total inverted-posting entries across ads (TIRM only). Dividing
+    /// [`Self::postings_bytes`] by this gives bytes-per-posting.
+    pub postings_entries: usize,
+    /// Bytes the historical `Vec<Vec<u32>>` postings layout would need
+    /// for the same contents — kept so artifact diffs can pin the arena
+    /// layout's reduction without re-deriving the old formula.
+    pub legacy_postings_bytes: usize,
 }
 
 fn ser_duration<S: serde::Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
@@ -86,6 +96,7 @@ mod tests {
             memory_bytes: 2_500_000_000,
             rr_sets_per_ad: vec![],
             oracle_calls: 42,
+            ..AlgoStats::default()
         };
         assert_eq!(s.total_seeds(), 12);
         assert!((s.memory_gb() - 2.5).abs() < 1e-9);

@@ -222,6 +222,33 @@ impl DiGraph {
         (lo..hi).map(move |i| (self.in_edge_ids[i], self.in_sources[i]))
     }
 
+    /// Position range of `v`'s in-run inside the raw reverse-CSR arrays
+    /// ([`in_sources_raw`](Self::in_sources_raw) /
+    /// [`in_edge_ids_raw`](Self::in_edge_ids_raw)). Lets hot loops walk an
+    /// in-run as contiguous slices instead of through the `in_edges`
+    /// iterator, and lets per-arc side tables (e.g. precomputed sampling
+    /// thresholds) be indexed by reverse-CSR position.
+    #[inline]
+    pub fn in_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize
+    }
+
+    /// Raw reverse-CSR source array; positions come from
+    /// [`in_range`](Self::in_range). Within one in-run, entries are
+    /// ordered by ascending source id (the reverse build's counting sort
+    /// guarantees it) — hot paths rely on that order being stable.
+    #[inline]
+    pub fn in_sources_raw(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// Raw reverse-CSR canonical-edge-id array; positions come from
+    /// [`in_range`](Self::in_range).
+    #[inline]
+    pub fn in_edge_ids_raw(&self) -> &[EdgeId] {
+        &self.in_edge_ids
+    }
+
     /// Out-neighbour slice of `u` (targets only).
     #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {

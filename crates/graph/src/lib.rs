@@ -37,11 +37,13 @@ mod csr;
 pub mod gadgets;
 pub mod generators;
 pub mod io;
+pub mod relabel;
 pub mod snapshot;
 pub mod stats;
 
 pub use builder::{build_from_stream, GraphBuilder};
 pub use csr::{CsrParts, DiGraph, EdgeId, NodeId};
+pub use relabel::Relabeling;
 pub use snapshot::{
     read_snapshot, write_atomic, write_atomic_with, write_snapshot, Snapshot, SnapshotError,
 };

@@ -1,0 +1,232 @@
+//! Degree-ordered node relabeling for cache locality.
+//!
+//! RR-set sampling spends most of its time walking reverse adjacency and
+//! touching per-node mark/visit arrays. Under the natural labeling those
+//! touches are scattered across the full `n`-sized arrays; relabeling so
+//! that high in-degree nodes get low ids concentrates the hottest rows of
+//! every per-node table into a cache-resident prefix (the classic
+//! degree-ordering trick from the graph-reordering literature).
+//!
+//! A [`Relabeling`] is a bijection `old ↔ new` over node ids. It can
+//! produce a fully permuted [`DiGraph`] (plus the edge-id mapping needed
+//! to carry per-arc payloads along) — that graph is an ordinary `DiGraph`
+//! and round-trips through the existing snapshot machinery unchanged, so
+//! relabeled instances cache exactly like their originals. The sampling
+//! hot path in `tirm_rrset` instead consumes the permutation directly
+//! (see `SamplingLayout` there): it walks the *original* CSR in original
+//! arc order — keeping RNG streams and emitted node ids bit-identical —
+//! and uses new ids only for its mark-array indexing, which is where the
+//! locality lives. User-facing seed ids are therefore unchanged by
+//! construction; the inverse mapping never leaves the sampler.
+
+use crate::csr::{DiGraph, EdgeId, NodeId};
+
+/// A bijective node relabeling `old ↔ new`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relabeling {
+    /// `new_of_old[old] = new`.
+    new_of_old: Vec<NodeId>,
+    /// `old_of_new[new] = old`.
+    old_of_new: Vec<NodeId>,
+}
+
+impl Relabeling {
+    /// Orders nodes by descending in-degree, ties broken by ascending old
+    /// id (so the permutation is a deterministic function of the graph).
+    pub fn by_in_degree(g: &DiGraph) -> Relabeling {
+        let n = g.num_nodes();
+        let mut old_of_new: Vec<NodeId> = (0..n as NodeId).collect();
+        old_of_new.sort_by_key(|&v| (std::cmp::Reverse(g.in_degree(v)), v));
+        let mut new_of_old = vec![0 as NodeId; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old as usize] = new as NodeId;
+        }
+        Relabeling {
+            new_of_old,
+            old_of_new,
+        }
+    }
+
+    /// Builds from an explicit `old → new` permutation (must be a
+    /// bijection on `0..len`).
+    pub fn from_new_of_old(new_of_old: Vec<NodeId>) -> Relabeling {
+        let n = new_of_old.len();
+        let mut old_of_new = vec![NodeId::MAX; n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            assert!(
+                (new as usize) < n && old_of_new[new as usize] == NodeId::MAX,
+                "not a permutation"
+            );
+            old_of_new[new as usize] = old as NodeId;
+        }
+        Relabeling {
+            new_of_old,
+            old_of_new,
+        }
+    }
+
+    /// Number of nodes in the bijection's domain.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New id of `old`.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.new_of_old[old as usize]
+    }
+
+    /// Old id of `new` — the inverse mapping.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.old_of_new[new as usize]
+    }
+
+    /// The full `old → new` table.
+    pub fn new_of_old(&self) -> &[NodeId] {
+        &self.new_of_old
+    }
+
+    /// The full `new → old` table (inverse permutation).
+    pub fn old_of_new(&self) -> &[NodeId] {
+        &self.old_of_new
+    }
+
+    /// Bytes held by the two permutation tables.
+    pub fn memory_bytes(&self) -> usize {
+        (self.new_of_old.capacity() + self.old_of_new.capacity()) * std::mem::size_of::<NodeId>()
+    }
+
+    /// Materializes the permuted graph: node `v` of the result is node
+    /// [`Relabeling::to_old`]`(v)` of the input. Also returns the edge-id
+    /// carry table `old_edge_of_new[new_edge] = old_edge`, so per-arc
+    /// payloads (probabilities, weights) can follow the permutation via
+    /// [`permute_edge_payload`].
+    ///
+    /// The result is a plain [`DiGraph`]: it snapshots, validates and
+    /// serves like any other graph.
+    pub fn apply(&self, g: &DiGraph) -> (DiGraph, Vec<EdgeId>) {
+        let n = g.num_nodes();
+        assert_eq!(n, self.len(), "permutation domain must match the graph");
+        let m = g.num_edges();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(m);
+        let mut old_edge_of_new: Vec<EdgeId> = Vec::with_capacity(m);
+        let mut run: Vec<(NodeId, EdgeId)> = Vec::new();
+        out_offsets.push(0u32);
+        for new_u in 0..n as NodeId {
+            let old_u = self.to_old(new_u);
+            run.clear();
+            run.extend(g.out_edges(old_u).map(|(e, old_v)| (self.to_new(old_v), e)));
+            // Out-runs must be sorted by target in the new id space.
+            run.sort_unstable();
+            for &(new_v, e) in &run {
+                out_targets.push(new_v);
+                old_edge_of_new.push(e);
+            }
+            out_offsets.push(out_targets.len() as u32);
+        }
+        // Runs are sorted above; dedup- and self-loop-freedom carry over
+        // from the (valid) input under any node bijection.
+        let g2 = DiGraph::from_out_csr(out_offsets, out_targets);
+        (g2, old_edge_of_new)
+    }
+}
+
+/// Reorders a per-edge payload (one `T` per old edge id) into the edge id
+/// space of a permuted graph, using the carry table from
+/// [`Relabeling::apply`].
+pub fn permute_edge_payload<T: Copy>(old_edge_of_new: &[EdgeId], payload: &[T]) -> Vec<T> {
+    old_edge_of_new
+        .iter()
+        .map(|&e| payload[e as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn in_degree_order_puts_hubs_first() {
+        // Star: node 0 has in-degree 0 and every leaf has in-degree 1
+        // (hub → leaf arcs), so leaves come first, ties by old id.
+        let g = generators::star(5);
+        let r = Relabeling::by_in_degree(&g);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.to_new(1), 0, "first leaf leads");
+        assert_eq!(r.to_new(0), 4, "in-degree-0 hub goes last");
+        // Bijection round trip.
+        for v in 0..5 {
+            assert_eq!(r.to_old(r.to_new(v)), v);
+        }
+    }
+
+    #[test]
+    fn apply_preserves_structure_under_the_mapping() {
+        let g = generators::erdos_renyi(200, 1400, 9);
+        let r = Relabeling::by_in_degree(&g);
+        let (p, carry) = r.apply(&g);
+        p.validate().expect("permuted graph is valid");
+        assert_eq!(p.num_nodes(), g.num_nodes());
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert_eq!(carry.len(), g.num_edges());
+        // Degrees carry over.
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(p.out_degree(r.to_new(v)), g.out_degree(v));
+            assert_eq!(p.in_degree(r.to_new(v)), g.in_degree(v));
+        }
+        // Every new edge maps back to an old edge with matching endpoints.
+        for (e2, u2, v2) in p.edges() {
+            let (u1, v1) = g.edge_endpoints(carry[e2 as usize]);
+            assert_eq!((r.to_new(u1), r.to_new(v1)), (u2, v2));
+        }
+    }
+
+    #[test]
+    fn payload_follows_the_permutation() {
+        let g = generators::erdos_renyi(60, 300, 3);
+        let probs: Vec<f32> = (0..g.num_edges()).map(|e| e as f32 / 1000.0).collect();
+        let r = Relabeling::by_in_degree(&g);
+        let (p, carry) = r.apply(&g);
+        let probs2 = permute_edge_payload(&carry, &probs);
+        for (e2, u2, v2) in p.edges() {
+            let e1 = g
+                .edge_id(r.to_old(u2), r.to_old(v2))
+                .expect("edge exists in the original");
+            assert_eq!(probs2[e2 as usize], probs[e1 as usize]);
+        }
+    }
+
+    #[test]
+    fn relabeled_graphs_snapshot_like_any_other() {
+        // "Cacheable through the existing snapshot machinery": the
+        // permuted graph and its carried probabilities round-trip through
+        // write_snapshot/read_snapshot bit-exactly.
+        let g = generators::preferential_attachment(150, 3, 0.2, 4);
+        let probs: Vec<f32> = (0..g.num_edges()).map(|e| (e % 97) as f32 / 97.0).collect();
+        let r = Relabeling::by_in_degree(&g);
+        let (p, carry) = r.apply(&g);
+        let probs2 = permute_edge_payload(&carry, &probs);
+        let dir = std::env::temp_dir().join("tirm_relabel_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("relabeled.snap");
+        crate::snapshot::write_snapshot(&path, &p, 1, &probs2).unwrap();
+        let snap = crate::snapshot::read_snapshot(&path).unwrap();
+        assert_eq!(snap.graph.csr_parts(), p.csr_parts());
+        assert_eq!(snap.edge_probs, probs2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_bijections() {
+        let _ = Relabeling::from_new_of_old(vec![0, 0, 1]);
+    }
+}

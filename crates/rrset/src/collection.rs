@@ -87,7 +87,7 @@ impl RrCollection {
     /// Returns how many sets were newly covered (== `cov(v)` beforehand).
     pub fn cover_node(&mut self, v: NodeId) -> u32 {
         let mut newly = 0u32;
-        for &sid in self.index.postings(v) {
+        for sid in self.index.postings(v) {
             if self.covered[sid as usize] {
                 continue;
             }
@@ -108,8 +108,8 @@ impl RrCollection {
     pub fn count_uncovered_from(&self, v: NodeId, from_sid: u32) -> u32 {
         self.index
             .postings(v)
-            .iter()
-            .filter(|&&sid| sid >= from_sid && !self.covered[sid as usize])
+            .into_iter()
+            .filter(|&sid| sid >= from_sid && !self.covered[sid as usize])
             .count() as u32
     }
 

@@ -1,0 +1,309 @@
+//! The sampling hot path: integer coin thresholds, block-drawn RNG words
+//! and the cache-local (degree-relabeled) mark layout.
+//!
+//! Everything in this module is **bit-stream preserving**: a sampler run
+//! through [`FastPath`] draws exactly the same RNG words and emits exactly
+//! the same sets as the plain [`crate::RrSampler`] walk, so deterministic
+//! baselines do not move. Three transformations stack:
+//!
+//! * **Thresholds.** The per-arc coin `rng.gen::<f32>() < p` costs a
+//!   gather (`probs[in_edge_ids[pos]]`), an int→float convert and a float
+//!   compare per arc. The vendored rand draws `gen::<f32>()` as
+//!   `(next_u32() >> 8) as f32 · 2⁻²⁴` with `next_u32 = (next_u64() >> 32)`,
+//!   i.e. the float is `x · 2⁻²⁴` for the 24-bit integer
+//!   `x = (w >> 40)` of the raw word `w`. Since every such float is
+//!   exactly representable, `x·2⁻²⁴ < p  ⇔  x < ⌈p·2²⁴⌉` — so
+//!   [`coin_threshold`] precomputes `t = ⌈p·2²⁴⌉` per *in-CSR position*
+//!   (sequential access, no gather) and the inner loop compares integers:
+//!   `(w >> 40) < t`. `t == 0 ⇔ p ≤ 0`, which mirrors the slow path's
+//!   `p > 0.0 &&` short-circuit: dead arcs skip the coin *without*
+//!   consuming RNG state in both paths.
+//! * **Block RNG (kept off the hot path).** [`BlockRng`] refills a
+//!   64-word buffer from the inner generator wholesale; word order is
+//!   untouched — `next_u64` pops the same sequence, and `next_u32` keeps
+//!   the vendored convention of the word's high half. Measurement
+//!   (`sampler_inner_loop` microbench) put the buffered wrapper ~2×
+//!   behind the bare generator in the BFS loop — per-draw buffer loads
+//!   and stores lose to xoshiro state the compiler keeps in registers —
+//!   so production shards drive `SmallRng` directly and `BlockRng`
+//!   remains as the stream-equivalence witness.
+//! * **Relabeled marks.** [`SamplingLayout::degree_ordered`] carries a
+//!   degree-ordered permutation (via [`tirm_graph::Relabeling`]): the BFS
+//!   still walks the *original* CSR in original arc order — same RNG
+//!   stream, same emitted (original) node ids — but indexes its mark
+//!   array through precomputed new ids (`in_sources_new[pos]`), so the
+//!   hottest rows of the O(n) mark table concentrate in a cache-resident
+//!   prefix. User-facing ids never change; the permutation exists only
+//!   inside the mark indexing.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
+use tirm_graph::{DiGraph, NodeId, Relabeling};
+
+/// `⌈p·2²⁴⌉` clamped to `[0, 2²⁴]` — the integer coin threshold with
+/// `x < t ⇔ x·2⁻²⁴ < p` for every 24-bit `x` (see module docs for why
+/// this is exact). `t == 0` iff `p ≤ 0` (skip without drawing);
+/// `t == 2²⁴` iff `p ≥ 1` (always-true coin that still consumes a word,
+/// exactly like `gen::<f32>() < 1.0`).
+#[inline]
+pub fn coin_threshold(p: f32) -> u32 {
+    if p <= 0.0 {
+        return 0;
+    }
+    // All in f32: multiplying by 2²⁴ only shifts the exponent (exact for
+    // every finite f32, including subnormals) and `ceil` is exact, so
+    // this equals the same computation routed through f64 — but the
+    // O(m)-per-ad table build skips the widen/narrow.
+    ((p * 16_777_216.0).ceil() as u64).min(1 << 24) as u32
+}
+
+/// Optional degree-ordered mark indexing, shared across every ad of a run.
+#[derive(Clone, Debug)]
+struct RelabelArrays {
+    /// `new_of_old[old] = new` — used once per sample for the root.
+    new_of_old: Vec<NodeId>,
+    /// Per in-CSR position: the *new* id of that arc's source — the
+    /// position-ordered gather of `new_of_old[in_sources[pos]]`.
+    in_sources_new: Vec<NodeId>,
+}
+
+/// Mark-array layout for sampling: identity, or degree-ordered so hub
+/// rows share cache lines. Build once per `(graph, mode)` and share via
+/// `Arc` — it is read-only and `Sync`.
+#[derive(Clone, Debug)]
+pub struct SamplingLayout {
+    relabel: Option<RelabelArrays>,
+}
+
+impl SamplingLayout {
+    /// Identity layout: marks indexed by original node ids.
+    pub fn identity() -> Self {
+        SamplingLayout { relabel: None }
+    }
+
+    /// Degree-ordered layout: marks indexed by in-degree rank (hubs
+    /// first). O(n log n + m) to build; sampling output is bit-identical
+    /// to the identity layout by construction.
+    pub fn degree_ordered(g: &DiGraph) -> Self {
+        let r = Relabeling::by_in_degree(g);
+        let new_of_old = r.new_of_old().to_vec();
+        let in_sources_new = g
+            .in_sources_raw()
+            .iter()
+            .map(|&s| new_of_old[s as usize])
+            .collect();
+        SamplingLayout {
+            relabel: Some(RelabelArrays {
+                new_of_old,
+                in_sources_new,
+            }),
+        }
+    }
+
+    /// True when this layout permutes mark indices.
+    pub fn is_relabeled(&self) -> bool {
+        self.relabel.is_some()
+    }
+
+    /// Bytes held by the permutation tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.relabel
+            .as_ref()
+            .map(|r| (r.new_of_old.capacity() + r.in_sources_new.capacity()) * 4)
+            .unwrap_or(0)
+    }
+}
+
+/// Per-ad fast sampling state: position-ordered coin thresholds plus a
+/// shared [`SamplingLayout`]. Cheap to build (O(m) gather), read-only
+/// and `Sync` — workers of the parallel engine share one per batch.
+#[derive(Clone, Debug)]
+pub struct FastPath {
+    layout: Arc<SamplingLayout>,
+    /// `th[pos] = coin_threshold(probs[in_edge_ids[pos]])`.
+    th: Vec<u32>,
+}
+
+impl FastPath {
+    /// Gathers `probs` (indexed by edge id) into in-CSR position order
+    /// under `layout`.
+    pub fn new(layout: Arc<SamplingLayout>, g: &DiGraph, probs: &[f32]) -> Self {
+        assert_eq!(probs.len(), g.num_edges());
+        let th = g
+            .in_edge_ids_raw()
+            .iter()
+            .map(|&e| coin_threshold(probs[e as usize]))
+            .collect();
+        FastPath { layout, th }
+    }
+
+    /// Position-ordered thresholds.
+    #[inline]
+    pub fn thresholds(&self) -> &[u32] {
+        &self.th
+    }
+
+    /// New id of `old` under the layout (identity when not relabeled).
+    #[inline]
+    pub fn mark_of(&self, old: NodeId) -> NodeId {
+        match &self.layout.relabel {
+            Some(r) => r.new_of_old[old as usize],
+            None => old,
+        }
+    }
+
+    /// Per-position mark indices when relabeled, `None` for identity.
+    #[inline]
+    pub(crate) fn in_sources_new(&self) -> Option<&[NodeId]> {
+        self.layout.relabel.as_ref().map(|r| &r.in_sources_new[..])
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> &Arc<SamplingLayout> {
+        &self.layout
+    }
+
+    /// Bytes held by the threshold table (the layout is shared and
+    /// counted once by its owner).
+    pub fn memory_bytes(&self) -> usize {
+        self.th.capacity() * 4
+    }
+}
+
+/// Block-buffered RNG: refills 64 words at a time from the inner
+/// generator and serves them in order — the word stream (and the
+/// vendored-rand `u32`/float derivations from it) is bit-identical to
+/// driving the inner generator directly.
+#[derive(Clone, Debug)]
+pub struct BlockRng {
+    inner: SmallRng,
+    buf: [u64; 64],
+    pos: usize,
+}
+
+impl BlockRng {
+    /// Wraps a generator; the buffer starts empty.
+    pub fn new(inner: SmallRng) -> Self {
+        BlockRng {
+            inner,
+            buf: [0; 64],
+            pos: 64,
+        }
+    }
+
+    /// Bytes held by the buffer (for long-lived owners' accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<[u64; 64]>()
+    }
+}
+
+impl SeedableRng for BlockRng {
+    fn seed_from_u64(state: u64) -> Self {
+        BlockRng::new(SmallRng::seed_from_u64(state))
+    }
+}
+
+impl RngCore for BlockRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == 64 {
+            for w in &mut self.buf {
+                *w = self.inner.next_u64();
+            }
+            self.pos = 0;
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn threshold_matches_float_coin_exactly() {
+        // Every 24-bit draw x maps to the float x·2⁻²⁴; the integer
+        // comparison must agree with the float comparison for all
+        // representative probabilities, including the degenerate ones.
+        let probs = [
+            0.0f32,
+            -1.0,
+            1.0,
+            1.5,
+            0.5,
+            0.25,
+            1.0 / 16_777_216.0,
+            0.999_999_94, // largest f32 below 1
+            2.0f32.powi(-24),
+            2.0f32.powi(-25),
+            0.1,
+            0.3,
+            0.7,
+            f32::MIN_POSITIVE,
+        ];
+        let xs: Vec<u32> = (0..=24)
+            .flat_map(|k| {
+                let v = 1u32 << k;
+                [v.saturating_sub(1), v.min((1 << 24) - 1)]
+            })
+            .chain((0..1000).map(|i| (i * 16_777) % (1 << 24)))
+            .collect();
+        for &p in &probs {
+            let t = coin_threshold(p);
+            assert!(t <= 1 << 24);
+            assert_eq!(t == 0, p <= 0.0, "p={p}");
+            for &x in &xs {
+                let f = x as f32 * (1.0 / 16_777_216.0);
+                assert_eq!(f < p, x < t, "p={p} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rng_preserves_the_word_stream() {
+        let mut plain = SmallRng::seed_from_u64(99);
+        let mut block = BlockRng::seed_from_u64(99);
+        for i in 0..1000 {
+            // Mix call types: u32s come from the same words in both.
+            if i % 3 == 0 {
+                assert_eq!(plain.next_u32(), block.next_u32(), "draw {i}");
+            } else {
+                assert_eq!(plain.next_u64(), block.next_u64(), "draw {i}");
+            }
+        }
+        // Float and range derivations ride on the same words.
+        let a: f32 = plain.gen();
+        let b: f32 = block.gen();
+        assert_eq!(a, b);
+        assert_eq!(plain.gen_range(0..1000usize), block.gen_range(0..1000usize));
+    }
+
+    #[test]
+    fn degree_layout_is_a_bijection_over_marks() {
+        let g = tirm_graph::generators::preferential_attachment(200, 3, 0.2, 8);
+        let layout = SamplingLayout::degree_ordered(&g);
+        let r = layout.relabel.as_ref().unwrap();
+        let mut seen = [false; 200];
+        for &nv in &r.new_of_old {
+            assert!(!seen[nv as usize], "duplicate new id");
+            seen[nv as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Position table is the gather of the node table.
+        for (pos, &src) in g.in_sources_raw().iter().enumerate() {
+            assert_eq!(r.in_sources_new[pos], r.new_of_old[src as usize]);
+        }
+        assert!(layout.is_relabeled());
+        assert!(!SamplingLayout::identity().is_relabeled());
+        assert!(layout.memory_bytes() > 0);
+    }
+}

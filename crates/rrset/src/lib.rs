@@ -24,6 +24,7 @@
 //! * [`special`] — `ln Γ`, `ln C(n, s)` helpers the bounds need.
 
 pub mod collection;
+pub mod fastpath;
 pub mod heap;
 pub mod index;
 pub mod parallel;
@@ -33,8 +34,9 @@ pub mod tim;
 pub mod weighted;
 
 pub use collection::RrCollection;
+pub use fastpath::{coin_threshold, BlockRng, FastPath, SamplingLayout};
 pub use heap::LazyMaxHeap;
-pub use index::RrIndex;
+pub use index::{Postings, RrIndex};
 pub use parallel::{ParallelSampler, RrArena, RrSink, SamplingConfig};
 pub use sampler::{RrSampler, SampleWorkspace};
 pub use tim::{tim_select, tim_select_with, KptEstimator, KptState, SampleBound, TimResult};

@@ -32,6 +32,7 @@
 //!   `mc_spread_parallel`'s contract.
 
 use crate::collection::RrCollection;
+use crate::fastpath::FastPath;
 use crate::sampler::{RrSampler, SampleWorkspace};
 use crate::weighted::WeightedRrCollection;
 use rand::rngs::SmallRng;
@@ -159,7 +160,12 @@ impl RrArena {
     }
 }
 
-/// One worker's persistent state.
+/// One worker's persistent state. The RNG is the bare generator, *not*
+/// the block-buffered [`BlockRng`]: the two emit identical word streams
+/// (pinned by the fastpath tests), but the buffer's per-draw loads and
+/// stores measured ~2× slower than xoshiro state the compiler keeps in
+/// registers across the BFS loop (`sampler_inner_loop` microbench), so
+/// the buffered wrapper stays available without being on the hot path.
 struct Shard {
     rng: SmallRng,
     ws: SampleWorkspace,
@@ -203,7 +209,10 @@ impl ParallelSampler {
     /// (O(n · threads) mark arrays) — counted by long-lived owners like
     /// the online serving layer's warm states.
     pub fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.ws.memory_bytes()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.ws.memory_bytes() + std::mem::size_of::<SmallRng>())
+            .sum()
     }
 
     /// Caps `count` against the configured cumulative `max_theta`.
@@ -238,11 +247,32 @@ impl ParallelSampler {
         count: usize,
         sink: &mut impl RrSink,
     ) -> usize {
-        self.run_batch(count, sink, |shard, quota, emit| {
-            for _ in 0..quota {
-                emit(sampler.sample(&mut shard.ws, &mut shard.rng));
-            }
-        })
+        self.sample_into_with(sampler, None, count, sink)
+    }
+
+    /// [`Self::sample_into`], optionally routed through a precomputed
+    /// [`FastPath`] (integer thresholds + relabeled marks). The fast
+    /// route is bit-identical to the plain one — `fast` only changes
+    /// speed, never the stream.
+    pub fn sample_into_with(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        fast: Option<&FastPath>,
+        count: usize,
+        sink: &mut impl RrSink,
+    ) -> usize {
+        match fast {
+            Some(fp) => self.run_batch(count, sink, |shard, quota, emit| {
+                for _ in 0..quota {
+                    emit(sampler.sample_with(fp, &mut shard.ws, &mut shard.rng));
+                }
+            }),
+            None => self.run_batch(count, sink, |shard, quota, emit| {
+                for _ in 0..quota {
+                    emit(sampler.sample(&mut shard.ws, &mut shard.rng));
+                }
+            }),
+        }
     }
 
     /// Draws `count` RRC sets (§5.2 node-level CTP coins) into `sink`.
@@ -269,15 +299,35 @@ impl ParallelSampler {
         T: Send,
         F: Fn(&[NodeId]) -> T + Sync,
     {
+        self.sample_map_with(sampler, None, count, map)
+    }
+
+    /// [`Self::sample_map`], optionally routed through a precomputed
+    /// [`FastPath`]. Bit-identical stream either way.
+    pub fn sample_map_with<T, F>(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        fast: Option<&FastPath>,
+        count: usize,
+        map: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&[NodeId]) -> T + Sync,
+    {
         let count = self.admissible(count);
         let start = self.total_sampled;
         let map = &map;
+        let draw = |shard: &mut Shard| match fast {
+            Some(fp) => map(sampler.sample_with(fp, &mut shard.ws, &mut shard.rng)),
+            None => map(sampler.sample(&mut shard.ws, &mut shard.rng)),
+        };
+        let draw = &draw;
         let mut out = Vec::with_capacity(count);
         if self.shards.len() == 1 {
             let shard = &mut self.shards[0];
             for _ in 0..count {
-                let set = sampler.sample(&mut shard.ws, &mut shard.rng);
-                out.push(map(set));
+                out.push(draw(shard));
             }
         } else {
             let t = self.shards.len();
@@ -291,8 +341,7 @@ impl ParallelSampler {
                         scope.spawn(move || {
                             let mut chunk = Vec::with_capacity(quota);
                             for _ in 0..quota {
-                                let set = sampler.sample(&mut shard.ws, &mut shard.rng);
-                                chunk.push(map(set));
+                                chunk.push(draw(shard));
                             }
                             chunk
                         })
@@ -367,6 +416,7 @@ impl ParallelSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use tirm_graph::generators;
 
     fn probs_for(g: &tirm_graph::DiGraph) -> Vec<f32> {
@@ -509,6 +559,35 @@ mod tests {
             assert_eq!(whole, run(&[300, 400]), "threads={threads}");
             assert_eq!(whole, run(&[1, 699]), "threads={threads}");
             assert_eq!(whole, run(&[233, 233, 234]), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fast_route_is_bit_identical_through_the_engine() {
+        // sample_into_with(Some(..)) and sample_map_with(Some(..)) must
+        // reproduce the plain routes exactly — thresholds, block RNG and
+        // relabeled marks are pure speed, never stream changes.
+        use crate::fastpath::{FastPath, SamplingLayout};
+        use std::sync::Arc;
+
+        let g = generators::preferential_attachment(150, 3, 0.2, 8);
+        let probs = probs_for(&g);
+        let sampler = RrSampler::new(&g, &probs);
+        let layout = Arc::new(SamplingLayout::degree_ordered(&g));
+        let fp = FastPath::new(layout, &g, &probs);
+        for threads in [1usize, 2, 3] {
+            let mut plain_e = ParallelSampler::new(SamplingConfig::new(threads, 23), 150);
+            let mut plain: Vec<Vec<NodeId>> = Vec::new();
+            plain_e.sample_into(&sampler, 400, &mut plain);
+            let plain_sizes = plain_e.sample_map(&sampler, 111, |s| s.len());
+
+            let mut fast_e = ParallelSampler::new(SamplingConfig::new(threads, 23), 150);
+            let mut fast: Vec<Vec<NodeId>> = Vec::new();
+            fast_e.sample_into_with(&sampler, Some(&fp), 400, &mut fast);
+            let fast_sizes = fast_e.sample_map_with(&sampler, Some(&fp), 111, |s| s.len());
+
+            assert_eq!(plain, fast, "threads={threads}");
+            assert_eq!(plain_sizes, fast_sizes, "threads={threads}");
         }
     }
 

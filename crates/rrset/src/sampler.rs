@@ -11,6 +11,7 @@
 //! nodes failing the coin cannot be *seeds* for this sample (they are not
 //! added to the set) but still transmit (they stay on the BFS frontier).
 
+use crate::fastpath::FastPath;
 use rand::Rng;
 use tirm_graph::{DiGraph, NodeId};
 
@@ -85,8 +86,16 @@ impl<'a> RrSampler<'a> {
         self.g
     }
 
-    /// Samples one classic RR set into `ws.out` and returns it as a slice.
-    /// The root is always a member (it trivially reaches itself).
+    /// The per-arc probabilities (indexed by canonical edge id).
+    pub fn probs(&self) -> &'a [f32] {
+        self.probs
+    }
+
+    /// Samples one classic RR set and returns it as a slice. The root is
+    /// always a member (it trivially reaches itself). For plain RR sets
+    /// the BFS queue *is* the output — every discovered node is a member
+    /// — so no separate output buffer is kept (RRC sets differ: their
+    /// members are the CTP-coin survivors, a subset of the queue).
     pub fn sample<'w, R: Rng>(&self, ws: &'w mut SampleWorkspace, rng: &mut R) -> &'w [NodeId] {
         let n = self.g.num_nodes();
         ws.begin();
@@ -94,7 +103,6 @@ impl<'a> RrSampler<'a> {
         ws.last_root = Some(root);
         ws.mark[root as usize] = ws.epoch;
         ws.queue.push(root);
-        ws.out.push(root);
         let mut head = 0;
         while head < ws.queue.len() {
             let u = ws.queue[head];
@@ -107,11 +115,86 @@ impl<'a> RrSampler<'a> {
                 if p > 0.0 && rng.gen::<f32>() < p {
                     ws.mark[v as usize] = ws.epoch;
                     ws.queue.push(v);
-                    ws.out.push(v);
                 }
             }
         }
-        &ws.out
+        &ws.queue
+    }
+
+    /// [`RrSampler::sample`] through the precomputed [`FastPath`]:
+    /// position-ordered integer thresholds instead of the edge-id prob
+    /// gather, raw word draws instead of float coins, and (optionally)
+    /// degree-relabeled mark indexing. Bit-identical to [`Self::sample`]
+    /// for the vendored generators, whose `next_u32`/floats derive from
+    /// the high bits of `next_u64` — each coin consumes exactly one word
+    /// in both paths, and `t == 0 ⇔ p ≤ 0` skips without drawing just
+    /// like the slow path's `p > 0.0 &&` short-circuit.
+    pub fn sample_with<'w, R: Rng>(
+        &self,
+        fp: &FastPath,
+        ws: &'w mut SampleWorkspace,
+        rng: &mut R,
+    ) -> &'w [NodeId] {
+        let n = self.g.num_nodes();
+        debug_assert_eq!(fp.thresholds().len(), self.g.in_sources_raw().len());
+        ws.begin();
+        let root = rng.gen_range(0..n) as NodeId;
+        ws.last_root = Some(root);
+        ws.queue.push(root);
+        let th = fp.thresholds();
+        let sources = self.g.in_sources_raw();
+        let mut head = 0;
+        match fp.in_sources_new() {
+            // The two arms differ only in which array indexes `mark`;
+            // arcs are walked in identical (original CSR) order and the
+            // draw predicate is identical, so the RNG stream and the
+            // emitted (original-id) sets agree bit-for-bit. Each in-run
+            // is sliced once and walked through zipped slice iterators —
+            // per-arc indexing would re-pay a bounds check on every
+            // array, which is measurable at this loop's temperature.
+            None => {
+                ws.mark[root as usize] = ws.epoch;
+                while head < ws.queue.len() {
+                    let u = ws.queue[head];
+                    head += 1;
+                    let r = self.g.in_range(u);
+                    for (&t, &v) in th[r.clone()].iter().zip(&sources[r]) {
+                        if t == 0 {
+                            continue;
+                        }
+                        if ws.mark[v as usize] == ws.epoch {
+                            continue;
+                        }
+                        if ((rng.next_u64() >> 40) as u32) < t {
+                            ws.mark[v as usize] = ws.epoch;
+                            ws.queue.push(v);
+                        }
+                    }
+                }
+            }
+            Some(marks) => {
+                ws.mark[fp.mark_of(root) as usize] = ws.epoch;
+                while head < ws.queue.len() {
+                    let u = ws.queue[head];
+                    head += 1;
+                    let r = self.g.in_range(u);
+                    let zipped = th[r.clone()].iter().zip(&marks[r.clone()]).zip(&sources[r]);
+                    for ((&t, &m), &v) in zipped {
+                        if t == 0 {
+                            continue;
+                        }
+                        if ws.mark[m as usize] == ws.epoch {
+                            continue;
+                        }
+                        if ((rng.next_u64() >> 40) as u32) < t {
+                            ws.mark[m as usize] = ws.epoch;
+                            ws.queue.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        &ws.queue
     }
 
     /// Samples one **RRC** set (§5.2): node-level CTP coins decide set
@@ -144,6 +227,15 @@ impl<'a> RrSampler<'a> {
                 if p > 0.0 && rng.gen::<f32>() < p {
                     ws.mark[v as usize] = ws.epoch;
                     ws.queue.push(v);
+                    // The CTP coin is drawn even when δ(v) is exactly 0
+                    // or 1 and the outcome is a foregone conclusion:
+                    // shards reuse one RNG across samples, so eliding a
+                    // "deterministic" draw would shift every subsequent
+                    // word in the stream. Real workloads pin δ ≡ 1.0
+                    // (the paper's scalability setup) and δ ≈ 0, so the
+                    // elision would silently rewrite those baselines for
+                    // a sub-one-word-per-node saving. Pinned by
+                    // `rrc_draw_count_is_ctp_independent` below.
                     if rng.gen::<f32>() < ctp[v as usize] {
                         ws.out.push(v);
                     }
@@ -233,6 +325,91 @@ mod tests {
         }
         let est = n as f64 * hub_hits as f64 / samples as f64;
         assert!((est - 3.5).abs() < 0.12, "estimated {est}, want 3.5");
+    }
+
+    /// RNG wrapper counting consumed words — for pinning draw-count
+    /// invariants.
+    struct CountingRng {
+        inner: SmallRng,
+        draws: u64,
+    }
+
+    impl rand::RngCore for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn rrc_draw_count_is_ctp_independent() {
+        // Every CTP coin must consume one RNG word even when δ(v) is 0 or
+        // 1 — eliding foregone draws would desync the per-shard streams
+        // that deterministic baselines (δ ≡ 1.0 scalability workloads)
+        // are pinned to. On a p=1 path rooted at r the walk discovers
+        // r+1 nodes over r arcs, so a sample costs exactly
+        // 1 (root) + r (arc coins) + (r+1) (CTP coins) = 2r + 2 words,
+        // independent of the δ values.
+        let g = generators::path(6);
+        let probs = vec![1.0f32; g.num_edges()];
+        let s = RrSampler::new(&g, &probs);
+        let mut ws = SampleWorkspace::new(6);
+        for ctps in [vec![1.0f32; 6], vec![0.0f32; 6], vec![0.37f32; 6]] {
+            let mut rng = CountingRng {
+                inner: SmallRng::seed_from_u64(17),
+                draws: 0,
+            };
+            for _ in 0..40 {
+                let before = rng.draws;
+                s.sample_rrc(&ctps, &mut ws, &mut rng);
+                let root = ws.last_root().unwrap() as u64;
+                assert_eq!(rng.draws - before, 2 * root + 2, "ctp={:?}", ctps[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_bit_for_bit() {
+        // sample_with must replay sample's RNG stream and output exactly,
+        // under both the identity and the degree-relabeled layouts, for a
+        // prob vector exercising the p = 0 skip and the p = 1 sure-coin.
+        use crate::fastpath::{BlockRng, FastPath, SamplingLayout};
+        use std::sync::Arc;
+
+        let g = generators::preferential_attachment(400, 4, 0.3, 21);
+        let mut probs: Vec<f32> = (0..g.num_edges())
+            .map(|e| ((e * 2_654_435_761) % 1000) as f32 / 999.0)
+            .collect();
+        for (i, p) in probs.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *p = 0.0;
+            } else if i % 11 == 0 {
+                *p = 1.0;
+            }
+        }
+        let s = RrSampler::new(&g, &probs);
+        let layouts = [
+            Arc::new(SamplingLayout::identity()),
+            Arc::new(SamplingLayout::degree_ordered(&g)),
+        ];
+        for layout in layouts {
+            let fp = FastPath::new(layout, &g, &probs);
+            let mut ws_a = SampleWorkspace::new(400);
+            let mut ws_b = SampleWorkspace::new(400);
+            let mut rng_a = SmallRng::seed_from_u64(5);
+            // The fast side also runs through BlockRng, proving the full
+            // production stack (thresholds + blocks + relabel) at once.
+            let mut rng_b = BlockRng::seed_from_u64(5);
+            for i in 0..300 {
+                let a = s.sample(&mut ws_a, &mut rng_a).to_vec();
+                let b = s.sample_with(&fp, &mut ws_b, &mut rng_b).to_vec();
+                assert_eq!(a, b, "sample {i}");
+                assert_eq!(ws_a.last_root(), ws_b.last_root());
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   the influence-maximization substrate baseline.
 
 use crate::collection::RrCollection;
+use crate::fastpath::FastPath;
 use crate::parallel::{ParallelSampler, SamplingConfig};
 use crate::sampler::RrSampler;
 use crate::special::ln_choose;
@@ -131,15 +132,17 @@ impl<'a> KptEstimator<'a> {
     }
 
     /// Tops the width cache up to `target` samples (one engine batch).
-    fn fill_widths(&mut self, target: usize) {
+    fn fill_widths(&mut self, target: usize, fast: Option<&FastPath>) {
         if self.widths.len() >= target {
             return;
         }
         let need = target - self.widths.len();
         let indeg = &self.indeg;
-        let batch = self.engine.sample_map(&self.sampler, need, |set| {
-            set.iter().map(|&v| indeg[v as usize] as u64).sum::<u64>()
-        });
+        let batch = self
+            .engine
+            .sample_map_with(&self.sampler, fast, need, |set| {
+                set.iter().map(|&v| indeg[v as usize] as u64).sum::<u64>()
+            });
         self.widths.extend(batch);
     }
 
@@ -149,6 +152,14 @@ impl<'a> KptEstimator<'a> {
     /// it uses `c_i = (6ℓ ln n + 6 ln log₂ n) · 2^i` samples and accepts as
     /// soon as the mean of `κ(R) = 1 − (1 − w(R)/m)^s` exceeds `2^{-i}`.
     pub fn estimate(&mut self, s: usize) -> f64 {
+        self.estimate_with(s, None)
+    }
+
+    /// [`Self::estimate`], optionally drawing its batches through a
+    /// precomputed [`FastPath`]. Bit-identical result either way — the
+    /// fast route preserves the width stream exactly, so mixing plain
+    /// and fast calls against one estimator is sound.
+    pub fn estimate_with(&mut self, s: usize, fast: Option<&FastPath>) -> f64 {
         let n = self.sampler.graph().num_nodes();
         if self.m == 0 {
             return 1.0;
@@ -158,7 +169,7 @@ impl<'a> KptEstimator<'a> {
         let base = 6.0 * self.ell * (n as f64).ln() + 6.0 * log2n.max(1.0).ln();
         for i in 1..=rounds.max(1) {
             let ci = (base * 2f64.powi(i)).ceil() as usize;
-            self.fill_widths(ci);
+            self.fill_widths(ci, fast);
             let mut sum = 0.0f64;
             for &w in &self.widths[..ci] {
                 let frac = (w as f64 / self.m as f64).min(1.0);

@@ -193,7 +193,7 @@ impl WeightedRrCollection {
         let keep = 1.0 - delta;
         let active = self.weights.len() as u32;
         let mut before = 0.0f64;
-        for &sid in self.index.postings(v) {
+        for sid in self.index.postings(v) {
             if sid < from_sid {
                 continue;
             }
@@ -244,6 +244,23 @@ impl WeightedRrCollection {
     /// Sum of stored set sizes.
     pub fn total_entries(&self) -> usize {
         self.index.total_entries()
+    }
+
+    /// Merges the index's hot postings arena into the frozen exact-fit
+    /// tier (contents and order unchanged) — run owners call this before
+    /// reporting memory so artifact numbers measure the settled layout.
+    pub fn compact_postings(&mut self) {
+        self.index.compact();
+    }
+
+    /// Bytes held by the index's inverted postings structures.
+    pub fn postings_bytes(&self) -> usize {
+        self.index.postings_bytes()
+    }
+
+    /// Bytes the legacy `Vec<Vec<u32>>` postings layout would need.
+    pub fn legacy_postings_bytes(&self) -> usize {
+        self.index.legacy_postings_bytes()
     }
 }
 
