@@ -35,6 +35,10 @@
 //!   retrying (overload probing; default retries = deterministic
 //!   delivery).
 //! * `--seed N`         — stream + pacing seed.
+//! * `--reconnect N`    — survive up to N connection losses per
+//!   reconnect (capped exponential backoff), resuming the log at the
+//!   server's durable `wal_seq` — the kill/restart bench mode against
+//!   a `--state-dir` server. Default 0 = a reset is fatal.
 //! * `--shutdown`       — send a graceful-shutdown request at the end.
 //! * `--raw-budgets`    — send log budgets verbatim.
 //!
@@ -49,6 +53,7 @@ use tirm_bench::loadgen::{drive, LoadgenConfig};
 use tirm_bench::write_json;
 use tirm_core::report::{fnum, Table};
 use tirm_server::Client;
+use tirm_server::ClientOptions;
 use tirm_workloads::events::{read_log, scale_budgets};
 use tirm_workloads::{DatasetKind, EventStreamSpec, LatencyHistogram, ScaleConfig};
 
@@ -56,8 +61,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--dataset NAME] [--events N | --log PATH] \
-         [--rate R] [--readers N] [--read-pause-us U] [--no-retry] [--seed N] [--shutdown] \
-         [--raw-budgets]"
+         [--rate R] [--readers N] [--read-pause-us U] [--no-retry] [--seed N] \
+         [--reconnect N] [--shutdown] [--raw-budgets]"
     );
     ExitCode::from(2)
 }
@@ -109,6 +114,7 @@ fn main() -> ExitCode {
     let mut read_pause_us = 0u64;
     let mut retry = true;
     let mut seed = 0x10adu64;
+    let mut reconnect_attempts = 0u32;
     let mut shutdown = false;
     let mut raw_budgets = false;
 
@@ -147,6 +153,10 @@ fn main() -> ExitCode {
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage("--seed expects an integer"),
+            },
+            "--reconnect" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => reconnect_attempts = n,
+                None => return usage("--reconnect expects an attempt budget"),
             },
             "--shutdown" => shutdown = true,
             "--raw-budgets" => raw_budgets = true,
@@ -204,6 +214,11 @@ fn main() -> ExitCode {
             seed,
             drain: true,
             read_pause: std::time::Duration::from_micros(read_pause_us),
+            reconnect: if reconnect_attempts > 0 {
+                ClientOptions::reconnecting(reconnect_attempts)
+            } else {
+                ClientOptions::default()
+            },
         },
     ) {
         Ok(r) => r,

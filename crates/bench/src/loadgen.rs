@@ -19,13 +19,23 @@
 //!   backpressure.
 //! * `retry: false` — open-loop overload probing: shed mutations are
 //!   dropped, as a real ingestion edge would.
+//!
+//! With a reconnect budget ([`LoadgenConfig::reconnect`]) a lost
+//! connection is not fatal: the generator reconnects with capped
+//! exponential backoff and **resumes the log at the server's durable
+//! frontier** — the `hello` handshake's `wal_seq` counts admitted
+//! mutations, so the resume index is the position after the first
+//! `wal_seq` mutating events of the log. Against a durable server this
+//! gives exactly-once delivery across kill/restart (the crash-recovery
+//! bench mode); it assumes this generator's log is the only mutation
+//! source.
 
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
-use tirm_online::EventKind;
-use tirm_server::{Client, Request, Response, StatsView};
+use tirm_online::{EventKind, OnlineEvent};
+use tirm_server::{Client, ClientOptions, Request, Response, StatsView};
 use tirm_workloads::events::LogEvent;
 use tirm_workloads::LatencyHistogram;
 
@@ -56,6 +66,11 @@ pub struct LoadgenConfig {
     /// (unpaced, cell wall time swings ±30% run-to-run with scheduler
     /// luck, which would flap the CI wall-clock gate).
     pub read_pause: Duration,
+    /// Connection behavior. `reconnect_attempts == 0` (the default)
+    /// keeps a lost connection fatal; a positive budget turns resets
+    /// into bounded reconnect-with-backoff plus resume-from-`wal_seq`
+    /// (requires `handshake`, enforced by [`drive`]).
+    pub reconnect: ClientOptions,
 }
 
 impl Default for LoadgenConfig {
@@ -67,6 +82,7 @@ impl Default for LoadgenConfig {
             seed: 0x10ad,
             drain: true,
             read_pause: Duration::ZERO,
+            reconnect: ClientOptions::default(),
         }
     }
 }
@@ -117,6 +133,12 @@ impl LoadReport {
 /// Drives `log` against the server at `addr`. Returns when the log is
 /// sent (and, with `drain`, applied) and the readers have stopped.
 pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    if cfg.reconnect.reconnect_attempts > 0 && !cfg.reconnect.handshake {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "reconnect needs the hello handshake: wal_seq is the resume anchor",
+        ));
+    }
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
     let (mutation_side, read_side) = std::thread::scope(|s| -> io::Result<_> {
@@ -124,8 +146,9 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
             .map(|r| {
                 let stop = &stop;
                 let pause = cfg.read_pause;
+                let opts = &cfg.reconnect;
                 let seed = cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                s.spawn(move || reader_loop(addr, stop, seed, pause))
+                s.spawn(move || reader_loop(addr, stop, seed, pause, opts))
             })
             .collect();
 
@@ -180,12 +203,61 @@ type MutationSide = (
     StatsView,
 );
 
+/// Index of the first log event still to send when the server's
+/// durable frontier is `wal_seq`: skip exactly `wal_seq` mutating
+/// events (`RegretQuery` entries are reads — never logged, never
+/// counted).
+fn resume_index(log: &[LogEvent], wal_seq: u64) -> usize {
+    let mut mutations = 0u64;
+    for (i, e) in log.iter().enumerate() {
+        if mutations == wal_seq {
+            return i;
+        }
+        if !matches!(e.event, OnlineEvent::RegretQuery) {
+            mutations += 1;
+        }
+    }
+    log.len()
+}
+
+/// Reconnects after a lost connection (bounded attempts with capped
+/// exponential backoff inside [`Client::connect_with`]) and returns
+/// the resume index the server's `hello` dictates.
+fn reconnect(
+    addr: SocketAddr,
+    log: &[LogEvent],
+    opts: &ClientOptions,
+) -> io::Result<(Client, usize)> {
+    let client = Client::connect_with(addr, opts)?;
+    let hello = client.hello().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "reconnected without a hello; no resume anchor",
+        )
+    })?;
+    let at = resume_index(log, hello.wal_seq);
+    Ok((client, at))
+}
+
 fn mutation_loop(
     addr: SocketAddr,
     log: &[LogEvent],
     cfg: &LoadgenConfig,
 ) -> io::Result<MutationSide> {
-    let mut client = Client::connect(addr)?;
+    let opts = &cfg.reconnect;
+    let resumable = opts.reconnect_attempts > 0;
+    let mut i = 0usize;
+    let mut client = if resumable || opts.handshake {
+        let c = Client::connect_with(addr, opts)?;
+        if resumable {
+            // The server may already hold a durable prefix of this log
+            // (a previous partial run); don't send it twice.
+            i = resume_index(log, c.hello().expect("handshake enforced").wal_seq);
+        }
+        c
+    } else {
+        Client::connect(addr)?
+    };
     let mut overall = LatencyHistogram::default();
     let mut per_kind: Vec<(EventKind, LatencyHistogram)> = EventKind::ALL
         .into_iter()
@@ -195,83 +267,169 @@ fn mutation_loop(
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let t0 = Instant::now();
     let mut next = Duration::ZERO;
-    for e in log {
-        // Open-loop pacing: fire on the schedule, not on the last
-        // response.
-        if let Some(rate) = cfg.rate {
-            let gap: f64 = rng.gen::<f64>().max(1e-12);
-            next += Duration::from_secs_f64(-gap.ln() / rate);
-            let now = t0.elapsed();
-            if next > now {
-                std::thread::sleep(next - now);
-            }
-        }
-        let kind = e.event.kind();
-        let record = |hists: &mut Vec<(EventKind, LatencyHistogram)>,
-                      overall: &mut LatencyHistogram,
-                      nanos: u64| {
-            overall.record(nanos);
-            hists
-                .iter_mut()
-                .find(|(k, _)| *k == kind)
-                .expect("all kinds present")
-                .1
-                .record(nanos);
-        };
-        loop {
-            let t = Instant::now();
-            let resp = client.send_event(&e.event)?;
-            let nanos = t.elapsed().as_nanos() as u64;
-            match resp {
-                Response::Accepted { .. } => {
-                    offered += 1;
-                    accepted += 1;
-                    record(&mut per_kind, &mut overall, nanos);
-                    break;
+    let total_mutations = log
+        .iter()
+        .filter(|e| !matches!(e.event, OnlineEvent::RegretQuery))
+        .count() as u64;
+    let mut resend_passes = 0u32;
+    'passes: loop {
+        'events: while i < log.len() {
+            let e = &log[i];
+            // Open-loop pacing: fire on the schedule, not on the last
+            // response.
+            if let Some(rate) = cfg.rate {
+                let gap: f64 = rng.gen::<f64>().max(1e-12);
+                next += Duration::from_secs_f64(-gap.ln() / rate);
+                let now = t0.elapsed();
+                if next > now {
+                    std::thread::sleep(next - now);
                 }
-                Response::Overloaded { .. } => {
-                    offered += 1;
-                    shed += 1;
-                    record(&mut per_kind, &mut overall, nanos);
-                    if !cfg.retry {
+            }
+            let kind = e.event.kind();
+            let record = |hists: &mut Vec<(EventKind, LatencyHistogram)>,
+                          overall: &mut LatencyHistogram,
+                          nanos: u64| {
+                overall.record(nanos);
+                hists
+                    .iter_mut()
+                    .find(|(k, _)| *k == kind)
+                    .expect("all kinds present")
+                    .1
+                    .record(nanos);
+            };
+            loop {
+                let t = Instant::now();
+                let resp = match client.send_event(&e.event) {
+                    Ok(resp) => resp,
+                    // A reset mid-flight (the server was killed): with a
+                    // reconnect budget, come back and resume at the durable
+                    // frontier — an event admitted-and-fsynced but un-acked
+                    // is *not* resent (wal_seq already counts it), an event
+                    // lost from the queue is.
+                    Err(_) if resumable => {
+                        let (c, at) = reconnect(addr, log, opts)?;
+                        client = c;
+                        i = at;
+                        continue 'events;
+                    }
+                    Err(e) => return Err(e),
+                };
+                let nanos = t.elapsed().as_nanos() as u64;
+                match resp {
+                    Response::Accepted { .. } => {
+                        offered += 1;
+                        accepted += 1;
+                        record(&mut per_kind, &mut overall, nanos);
                         break;
                     }
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-                // Stream-embedded reads and allocator-level rejections
-                // still measure a served request.
-                Response::Regret { .. } | Response::Rejected { .. } => {
-                    record(&mut per_kind, &mut overall, nanos);
-                    break;
-                }
-                // The server draining mid-log means the rest of the log
-                // cannot be delivered — loud failure, never a silent
-                // partial replay (deterministic-delivery callers treat
-                // the final state as a pure function of the *full* log).
-                Response::ShuttingDown => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::ConnectionAborted,
-                        format!(
-                            "server began shutdown after {accepted} of {} events",
-                            log.len()
-                        ),
-                    ))
-                }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected response to mutation: {other:?}"),
-                    ))
+                    Response::Overloaded { .. } => {
+                        offered += 1;
+                        shed += 1;
+                        record(&mut per_kind, &mut overall, nanos);
+                        if !cfg.retry {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    // Stream-embedded reads and allocator-level rejections
+                    // still measure a served request.
+                    Response::Regret { .. } | Response::Rejected { .. } => {
+                        record(&mut per_kind, &mut overall, nanos);
+                        break;
+                    }
+                    // The server draining mid-log means the rest of the log
+                    // cannot be delivered — loud failure, never a silent
+                    // partial replay (deterministic-delivery callers treat
+                    // the final state as a pure function of the *full* log).
+                    Response::ShuttingDown => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            format!(
+                                "server began shutdown after {accepted} of {} events",
+                                log.len()
+                            ),
+                        ))
+                    }
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected response to mutation: {other:?}"),
+                        ))
+                    }
                 }
             }
+            i += 1;
         }
+
+        if !(resumable && cfg.retry) {
+            break 'passes;
+        }
+        // `Accepted` is admission, not durability: a SIGKILL can eat the
+        // queued-but-unlogged tail *after* the last ack, and only the
+        // durable frontier knows. Deterministic delivery therefore holds
+        // the send loop open until `wal_seq` covers every mutation in
+        // the log (this loadgen is the only mutation source), resending
+        // whatever a crash lost. The resume anchor keeps the resend
+        // exactly-once: a crash severs this connection, so a stats
+        // failure is the crash signal, and the replacement `hello` says
+        // where the durable prefix ends — a live, merely slow server
+        // never triggers a resend.
+        let mut last_seq = 0u64;
+        let mut last_advance = Instant::now();
+        let covered = loop {
+            match client.stats() {
+                Ok(s) if s.wal_seq >= total_mutations => break true,
+                Ok(s) => {
+                    if s.wal_seq > last_seq {
+                        last_seq = s.wal_seq;
+                        last_advance = Instant::now();
+                    } else if last_advance.elapsed() > Duration::from_secs(60) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "durable frontier stalled at {last_seq} of \
+                                 {total_mutations} mutations on a live server"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break false,
+            }
+        };
+        if covered {
+            break 'passes;
+        }
+        resend_passes += 1;
+        if resend_passes > opts.reconnect_attempts {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "reconnect budget exhausted with the durable frontier at \
+                     {last_seq} of {total_mutations} mutations"
+                ),
+            ));
+        }
+        let (c, at) = reconnect(addr, log, opts)?;
+        client = c;
+        i = at;
     }
     // Drain: wait until the writer applied everything it admitted.
-    let mut stats = client.stats()?;
+    let poll_stats = |client: &mut Client| -> io::Result<StatsView> {
+        match client.stats() {
+            Ok(s) => Ok(s),
+            Err(_) if resumable => {
+                *client = Client::connect_with(addr, opts)?;
+                client.stats()
+            }
+            Err(e) => Err(e),
+        }
+    };
+    let mut stats = poll_stats(&mut client)?;
     if cfg.drain {
         loop {
             if stats.queue_depth == 0 {
-                let again = client.stats()?;
+                let again = poll_stats(&mut client)?;
                 if again.epoch == stats.epoch {
                     stats = again;
                     break;
@@ -279,7 +437,7 @@ fn mutation_loop(
                 stats = again;
             } else {
                 std::thread::sleep(Duration::from_millis(1));
-                stats = client.stats()?;
+                stats = poll_stats(&mut client)?;
             }
         }
     }
@@ -293,7 +451,9 @@ fn reader_loop(
     stop: &AtomicBool,
     seed: u64,
     pause: Duration,
+    opts: &ClientOptions,
 ) -> io::Result<(u64, LatencyHistogram)> {
+    let resumable = opts.reconnect_attempts > 0;
     let mut client = Client::connect(addr)?;
     let mut hist = LatencyHistogram::default();
     let mut count = 0u64;
@@ -311,7 +471,19 @@ fn reader_loop(
             },
         };
         let t = Instant::now();
-        let resp = client.request(&req)?;
+        let resp = match client.request(&req) {
+            Ok(resp) => resp,
+            // Readers are stateless: across a kill/restart just get a
+            // fresh connection and keep measuring.
+            Err(_) if resumable => {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                client = Client::connect_with(addr, opts)?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         hist.record(t.elapsed().as_nanos() as u64);
         match resp {
             Response::Regret { .. } | Response::Stats(_) | Response::Ad { .. } => count += 1,

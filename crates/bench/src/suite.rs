@@ -310,6 +310,7 @@ pub fn run_serving_cell(
                     // per cell, but the writer's wall time — the metric
                     // the CI gate watches — stays reproducible on 1 CPU.
                     read_pause: std::time::Duration::from_micros(500),
+                    ..LoadgenConfig::default()
                 },
             )
             .expect("load generator failed")

@@ -40,7 +40,7 @@ use tirm_rrset::heap::Verdict;
 use tirm_rrset::weighted::{score_key, WeightedRrCollection};
 use tirm_rrset::{
     FastPath, KptEstimator, KptState, LazyMaxHeap, ParallelSampler, RrIndex, RrSampler,
-    SampleBound, SamplingConfig, SamplingLayout,
+    SampleBound, SamplerState, SamplingConfig, SamplingLayout,
 };
 
 /// Options for TIRM.
@@ -233,6 +233,106 @@ impl AdWarmState {
     pub fn seeds(&self) -> AdSeeds {
         self.seeds
     }
+
+    /// Decomposes the state into owned flat arrays for checkpointing
+    /// (compacting the index first, so the five index arrays are its
+    /// entire contents). The seed plan and thread count are *not* part of
+    /// the decomposition: both are derivable from the owner's
+    /// configuration and are re-supplied — and re-validated — by
+    /// [`Self::from_parts`].
+    pub fn export_parts(&mut self) -> AdWarmParts {
+        let (num_nodes, set_offsets, set_nodes, frozen_offsets, frozen_data) =
+            self.index.compacted_parts();
+        let (kpt_widths, kpt_engine) = self.kpt.export_parts();
+        AdWarmParts {
+            num_nodes,
+            set_offsets: set_offsets.to_vec(),
+            set_nodes: set_nodes.to_vec(),
+            frozen_offsets: frozen_offsets.to_vec(),
+            frozen_data: frozen_data.to_vec(),
+            engine: self.engine.export_state(),
+            kpt_widths: kpt_widths.to_vec(),
+            kpt_engine,
+            base: self.base.clone(),
+        }
+    }
+
+    /// Rebuilds warm capital from checkpointed parts under the owner's
+    /// seed plan and thread count. Everything is re-validated: index
+    /// invariants, RNG shard counts, and that the captured engine streams
+    /// actually belong to `(seeds, threads)` — a checkpoint restored into
+    /// a differently-configured allocator errors instead of silently
+    /// producing a diverged sample stream.
+    pub fn from_parts(
+        parts: AdWarmParts,
+        seeds: AdSeeds,
+        threads: usize,
+    ) -> Result<AdWarmState, String> {
+        if parts.engine.config.threads != threads {
+            return Err(format!(
+                "θ engine checkpointed with {} threads, allocator runs {}",
+                parts.engine.config.threads, threads
+            ));
+        }
+        if parts.engine.config.seed != seeds.engine || parts.kpt_engine.config.seed != seeds.kpt {
+            return Err("checkpointed engine streams belong to another seed plan".to_string());
+        }
+        let index = RrIndex::from_compacted_parts(
+            parts.num_nodes,
+            parts.set_offsets,
+            parts.set_nodes,
+            parts.frozen_offsets,
+            parts.frozen_data,
+        )?;
+        let engine = ParallelSampler::from_state(&parts.engine, parts.num_nodes)?;
+        let kpt = KptState::from_parts(parts.kpt_widths, &parts.kpt_engine, parts.num_nodes)?;
+        if let Some((_, scores)) = &parts.base {
+            if scores.len() != parts.num_nodes {
+                return Err(format!(
+                    "base snapshot has {} scores for {} nodes",
+                    scores.len(),
+                    parts.num_nodes
+                ));
+            }
+        }
+        Ok(AdWarmState {
+            index,
+            engine,
+            kpt,
+            base: parts.base,
+            seeds,
+            threads,
+        })
+    }
+}
+
+/// Owned, serializable decomposition of an [`AdWarmState`] — the flat
+/// arrays the online checkpoint layer writes through the checksummed
+/// snapshot format and reads back on recovery. Restoring the full capital
+/// (instead of resampling) is what makes a warm restart both fast and
+/// stream-exact: the rebuilt state continues the very same RNG streams,
+/// so post-restore reconciliations are bit-identical to an uninterrupted
+/// run's.
+#[derive(Clone, Debug)]
+pub struct AdWarmParts {
+    /// Graph size the capital was sampled over.
+    pub num_nodes: usize,
+    /// RR-set extents: `set_offsets[i]..set_offsets[i+1]` in `set_nodes`.
+    pub set_offsets: Vec<u32>,
+    /// Flattened RR-set membership lists.
+    pub set_nodes: Vec<u32>,
+    /// Compacted postings offsets (node → extent in `frozen_data`).
+    pub frozen_offsets: Vec<u32>,
+    /// Compacted postings (set ids per node, ascending).
+    pub frozen_data: Vec<u32>,
+    /// θ-sampling engine position.
+    pub engine: SamplerState,
+    /// Cached KPT sample widths.
+    pub kpt_widths: Vec<u64>,
+    /// KPT estimation engine position.
+    pub kpt_engine: SamplerState,
+    /// `(θ₀, scores)` base snapshot, if one was taken.
+    pub base: Option<(usize, Vec<f64>)>,
 }
 
 /// Per-ad sampling and coverage state.

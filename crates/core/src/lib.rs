@@ -23,7 +23,7 @@ pub mod report;
 
 pub use algos::{
     greedy_allocate, greedy_irie_allocate, myopic_allocate, myopic_plus_allocate, tirm_allocate,
-    tirm_allocate_seeded, tirm_allocate_warm, AdSeeds, AdWarmState, GreedyIrieOptions,
+    tirm_allocate_seeded, tirm_allocate_warm, AdSeeds, AdWarmParts, AdWarmState, GreedyIrieOptions,
     GreedyOptions, RelabelMode, TirmOptions,
 };
 pub use allocation::Allocation;

@@ -287,6 +287,151 @@ pub fn write_atomic_with(
     }
 }
 
+/// Header bytes of the generic word-payload container: caller magic (8),
+/// format version (4), payload word count (8).
+const WORDS_HEADER_BYTES: usize = 20;
+
+/// Writes a generic checksummed word payload to `w`: the caller's magic
+/// and version, a word count, the payload words little-endian, and the
+/// same 4-lane word-FNV trailer the graph snapshot uses. This is the
+/// workspace's durable-state container for subsystems beyond the graph
+/// cache — allocator checkpoints serialize through it — so every durable
+/// artifact shares one integrity story: typed [`SnapshotError`]s on
+/// foreign files, version skew, truncation and bit rot, never a panic.
+pub fn write_words_stream(
+    w: &mut impl Write,
+    magic: &[u8; 8],
+    version: u32,
+    payload: &[u32],
+) -> io::Result<()> {
+    let mut hasher = WordHasher::new();
+    let mut header = [0u8; WORDS_HEADER_BYTES];
+    header[0..8].copy_from_slice(magic);
+    header[8..12].copy_from_slice(&version.to_le_bytes());
+    header[12..20].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut hwords = [0u32; WORDS_HEADER_BYTES / 4];
+    for (hw, b) in hwords.iter_mut().zip(header.chunks_exact(4)) {
+        *hw = u32::from_le_bytes(b.try_into().unwrap());
+    }
+    hasher.update(&hwords);
+    w.write_all(&header)?;
+    hasher.update(payload);
+    let mut buf = vec![0u8; 4 * CHUNK_ELEMS];
+    write_words(w, &mut buf, payload)?;
+    w.write_all(&hasher.finalize().to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads a payload written by [`write_words_stream`], verifying magic,
+/// version and checksum. The payload is read chunkwise, so a header lying
+/// about its length fails at EOF (as [`SnapshotError::Truncated`]) before
+/// absurd memory is committed.
+pub fn read_words_stream(
+    r: &mut impl Read,
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<Vec<u32>, SnapshotError> {
+    let mut header = [0u8; WORDS_HEADER_BYTES];
+    let mut consumed = 0u64;
+    read_exact_counted(r, &mut header, &mut consumed)?;
+    if &header[0..8] != magic {
+        return Err(SnapshotError::BadMagic);
+    }
+    let v = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if v != version {
+        return Err(SnapshotError::UnsupportedVersion(v));
+    }
+    let count = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    if count > (u32::MAX as u64) * 64 {
+        return Err(SnapshotError::Malformed(format!(
+            "payload of {count} words is out of any plausible range"
+        )));
+    }
+    let count = count as usize;
+    let mut hasher = WordHasher::new();
+    let mut hwords = [0u32; WORDS_HEADER_BYTES / 4];
+    for (hw, b) in hwords.iter_mut().zip(header.chunks_exact(4)) {
+        *hw = u32::from_le_bytes(b.try_into().unwrap());
+    }
+    hasher.update(&hwords);
+
+    let mut out = vec![0u32; 0];
+    let mut buf = vec![0u8; 4 * CHUNK_ELEMS];
+    let mut filled = 0usize;
+    while filled < count {
+        let take = (count - filled).min(CHUNK_ELEMS);
+        let bytes = &mut buf[..take * 4];
+        read_exact_counted(r, bytes, &mut consumed).map_err(|e| truncation_of(e, count))?;
+        out.reserve(take);
+        for src in bytes.chunks_exact(4) {
+            out.push(u32::from_le_bytes(src.try_into().unwrap()));
+        }
+        hasher.update(&out[filled..filled + take]);
+        filled += take;
+    }
+    let mut tail = [0u8; 8];
+    read_exact_counted(r, &mut tail, &mut consumed).map_err(|e| truncation_of(e, count))?;
+    let stored = u64::from_le_bytes(tail);
+    let computed = hasher.finalize();
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    Ok(out)
+}
+
+/// `read_exact` that tracks bytes consumed, so truncation errors can
+/// report a position even on unseekable streams.
+fn read_exact_counted(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    consumed: &mut u64,
+) -> Result<(), SnapshotError> {
+    match r.read_exact(buf) {
+        Ok(()) => {
+            *consumed += buf.len() as u64;
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(SnapshotError::Truncated {
+            expected: 0, // refined by `truncation_of` once the header is known
+            actual: *consumed,
+        }),
+        Err(e) => Err(SnapshotError::Io(e)),
+    }
+}
+
+/// Fills in the expected length of a truncation error once the header's
+/// word count is known.
+fn truncation_of(e: SnapshotError, count: usize) -> SnapshotError {
+    match e {
+        SnapshotError::Truncated { actual, .. } => SnapshotError::Truncated {
+            expected: WORDS_HEADER_BYTES as u64 + 4 * count as u64 + CHECKSUM_BYTES,
+            actual,
+        },
+        other => other,
+    }
+}
+
+/// [`write_words_stream`] committed atomically to `path` (temp file +
+/// rename via [`write_atomic_with`]).
+pub fn write_words_file(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+    payload: &[u32],
+) -> io::Result<()> {
+    write_atomic_with(path, |w| write_words_stream(w, magic, version, payload))
+}
+
+/// Reads a payload file written by [`write_words_file`].
+pub fn read_words_file(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<Vec<u32>, SnapshotError> {
+    let mut r = std::io::BufReader::with_capacity(1 << 20, File::open(path)?);
+    read_words_stream(&mut r, magic, version)
+}
+
 /// Writes `graph` and its `num_topics × m` edge-major probability matrix
 /// to `path` through a buffered writer. The file appears atomically via
 /// [`write_atomic_with`], so a crashed writer can never leave a

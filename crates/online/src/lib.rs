@@ -35,6 +35,7 @@ pub mod events;
 pub mod pool;
 pub mod snapshot;
 
+pub use allocator::checkpoint::{CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use allocator::{OnlineAllocator, OnlineConfig, OnlineStats};
 pub use events::{AdId, EventKind, EventOutcome, OnlineError, OnlineEvent};
 pub use pool::RetainedPool;

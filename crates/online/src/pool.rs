@@ -15,10 +15,10 @@ use tirm_core::AdWarmState;
 use tirm_topics::TopicDist;
 
 /// One retained shard with the fingerprint its validity depends on.
-struct Retained {
-    id: AdId,
-    topics: TopicDist,
-    state: AdWarmState,
+pub(crate) struct Retained {
+    pub(crate) id: AdId,
+    pub(crate) topics: TopicDist,
+    pub(crate) state: AdWarmState,
     bytes: usize,
 }
 
@@ -84,6 +84,21 @@ impl RetainedPool {
             self.total_bytes -= evicted.bytes;
             self.evictions += 1;
         }
+    }
+
+    /// Checkpoint access: the retained entries in release order (oldest —
+    /// first-evicted — first), mutably so shards can be decomposed in
+    /// place for serialization.
+    pub(crate) fn entries_mut(&mut self) -> impl Iterator<Item = &mut Retained> {
+        self.entries.iter_mut()
+    }
+
+    /// Checkpoint restore: pins the lifetime eviction counter to the
+    /// checkpointed value after the entries have been re-released (a
+    /// re-release under a tighter budget may itself evict, and those
+    /// evictions are already counted in the checkpoint's number).
+    pub(crate) fn set_evictions(&mut self, evictions: usize) {
+        self.evictions = evictions;
     }
 
     /// Reclaims the shard of a re-arriving ad. Returns `None` when the id

@@ -232,6 +232,25 @@ impl KptState {
     pub fn memory_bytes(&self) -> usize {
         self.widths.capacity() * 8 + self.engine.memory_bytes()
     }
+
+    /// The serializable view for checkpointing: the cached widths and
+    /// the estimation engine's stream position.
+    pub fn export_parts(&self) -> (&[u64], crate::parallel::SamplerState) {
+        (&self.widths, self.engine.export_state())
+    }
+
+    /// Rebuilds detached KPT capital from checkpointed parts, over a
+    /// graph with `num_nodes` nodes.
+    pub fn from_parts(
+        widths: Vec<u64>,
+        engine: &crate::parallel::SamplerState,
+        num_nodes: usize,
+    ) -> Result<KptState, String> {
+        Ok(KptState {
+            widths,
+            engine: ParallelSampler::from_state(engine, num_nodes)?,
+        })
+    }
 }
 
 /// Result of a full TIM run.

@@ -22,13 +22,20 @@
 //! * `--queue-depth N`  — write-queue bound (admission control; default
 //!   64).
 //! * `--max-connections N` — connection admission bound (default 64).
+//! * `--state-dir DIR`  — enable durability: recover from DIR on boot,
+//!   then WAL every admitted mutation (group-commit fsync) and
+//!   checkpoint on a cadence. Without it the server is memory-only.
+//! * `--checkpoint-interval N` — applied events between checkpoints
+//!   (default 256; needs `--state-dir`).
+//! * `--segment-events N` — WAL frames per segment file (default 1024;
+//!   needs `--state-dir`).
+//! * `--shard-writers S` — per-ad shard threads for reconciliation
+//!   (default 1 = classic single-writer; any S is bit-identical).
 //!
 //! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
 //! warm-starts the dataset from the binary snapshot cache.
 
 use std::process::ExitCode;
-use tirm_core::TirmOptions;
-use tirm_online::OnlineConfig;
 use tirm_server::{serve, ServerConfig};
 use tirm_workloads::{Dataset, DatasetKind, ProbModel, ScaleConfig};
 
@@ -36,7 +43,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: tirm_server [--dataset NAME] [--model topic|exp|wc] [--bind ADDR] \
-         [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N]"
+         [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N] \
+         [--state-dir DIR] [--checkpoint-interval N] [--segment-events N] [--shard-writers S]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +58,10 @@ fn main() -> ExitCode {
     let mut seed = 0x0e5e_17f1u64;
     let mut queue_depth = 64usize;
     let mut max_connections = 64usize;
+    let mut state_dir: Option<String> = None;
+    let mut checkpoint_interval: Option<u64> = None;
+    let mut segment_events: Option<u64> = None;
+    let mut shard_writers = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +98,22 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => max_connections = n,
                 _ => return usage("--max-connections expects a positive integer"),
             },
+            "--state-dir" => match args.next() {
+                Some(d) if !d.is_empty() => state_dir = Some(d),
+                _ => return usage("--state-dir expects a directory path"),
+            },
+            "--checkpoint-interval" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => checkpoint_interval = Some(n),
+                _ => return usage("--checkpoint-interval expects a positive integer"),
+            },
+            "--segment-events" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => segment_events = Some(n),
+                _ => return usage("--segment-events expects a positive integer"),
+            },
+            "--shard-writers" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => shard_writers = n,
+                _ => return usage("--shard-writers expects a positive integer"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -105,41 +133,55 @@ fn main() -> ExitCode {
         eprintln!("dataset generated in {:.3}s", timing.cold_s);
     }
 
-    let quality = matches!(dataset_kind, DatasetKind::Flixster | DatasetKind::Epinions);
-    let mut tirm = TirmOptions {
-        eps: if quality { 0.1 } else { 0.2 },
-        seed,
-        max_theta_per_ad: Some(if quality { 1_000_000 } else { 400_000 }),
-        ..TirmOptions::default()
-    };
-    tirm.threads = cfg.threads;
     // The perf suite's θ-cap scaling convention, so a served instance
-    // measures under the same cap as the suite's cells at this scale.
-    tirm.scale_theta_cap(cfg.scale);
+    // measures under the same cap as the suite's cells at this scale;
+    // shared with out-of-process oracles via the library.
+    let online = tirm_server::serving_online_config(dataset_kind, &cfg, kappa, lambda, seed);
 
-    let server_cfg = ServerConfig {
-        online: OnlineConfig {
-            tirm,
-            kappa,
-            lambda,
-            ..OnlineConfig::default()
-        },
-        bind,
-        queue_depth,
-        max_connections,
-        ..ServerConfig::default()
+    let mut builder = ServerConfig::builder()
+        .online(online)
+        .bind(bind)
+        .queue_depth(queue_depth)
+        .max_connections(max_connections)
+        .shard_writers(shard_writers);
+    if let Some(dir) = &state_dir {
+        builder = builder.state_dir(dir);
+    }
+    if let Some(n) = checkpoint_interval {
+        builder = builder.checkpoint_interval(n);
+    }
+    if let Some(n) = segment_events {
+        builder = builder.segment_events(n);
+    }
+    let server_cfg = match builder.build() {
+        Ok(cfg) => cfg,
+        Err(why) => return usage(&why),
     };
     let served = serve(&dataset.graph, &dataset.topic_probs, server_cfg, |handle| {
         eprintln!(
-            "listening on {} (queue depth {queue_depth}, ≤ {max_connections} connections); \
+            "listening on {} (queue depth {queue_depth}, ≤ {max_connections} connections, \
+             {shard_writers} shard writer(s), durability {}); \
              send {{\"type\":\"shutdown\"}} to stop",
-            handle.addr()
+            handle.addr(),
+            match &state_dir {
+                Some(d) => format!("on [{d}], wal_seq {}", handle.wal_seq()),
+                None => "off".to_string(),
+            },
         );
         handle.wait_shutdown();
         eprintln!("shutdown requested — draining the write queue");
     });
     match served {
         Ok(((), report)) => {
+            if let Some(rec) = &report.recovery {
+                eprintln!(
+                    "recovery: checkpoint {:?}, {} replayed ({} re-rejected), resumed at wal_seq {}",
+                    rec.checkpoint_seq, rec.replayed, rec.rejected_on_replay, rec.wal_seq
+                );
+                for w in &rec.warnings {
+                    eprintln!("recovery warning: {w}");
+                }
+            }
             eprintln!(
                 "drained. epoch {} | {} accepted / {} shed ({:.1}% shed) / {} rejected / {} bad \
                  frames | max queue {} | {} connections ({} refused) | {} live ads, {} seeds, \

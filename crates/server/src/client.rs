@@ -1,17 +1,35 @@
 //! A small blocking client for the wire protocol — what the load
 //! generator, the soak test and the equivalence harness speak.
 
-use crate::protocol::{read_frame, write_frame, Request, Response, StatsView};
+use crate::protocol::{
+    read_frame, write_frame, ClientOptions, Request, Response, StatsView, PROTOCOL_VERSION,
+};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use tirm_online::{AllocationSnapshot, OnlineEvent};
+
+/// What the server announced in its `hello` response: the recovery
+/// anchors a reconnecting client resumes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The server's protocol version (equal to ours, or
+    /// [`Client::connect_with`] would have failed typed).
+    pub version: u32,
+    /// Snapshot epoch at handshake time.
+    pub epoch: u64,
+    /// The server's durable frontier: admitted mutations logged and
+    /// fsynced so far. A client replaying an event log resumes at the
+    /// `wal_seq`-th mutation — everything before it survived.
+    pub wal_seq: u64,
+}
 
 /// One connection to a `tirm_server`. Requests are strictly
 /// request/response on the connection; open several clients for
 /// concurrency.
 pub struct Client {
     stream: TcpStream,
+    hello: Option<HelloInfo>,
 }
 
 /// A protocol-level failure surfaced as `io::Error` with context.
@@ -21,11 +39,81 @@ fn protocol_err(why: String) -> io::Error {
 
 impl Client {
     /// Connects (with `TCP_NODELAY` — frames are small and
-    /// latency-sensitive).
+    /// latency-sensitive) without a handshake — the bare pre-`hello`
+    /// client. Use [`connect_with`](Self::connect_with) for version
+    /// checking, reconnection, and the resume anchor.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            hello: None,
+        })
+    }
+
+    /// Connects per `opts`: bounded reconnect attempts with capped
+    /// exponential backoff (for a server that is restarting), then the
+    /// optional `hello` handshake — version skew is a typed
+    /// `InvalidData` error here, not a mid-stream decode failure later.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + Clone,
+        opts: &ClientOptions,
+    ) -> io::Result<Client> {
+        let mut attempt = 0;
+        loop {
+            match Self::connect_once(addr.clone(), opts) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if attempt >= opts.reconnect_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(opts.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn connect_once(addr: impl ToSocketAddrs, opts: &ClientOptions) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        if opts.nodelay {
+            stream.set_nodelay(true)?;
+        }
+        let mut client = Client {
+            stream,
+            hello: None,
+        };
+        if opts.handshake {
+            match client.request(&Request::Hello {
+                version: PROTOCOL_VERSION,
+            })? {
+                Response::Hello {
+                    version,
+                    epoch,
+                    wal_seq,
+                } => {
+                    if version != PROTOCOL_VERSION {
+                        return Err(protocol_err(format!(
+                            "protocol version skew: server speaks v{version}, \
+                             this client speaks v{PROTOCOL_VERSION}"
+                        )));
+                    }
+                    client.hello = Some(HelloInfo {
+                        version,
+                        epoch,
+                        wal_seq,
+                    });
+                }
+                other => return Err(protocol_err(format!("expected hello, got {other:?}"))),
+            }
+        }
+        Ok(client)
+    }
+
+    /// The server's `hello` announcement (`None` when connected without
+    /// a handshake).
+    pub fn hello(&self) -> Option<&HelloInfo> {
+        self.hello.as_ref()
     }
 
     /// Sends one request and reads its response.

@@ -34,19 +34,55 @@
 //! allocator refuses it (exactly as an in-process replay would); a
 //! shed (`Overloaded`) one never was admitted in the first place.
 
-use crate::protocol::{read_frame_polling, write_frame, Request, Response, StatsView};
+use crate::protocol::{
+    read_frame_polling, write_frame, Request, Response, StatsView, PROTOCOL_VERSION,
+};
 use crate::swap::{SnapshotReader, SnapshotSwap};
+use crate::wal::{self, RecoveryReport, Wal};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use tirm_graph::DiGraph;
 use tirm_online::{AllocationSnapshot, OnlineAllocator, OnlineConfig, OnlineEvent, OnlineStats};
 use tirm_topics::TopicEdgeProbs;
 
-/// Configuration of a [`serve`] run.
+/// Durability knobs: where the write-ahead log and checkpoints live and
+/// how often state is checkpointed. Attached to a [`ServerConfig`] via
+/// [`ServerConfigBuilder::state_dir`]; a server without one serves from
+/// memory only (the pre-durability behavior).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoint files. Created on
+    /// startup if missing; recovery scans it first.
+    pub state_dir: PathBuf,
+    /// Applied mutations between checkpoints. Each checkpoint bounds
+    /// the replay a restart pays to at most this many events (plus the
+    /// in-flight batch) and lets the covered WAL segments be deleted.
+    pub checkpoint_interval: u64,
+    /// Frames per WAL segment before rotating to a new file. Smaller
+    /// segments reclaim disk sooner; larger ones make fewer files.
+    pub segment_events: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `state_dir` with the default cadence
+    /// (checkpoint every 256 events, 1024-frame segments).
+    pub fn new(state_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            state_dir: state_dir.into(),
+            checkpoint_interval: 256,
+            segment_events: 1024,
+        }
+    }
+}
+
+/// Configuration of a [`serve`] run. Construct via
+/// [`ServerConfig::builder`] (validated), struct literal update syntax
+/// off [`Default`], or field-by-field.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Allocator configuration (TIRM options, κ, λ, pool budget).
@@ -63,6 +99,18 @@ pub struct ServerConfig {
     /// connections notice shutdown. Also bounds how long an exiting
     /// handler can block on an idle socket.
     pub read_poll: Duration,
+    /// Durability: `Some` ⇒ every admitted mutation is WAL-logged
+    /// (group-commit fsync) before it is applied, state is checkpointed
+    /// on the configured cadence, and startup recovers checkpoint +
+    /// log tail. `None` ⇒ memory-only.
+    pub durability: Option<DurabilityConfig>,
+    /// Per-ad shard writer threads for the reconciliation step. `1` ⇒
+    /// the classic single-writer path (apply + publish per event);
+    /// `> 1` ⇒ the writer drains the queue in batches and fans the
+    /// per-ad TIRM runs across this many threads
+    /// ([`OnlineAllocator::process_batch`]) — bit-identical output for
+    /// any value. Must be ≥ 1.
+    pub shard_writers: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,7 +121,145 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_connections: 64,
             read_poll: Duration::from_millis(25),
+            durability: None,
+            shard_writers: 1,
         }
+    }
+}
+
+impl ServerConfig {
+    /// A validated, fluent way to assemble a config — the mirror of the
+    /// client-side [`crate::protocol::ClientOptions`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`ServerConfig`]; [`build`](Self::build)
+/// rejects nonsensical values with a typed error instead of letting
+/// [`serve`] panic mid-startup.
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Allocator configuration (TIRM options, κ, λ, pool budget).
+    pub fn online(mut self, online: OnlineConfig) -> Self {
+        self.cfg.online = online;
+        self
+    }
+
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub fn bind(mut self, bind: impl Into<String>) -> Self {
+        self.cfg.bind = bind.into();
+        self
+    }
+
+    /// Write-queue admission bound (mutations beyond it shed).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Connection admission bound.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n;
+        self
+    }
+
+    /// Handler read-poll interval (shutdown latency on idle sockets).
+    pub fn read_poll(mut self, interval: Duration) -> Self {
+        self.cfg.read_poll = interval;
+        self
+    }
+
+    /// Enables durability: WAL + checkpoints under `dir` with the
+    /// default cadence (tune with
+    /// [`checkpoint_interval`](Self::checkpoint_interval) /
+    /// [`segment_events`](Self::segment_events) after this).
+    pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let interval = self.cfg.durability.as_ref().map(|d| d.checkpoint_interval);
+        let segment = self.cfg.durability.as_ref().map(|d| d.segment_events);
+        let mut d = DurabilityConfig::new(dir);
+        if let Some(i) = interval {
+            d.checkpoint_interval = i;
+        }
+        if let Some(s) = segment {
+            d.segment_events = s;
+        }
+        self.cfg.durability = Some(d);
+        self
+    }
+
+    /// Applied mutations between checkpoints (requires
+    /// [`state_dir`](Self::state_dir), in either order).
+    pub fn checkpoint_interval(mut self, events: u64) -> Self {
+        match &mut self.cfg.durability {
+            Some(d) => d.checkpoint_interval = events,
+            None => {
+                let mut d = DurabilityConfig::new("");
+                d.checkpoint_interval = events;
+                self.cfg.durability = Some(d);
+            }
+        }
+        self
+    }
+
+    /// Frames per WAL segment (requires [`state_dir`](Self::state_dir),
+    /// in either order).
+    pub fn segment_events(mut self, frames: u64) -> Self {
+        match &mut self.cfg.durability {
+            Some(d) => d.segment_events = frames,
+            None => {
+                let mut d = DurabilityConfig::new("");
+                d.segment_events = frames;
+                self.cfg.durability = Some(d);
+            }
+        }
+        self
+    }
+
+    /// Per-ad shard writer threads (1 = single-writer path).
+    pub fn shard_writers(mut self, shards: usize) -> Self {
+        self.cfg.shard_writers = shards;
+        self
+    }
+
+    /// Validates and returns the config. `Err` names the first bad
+    /// field.
+    pub fn build(self) -> Result<ServerConfig, String> {
+        let cfg = self.cfg;
+        if cfg.queue_depth < 1 {
+            return Err("queue_depth must be >= 1 (the queue must admit something)".into());
+        }
+        if cfg.max_connections < 1 {
+            return Err("max_connections must be >= 1".into());
+        }
+        if cfg.shard_writers < 1 {
+            return Err("shard_writers must be >= 1".into());
+        }
+        if cfg.read_poll.is_zero() {
+            return Err("read_poll must be non-zero (it paces shutdown checks)".into());
+        }
+        if let Some(d) = &cfg.durability {
+            if d.state_dir.as_os_str().is_empty() {
+                return Err(
+                    "durability needs a state_dir (checkpoint_interval/segment_events \
+                     were set without one)"
+                        .into(),
+                );
+            }
+            if d.checkpoint_interval < 1 {
+                return Err("checkpoint_interval must be >= 1 event".into());
+            }
+            if d.segment_events < 1 {
+                return Err("segment_events must be >= 1 frame".into());
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -90,6 +276,10 @@ struct Shared {
     connections_open: AtomicUsize,
     connections_total: AtomicU64,
     connections_refused: AtomicU64,
+    /// Durable frontier: mutations logged *and* fsynced (equal to the
+    /// count applied when durability is off). The `hello` response
+    /// carries it as the resume anchor for reconnecting clients.
+    wal_seq: AtomicU64,
     /// Set by a wire `shutdown` request (or [`ServerHandle::request_shutdown`]);
     /// [`ServerHandle::wait_shutdown`] blocks on it.
     shutdown_requested: Mutex<bool>,
@@ -109,6 +299,7 @@ impl Shared {
             connections_open: AtomicUsize::new(0),
             connections_total: AtomicU64::new(0),
             connections_refused: AtomicU64::new(0),
+            wal_seq: AtomicU64::new(0),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         })
@@ -160,6 +351,12 @@ impl ServerHandle {
         self.shared.shed.load(Ordering::Relaxed)
     }
 
+    /// The durable frontier: mutations WAL-logged and fsynced so far
+    /// (count of mutations applied when durability is off).
+    pub fn wal_seq(&self) -> u64 {
+        self.shared.wal_seq.load(Ordering::Acquire)
+    }
+
     /// Flags the server for shutdown (same as a wire `shutdown`
     /// request): [`wait_shutdown`](Self::wait_shutdown) unblocks, and
     /// [`serve`] begins the drain-then-close sequence when its closure
@@ -209,6 +406,11 @@ pub struct ServeReport {
     pub connections: u64,
     /// Connections refused by the admission bound.
     pub connections_refused: u64,
+    /// What startup recovery found (`None` when durability is off).
+    pub recovery: Option<RecoveryReport>,
+    /// Final durable frontier — the WAL sequence number after the last
+    /// drained mutation.
+    pub wal_seq: u64,
 }
 
 impl ServeReport {
@@ -243,12 +445,31 @@ pub fn serve<R>(
 ) -> std::io::Result<(R, ServeReport)> {
     assert!(cfg.queue_depth >= 1, "queue_depth must admit something");
     assert!(cfg.max_connections >= 1, "need at least one connection");
+    assert!(cfg.shard_writers >= 1, "need at least one shard writer");
     let listener = TcpListener::bind(&cfg.bind)?;
     let addr = listener.local_addr()?;
 
-    let mut allocator = OnlineAllocator::new(graph, topic_probs, cfg.online.clone());
+    // Durable startup: rebuild from checkpoint + WAL tail, then open a
+    // fresh segment at the recovered frontier. Memory-only startup is
+    // the recovery of an empty state dir, minus the disk.
+    let (mut allocator, recovery, mut wal_log) = match &cfg.durability {
+        Some(d) => {
+            let (allocator, report) = wal::recover(&d.state_dir, graph, topic_probs, &cfg.online)?;
+            let log = Wal::open(&d.state_dir, report.wal_seq, d.segment_events)?;
+            (allocator, Some(report), Some(log))
+        }
+        None => (
+            OnlineAllocator::new(graph, topic_probs, cfg.online.clone()),
+            None,
+            None,
+        ),
+    };
     let swap = SnapshotSwap::new(allocator.snapshot());
     let shared = Shared::new();
+    shared.wal_seq.store(
+        recovery.as_ref().map_or(0, |r| r.wal_seq),
+        Ordering::Release,
+    );
     let (tx, rx) = std::sync::mpsc::sync_channel::<OnlineEvent>(cfg.queue_depth);
     let handle = ServerHandle {
         addr,
@@ -257,23 +478,24 @@ pub fn serve<R>(
     };
 
     let (result, final_snapshot, stats) = std::thread::scope(|s| {
-        // Writer: the only thread that ever touches the allocator.
+        // Writer: the only thread that ever touches the allocator (the
+        // shard threads it may fan out to live inside process_batch and
+        // are joined before it returns).
         let writer = {
             let swap = swap.clone();
             let shared = shared.clone();
+            let durability = cfg.durability.clone();
+            let shard_writers = cfg.shard_writers;
             s.spawn(move || {
-                while let Ok(ev) = rx.recv() {
-                    // A rejected event changed nothing (and didn't bump
-                    // the epoch): skip the O(ads + seeds) snapshot copy
-                    // and the reader-side refresh it would force.
-                    match allocator.process(&ev) {
-                        Ok(_) => swap.publish(allocator.snapshot()),
-                        Err(_) => {
-                            shared.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                }
+                writer_loop(
+                    &rx,
+                    &mut allocator,
+                    wal_log.as_mut(),
+                    durability.as_ref(),
+                    shard_writers,
+                    &swap,
+                    &shared,
+                );
                 // All senders dropped ⇒ every admitted mutation above
                 // was applied: the drain guarantee.
                 (allocator.snapshot(), allocator.stats())
@@ -358,8 +580,107 @@ pub fn serve<R>(
         max_queue_depth: shared.max_queue_len.load(Ordering::Relaxed),
         connections: shared.connections_total.load(Ordering::Relaxed),
         connections_refused: shared.connections_refused.load(Ordering::Relaxed),
+        recovery,
+        wal_seq: shared.wal_seq.load(Ordering::Acquire),
     };
     Ok((result, report))
+}
+
+/// The writer's drain loop. Per batch: log every frame, fsync **once**,
+/// then apply — the WAL-before-apply invariant that makes a kill at any
+/// instant recoverable. With one shard writer each mutation is applied
+/// and published individually (the classic path, minimal read-path
+/// staleness); with several the deferred per-ad TIRM runs fan out
+/// across threads and the batch publishes once — bit-identical output
+/// either way.
+///
+/// A WAL I/O failure is fatal by design: continuing would hand out
+/// `Accepted` responses for mutations that can never be recovered. The
+/// panic propagates through the scope join, tearing the server down
+/// loudly instead of serving silently non-durable writes.
+fn writer_loop(
+    rx: &Receiver<OnlineEvent>,
+    allocator: &mut OnlineAllocator<'_>,
+    mut wal_log: Option<&mut Wal>,
+    durability: Option<&DurabilityConfig>,
+    shard_writers: usize,
+    swap: &SnapshotSwap,
+    shared: &Shared,
+) {
+    let mut batch: Vec<OnlineEvent> = Vec::new();
+    let mut since_checkpoint: u64 = 0;
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        if shard_writers > 1 {
+            // Opportunistic group commit: everything already queued
+            // shares one fsync and one shard fan-out.
+            while let Ok(ev) = rx.try_recv() {
+                batch.push(ev);
+            }
+        }
+
+        if let Some(log) = wal_log.as_deref_mut() {
+            for ev in &batch {
+                log.append(ev).expect("write-ahead log append failed");
+            }
+            log.sync().expect("write-ahead log fsync failed");
+            shared.wal_seq.store(log.seq(), Ordering::Release);
+        } else {
+            shared
+                .wal_seq
+                .fetch_add(batch.len() as u64, Ordering::Release);
+        }
+
+        if shard_writers == 1 {
+            for ev in &batch {
+                // A rejected event changed nothing (and didn't bump
+                // the epoch): skip the O(ads + seeds) snapshot copy
+                // and the reader-side refresh it would force.
+                match allocator.process(ev) {
+                    Ok(_) => swap.publish(allocator.snapshot()),
+                    Err(_) => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        } else {
+            let outcomes = allocator.process_batch(&batch, shard_writers);
+            let mut applied = false;
+            for outcome in &outcomes {
+                match outcome {
+                    Ok(_) => applied = true,
+                    Err(_) => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if applied {
+                swap.publish(allocator.snapshot());
+            }
+        }
+        shared.queue_len.fetch_sub(batch.len(), Ordering::Relaxed);
+
+        if let (Some(log), Some(d)) = (wal_log.as_deref_mut(), durability) {
+            since_checkpoint += batch.len() as u64;
+            if since_checkpoint >= d.checkpoint_interval {
+                wal::write_checkpoint(&d.state_dir, allocator, log.seq())
+                    .expect("checkpoint write failed");
+                log.prune(log.seq()).expect("WAL prune failed");
+                since_checkpoint = 0;
+            }
+        }
+    }
+    // Clean shutdown (every sender hung up, queue drained): checkpoint
+    // the final state so the next boot warm-loads it instead of
+    // replaying the tail — only a crash leaves replay work behind.
+    if let (Some(log), Some(d)) = (wal_log, durability) {
+        if since_checkpoint > 0 {
+            wal::write_checkpoint(&d.state_dir, allocator, log.seq())
+                .expect("shutdown checkpoint write failed");
+            log.prune(log.seq()).expect("WAL prune failed");
+        }
+    }
 }
 
 /// How long a response write may block on a peer that isn't reading
@@ -408,6 +729,16 @@ fn handle_connection(
                 shared.bad_requests.fetch_add(1, Ordering::Relaxed);
                 Response::Rejected { why }
             }
+            Ok(Request::Hello { version: _ }) => {
+                // Echo our version and the recovery anchors; version
+                // skew is the *client's* typed error (it knows what it
+                // can speak), the server answers any hello it decodes.
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    epoch: reader.latest().epoch,
+                    wal_seq: shared.wal_seq.load(Ordering::Acquire),
+                }
+            }
             Ok(Request::Mutate(ev)) => admit(&ev, &tx, &mut reader, shared),
             Ok(Request::RegretQuery) => {
                 let snap = reader.latest();
@@ -429,6 +760,7 @@ fn handle_connection(
                 let snap = reader.latest();
                 Response::Stats(StatsView {
                     epoch: snap.epoch,
+                    wal_seq: shared.wal_seq.load(Ordering::Acquire),
                     live_ads: snap.num_ads(),
                     total_seeds: snap.total_seeds(),
                     total_rr_sets: snap.total_rr_sets,
@@ -483,5 +815,73 @@ fn admit(
             shared.queue_len.fetch_sub(1, Ordering::Relaxed);
             Response::ShuttingDown
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default_and_validate() {
+        let built = ServerConfig::builder().build().unwrap();
+        let default = ServerConfig::default();
+        assert_eq!(built.bind, default.bind);
+        assert_eq!(built.queue_depth, default.queue_depth);
+        assert_eq!(built.max_connections, default.max_connections);
+        assert_eq!(built.read_poll, default.read_poll);
+        assert_eq!(built.shard_writers, 1);
+        assert!(built.durability.is_none());
+    }
+
+    #[test]
+    fn builder_assembles_durability_in_any_field_order() {
+        let cfg = ServerConfig::builder()
+            .checkpoint_interval(16)
+            .segment_events(64)
+            .state_dir("/tmp/tirm-state")
+            .queue_depth(8)
+            .shard_writers(4)
+            .build()
+            .unwrap();
+        let d = cfg.durability.unwrap();
+        assert_eq!(d.state_dir, PathBuf::from("/tmp/tirm-state"));
+        assert_eq!(d.checkpoint_interval, 16);
+        assert_eq!(d.segment_events, 64);
+        assert_eq!(cfg.queue_depth, 8);
+        assert_eq!(cfg.shard_writers, 4);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_with_the_offending_field_named() {
+        let err = ServerConfig::builder().queue_depth(0).build().unwrap_err();
+        assert!(err.contains("queue_depth"), "{err}");
+        let err = ServerConfig::builder()
+            .shard_writers(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("shard_writers"), "{err}");
+        let err = ServerConfig::builder()
+            .checkpoint_interval(8)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("state_dir"), "{err}");
+        let err = ServerConfig::builder()
+            .state_dir("/tmp/x")
+            .checkpoint_interval(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("checkpoint_interval"), "{err}");
+        let err = ServerConfig::builder()
+            .state_dir("/tmp/x")
+            .segment_events(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("segment_events"), "{err}");
+        let err = ServerConfig::builder()
+            .read_poll(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("read_poll"), "{err}");
     }
 }

@@ -1,9 +1,22 @@
-//! The wire protocol: length-prefixed JSON frames.
+//! # tirm-wire
+//!
+//! The typed wire protocol shared by the serving frontend
+//! (`tirm_server`) and its clients (`tirm_bench`'s load generator, the
+//! crash-soak driver): length-prefixed JSON frames carrying versioned
+//! [`Request`]/[`Response`] shapes. One crate owns the encode/decode of
+//! every frame on the wire, so the server and each client cannot drift.
 //!
 //! Every message is one **frame**: a 4-byte little-endian length prefix
 //! followed by exactly that many bytes of UTF-8 JSON. Frames are capped
 //! at [`MAX_FRAME_BYTES`] — a peer announcing a larger frame is a
 //! protocol error, not an allocation request.
+//!
+//! Connections may open with a `hello` exchange: the client announces
+//! [`PROTOCOL_VERSION`], the server echoes its own plus the current
+//! snapshot epoch and WAL sequence number — the anchor a reconnecting
+//! client resumes its event log from (see [`Response::Hello`]). The
+//! handshake is optional for backward compatibility: any other request
+//! is served without one.
 //!
 //! Requests reuse the event-log vocabulary verbatim: a mutation request
 //! is exactly the JSON object [`tirm_workloads::events::event_json_fields`]
@@ -11,20 +24,26 @@
 //! field) is a valid request body and the server and the log reader
 //! reject exactly the same malformed payloads. Read requests use `type`
 //! tags outside the event vocabulary (`allocation`, `ad`, `stats`,
-//! `shutdown`).
+//! `shutdown`, `hello`).
 //!
 //! Responses are typed: the admission-control outcomes (`accepted` /
 //! `overloaded` / `shutting_down`), the read-path payloads (`regret` /
-//! `allocation` / `ad` / `stats`) and `rejected` for malformed requests.
-//! Allocation payloads embed [`AllocationSnapshot::to_json`] and decode
-//! bit-exactly (shortest round-trip float printing), so a client can
-//! verify the server's allocation against an in-process replay down to
-//! revenue-estimate bits.
+//! `allocation` / `ad` / `stats` / `hello`) and `rejected` for malformed
+//! requests. Allocation payloads embed [`AllocationSnapshot::to_json`]
+//! and decode bit-exactly (shortest round-trip float printing), so a
+//! client can verify the server's allocation against an in-process
+//! replay down to revenue-estimate bits.
 
 use serde_json::Value;
 use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
 use tirm_online::{AdId, AdSnapshot, AllocationSnapshot, OnlineEvent};
 use tirm_workloads::events::{event_from_value, event_json_fields};
+
+/// Version of the request/response vocabulary. Bumped on any change a
+/// peer cannot ignore; the `hello` exchange surfaces skew as a typed
+/// error instead of a mid-stream decode failure.
+pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Hard cap on one frame's body. Requests are small (an arrival with a
 /// full topic-weight vector is hundreds of bytes); responses embed at
@@ -36,6 +55,13 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 /// One decoded request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
+    /// Protocol handshake (`{"type":"hello","version":N}`): announce the
+    /// client's protocol version, learn the server's version, snapshot
+    /// epoch and WAL sequence number.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
     /// A mutating event for the writer queue (`arrival` / `topup` /
     /// `departure` / `reallocate` in event-log notation).
     Mutate(OnlineEvent),
@@ -61,6 +87,9 @@ impl Request {
     /// Encodes the request as a JSON object (frame body).
     pub fn encode(&self) -> String {
         match self {
+            Request::Hello { version } => {
+                format!("{{\"type\":\"hello\",\"version\":{version}}}")
+            }
             Request::Mutate(ev) => format!("{{{}}}", event_json_fields(ev)),
             Request::RegretQuery => "{\"type\":\"regret_query\"}".to_string(),
             Request::AllocationQuery => "{\"type\":\"allocation\"}".to_string(),
@@ -81,6 +110,13 @@ impl Request {
             .and_then(|x| x.as_str())
             .ok_or_else(|| "missing `type`".to_string())?;
         match ty {
+            "hello" => Ok(Request::Hello {
+                version: v
+                    .get("version")
+                    .and_then(|x| x.as_u64())
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| "missing `version`".to_string())?,
+            }),
             "allocation" => Ok(Request::AllocationQuery),
             "ad" => Ok(Request::AdQuery {
                 id: v
@@ -103,6 +139,9 @@ impl Request {
 pub struct StatsView {
     /// Mutating events applied (the published snapshot's epoch).
     pub epoch: u64,
+    /// Admitted mutations durably logged (the WAL sequence number); 0 on
+    /// a server running without a WAL.
+    pub wal_seq: u64,
     /// Live campaigns.
     pub live_ads: usize,
     /// Seeds allocated in total.
@@ -131,6 +170,19 @@ pub struct StatsView {
 /// One decoded response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
+    /// Handshake reply: the server's protocol version and the two
+    /// resume anchors a reconnecting client needs — the snapshot epoch
+    /// and the WAL sequence number (count of admitted mutations durably
+    /// logged; a client replaying an event log resumes right after its
+    /// `wal_seq`-th non-query event).
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Snapshot epoch at handshake time.
+        epoch: u64,
+        /// WAL sequence number at handshake time (0 without a WAL).
+        wal_seq: u64,
+    },
     /// The mutation was admitted to the writer queue: it will be
     /// **processed** before the server exits (the drain guarantee).
     /// Admission is a delivery promise, not a validity one — the
@@ -187,6 +239,14 @@ impl Response {
     /// Encodes the response as a JSON object (frame body).
     pub fn encode(&self) -> String {
         match self {
+            Response::Hello {
+                version,
+                epoch,
+                wal_seq,
+            } => format!(
+                "{{\"type\":\"hello\",\"version\":{version},\"epoch\":{epoch},\
+                 \"wal_seq\":{wal_seq}}}"
+            ),
             Response::Accepted { epoch, queue_depth } => {
                 format!("{{\"type\":\"accepted\",\"epoch\":{epoch},\"queue_depth\":{queue_depth}}}")
             }
@@ -220,11 +280,12 @@ impl Response {
                 format!("{{\"type\":\"ad\",\"epoch\":{epoch},\"ad\":{ad_json}}}")
             }
             Response::Stats(s) => format!(
-                "{{\"type\":\"stats\",\"epoch\":{},\"live_ads\":{},\"total_seeds\":{},\
-                 \"total_rr_sets\":{},\"engine_memory_bytes\":{},\"queue_depth\":{},\
-                 \"max_queue_depth\":{},\"accepted\":{},\"shed\":{},\"rejected\":{},\
-                 \"bad_requests\":{},\"connections\":{}}}",
+                "{{\"type\":\"stats\",\"epoch\":{},\"wal_seq\":{},\"live_ads\":{},\
+                 \"total_seeds\":{},\"total_rr_sets\":{},\"engine_memory_bytes\":{},\
+                 \"queue_depth\":{},\"max_queue_depth\":{},\"accepted\":{},\"shed\":{},\
+                 \"rejected\":{},\"bad_requests\":{},\"connections\":{}}}",
                 s.epoch,
+                s.wal_seq,
                 s.live_ads,
                 s.total_seeds,
                 s.total_rr_sets,
@@ -259,6 +320,13 @@ impl Response {
                 .ok_or_else(|| format!("missing `{key}`"))
         };
         match ty {
+            "hello" => Ok(Response::Hello {
+                version: u("version")?
+                    .try_into()
+                    .map_err(|_| "version out of range".to_string())?,
+                epoch: u("epoch")?,
+                wal_seq: u("wal_seq")?,
+            }),
             "accepted" => Ok(Response::Accepted {
                 epoch: u("epoch")?,
                 queue_depth: u("queue_depth")? as usize,
@@ -298,6 +366,7 @@ impl Response {
             }
             "stats" => Ok(Response::Stats(StatsView {
                 epoch: u("epoch")?,
+                wal_seq: u("wal_seq")?,
                 live_ads: u("live_ads")? as usize,
                 total_seeds: u("total_seeds")? as usize,
                 total_rr_sets: u("total_rr_sets")? as usize,
@@ -312,6 +381,59 @@ impl Response {
             })),
             other => Err(format!("unknown response type {other:?}")),
         }
+    }
+}
+
+/// Client-side connection policy, mirrored against the server's
+/// `ServerConfig`: handshake behavior and the bounded
+/// reconnect-with-backoff schedule a client applies when the server
+/// restarts underneath it (the crash-recovery bench mode).
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Disable Nagle's algorithm (request/response pipelining).
+    pub nodelay: bool,
+    /// Open each connection with a `hello` exchange and fail fast on
+    /// protocol-version skew.
+    pub handshake: bool,
+    /// Bounded reconnect attempts after a lost connection. `0` fails
+    /// fast (the pre-recovery behavior); kill/restart bench modes use a
+    /// budget that covers the server's recovery time.
+    pub reconnect_attempts: u32,
+    /// Backoff before the first reconnect attempt; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Cap on the per-attempt backoff.
+    pub backoff_max: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            nodelay: true,
+            handshake: true,
+            reconnect_attempts: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Options with a reconnect budget of `attempts` (exponential
+    /// backoff, default base/cap).
+    pub fn reconnecting(attempts: u32) -> Self {
+        ClientOptions {
+            reconnect_attempts: attempts,
+            ..ClientOptions::default()
+        }
+    }
+
+    /// Backoff before reconnect attempt `attempt` (0-based):
+    /// `base · 2^attempt`, saturating at the cap.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_max)
     }
 }
 
@@ -484,6 +606,9 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
             Request::Mutate(arrival()),
             Request::Mutate(OnlineEvent::BudgetTopUp { id: 3, amount: 2.5 }),
             Request::Mutate(OnlineEvent::AdDeparture { id: 3 }),
@@ -522,6 +647,10 @@ mod tests {
             Request::decode(b"{\"type\":\"ad\"}").is_err(),
             "ad needs id"
         );
+        assert!(
+            Request::decode(b"{\"type\":\"hello\"}").is_err(),
+            "hello needs version"
+        );
         assert!(Request::decode(&[0xff, 0xfe]).is_err(), "not UTF-8");
     }
 
@@ -544,6 +673,11 @@ mod tests {
             stats: Default::default(),
         };
         let resps = [
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+                epoch: 12,
+                wal_seq: 9,
+            },
             Response::Accepted {
                 epoch: 4,
                 queue_depth: 2,
@@ -566,6 +700,7 @@ mod tests {
             Response::Ad { epoch: 5, ad: None },
             Response::Stats(StatsView {
                 epoch: 5,
+                wal_seq: 4,
                 live_ads: 1,
                 total_seeds: 3,
                 total_rr_sets: 1000,
@@ -636,5 +771,15 @@ mod tests {
         truncated.truncate(6);
         let mut r = &truncated[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let opts = ClientOptions::reconnecting(8);
+        assert_eq!(opts.backoff(0), Duration::from_millis(50));
+        assert_eq!(opts.backoff(1), Duration::from_millis(100));
+        assert_eq!(opts.backoff(2), Duration::from_millis(200));
+        assert_eq!(opts.backoff(10), opts.backoff_max, "capped");
+        assert_eq!(opts.backoff(40), opts.backoff_max, "no shift overflow");
     }
 }

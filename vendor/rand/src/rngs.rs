@@ -7,6 +7,21 @@ use crate::{RngCore, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct SmallRng(Xoshiro256PlusPlus);
 
+impl SmallRng {
+    /// The generator's raw 256-bit state (checkpoint support).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.0.state()
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`Self::state`]. Panics on the (unreachable-by-seeding) all-zero
+    /// state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng(Xoshiro256PlusPlus::from_state(s))
+    }
+}
+
 impl SeedableRng for SmallRng {
     #[inline]
     fn seed_from_u64(state: u64) -> Self {

@@ -25,6 +25,25 @@ impl Xoshiro256PlusPlus {
         }
     }
 
+    /// The raw 256-bit state, for serialization by long-lived owners
+    /// (checkpoint/restore of sampling streams).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`Self::state`]. The all-zero state is a fixed point of the
+    /// transition function and can never be produced by seeding, so it is
+    /// rejected here rather than silently yielding a dead stream.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "all-zero xoshiro state is invalid"
+        );
+        Xoshiro256PlusPlus { s }
+    }
+
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
