@@ -43,7 +43,7 @@ use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 use tirm_bench::loadgen::{drive, LoadgenConfig};
 use tirm_bench::write_json;
-use tirm_online::{AllocationSnapshot, OnlineAllocator, OnlineEvent};
+use tirm_online::{AllocationSnapshot, OnlineAllocator};
 use tirm_server::wal::{recover, Wal};
 use tirm_server::{Client, ClientOptions};
 use tirm_workloads::events::{scale_budgets, LogEvent};
@@ -120,7 +120,7 @@ fn replay_oracle(
 ) -> std::sync::Arc<AllocationSnapshot> {
     let mut allocator = OnlineAllocator::new(&dataset.graph, &dataset.topic_probs, cfg);
     for e in log {
-        if !matches!(e.event, OnlineEvent::RegretQuery) {
+        if e.event.is_mutation() {
             let _ = allocator.process(&e.event);
         }
     }
@@ -250,10 +250,7 @@ fn main() -> ExitCode {
 
     let mut log = EventStreamSpec::for_dataset(dataset, events, seed).generate(1.0);
     scale_budgets(&mut log, dataset.size_ratio_at(&cfg));
-    let mutations = log
-        .iter()
-        .filter(|e| !matches!(e.event, OnlineEvent::RegretQuery))
-        .count() as u64;
+    let mutations = log.iter().filter(|e| e.event.is_mutation()).count() as u64;
 
     // Generate (and snapshot-cache) the dataset before the child boots,
     // so every server life warm-loads it.
@@ -330,6 +327,7 @@ fn main() -> ExitCode {
                     drain: true,
                     read_pause: Duration::from_micros(200),
                     reconnect: ClientOptions::reconnecting(240),
+                    ..LoadgenConfig::default()
                 },
             )
         })
@@ -450,7 +448,7 @@ fn main() -> ExitCode {
             Err(e) => return fail(&format!("building the cold-replay WAL: {e}")),
         };
         for e in &log {
-            if !matches!(e.event, OnlineEvent::RegretQuery) {
+            if e.event.is_mutation() {
                 if let Err(e) = wal.append(&e.event) {
                     return fail(&format!("building the cold-replay WAL: {e}"));
                 }

@@ -39,6 +39,13 @@
 //!   reconnect (capped exponential backoff), resuming the log at the
 //!   server's durable `wal_seq` — the kill/restart bench mode against
 //!   a `--state-dir` server. Default 0 = a reset is fatal.
+//! * `--follower HOST:PORT` — add a follower replica to the read pool
+//!   (repeatable). Readers are spread round-robin across the leader
+//!   plus the follower pool with lag-aware routing: a follower more
+//!   than `--max-lag` events behind (or unreachable) loses its readers
+//!   to the leader until it catches up.
+//! * `--max-lag N`      — replication-lag budget (events) before a
+//!   follower's readers fall back to the leader (default 64).
 //! * `--shutdown`       — send a graceful-shutdown request at the end.
 //! * `--raw-budgets`    — send log budgets verbatim.
 //!
@@ -62,7 +69,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--dataset NAME] [--events N | --log PATH] \
          [--rate R] [--readers N] [--read-pause-us U] [--no-retry] [--seed N] \
-         [--reconnect N] [--shutdown] [--raw-budgets]"
+         [--reconnect N] [--follower HOST:PORT]... [--max-lag N] [--shutdown] \
+         [--raw-budgets]"
     );
     ExitCode::from(2)
 }
@@ -96,6 +104,9 @@ struct LoadgenSummary {
     read_p50_us: f64,
     read_p99_us: f64,
     reads_per_reader: Vec<u64>,
+    follower_reads: u64,
+    leader_fallback_reads: u64,
+    follower_lag_p99: u64,
     latency_p50_us: f64,
     latency_p95_us: f64,
     latency_p99_us: f64,
@@ -115,6 +126,8 @@ fn main() -> ExitCode {
     let mut retry = true;
     let mut seed = 0x10adu64;
     let mut reconnect_attempts = 0u32;
+    let mut followers: Vec<String> = Vec::new();
+    let mut max_lag = 64u64;
     let mut shutdown = false;
     let mut raw_budgets = false;
 
@@ -158,6 +171,14 @@ fn main() -> ExitCode {
                 Some(n) => reconnect_attempts = n,
                 None => return usage("--reconnect expects an attempt budget"),
             },
+            "--follower" => match args.next() {
+                Some(a) => followers.push(a),
+                None => return usage("--follower expects HOST:PORT"),
+            },
+            "--max-lag" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => max_lag = n,
+                None => return usage("--max-lag expects an event count"),
+            },
             "--shutdown" => shutdown = true,
             "--raw-budgets" => raw_budgets = true,
             other => return usage(&format!("unknown argument {other:?}")),
@@ -170,6 +191,13 @@ fn main() -> ExitCode {
         Some(s) => s,
         None => return usage(&format!("cannot resolve {addr:?}")),
     };
+    let mut follower_addrs = Vec::with_capacity(followers.len());
+    for f in &followers {
+        match f.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(s) => follower_addrs.push(s),
+            None => return usage(&format!("cannot resolve follower {f:?}")),
+        }
+    }
 
     let mut log = match &log_path {
         Some(path) => match read_log(path) {
@@ -219,6 +247,8 @@ fn main() -> ExitCode {
             } else {
                 ClientOptions::default()
             },
+            follower_addrs,
+            max_lag,
         },
     ) {
         Ok(r) => r,
@@ -275,6 +305,14 @@ fn main() -> ExitCode {
         report.final_stats.max_queue_depth,
         report.final_stats.epoch,
     );
+    if !followers.is_empty() {
+        println!(
+            "follower pool — {} follower reads, {} leader fallbacks, lag p99 {} events",
+            report.follower_reads,
+            report.leader_fallback_reads,
+            report.follower_lag_p99(),
+        );
+    }
 
     write_json(
         "loadgen",
@@ -296,6 +334,9 @@ fn main() -> ExitCode {
             read_p50_us: report.read_latency.percentile_us(50.0),
             read_p99_us: report.read_latency.percentile_us(99.0),
             reads_per_reader: report.reads_per_reader.clone(),
+            follower_reads: report.follower_reads,
+            leader_fallback_reads: report.leader_fallback_reads,
+            follower_lag_p99: report.follower_lag_p99(),
             latency_p50_us: report.mutation_latency.percentile_us(50.0),
             latency_p95_us: report.mutation_latency.percentile_us(95.0),
             latency_p99_us: report.mutation_latency.percentile_us(99.0),

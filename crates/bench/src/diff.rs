@@ -403,12 +403,33 @@ fn diff_cell(
         for (name, o, n) in [
             ("events_per_s", oc.events_per_s, nc.events_per_s),
             ("reads_per_s", oc.reads_per_s, nc.reads_per_s),
+            (
+                "follower_reads_per_s",
+                oc.follower_reads_per_s,
+                nc.follower_reads_per_s,
+            ),
         ] {
             if o >= EVENTS_PER_S_MIN {
                 if rel_exceeds(n, o, opts.time_rel_tol) {
                     push(name, o, n, Verdict::Regression);
                 } else if rel_exceeds(o, n, opts.time_rel_tol) {
                     push(name, o, n, Verdict::Improvement);
+                }
+            }
+        }
+        // Replication lag p99 (events behind the leader, replicated
+        // cells only) gates upward like a latency: more lag under the
+        // same load means the shipping path got slower. The floor keeps
+        // near-zero-lag cells — where a single straggler sample is the
+        // whole p99 — out of the gate.
+        {
+            let (o, n) = (oc.follower_lag_p99, nc.follower_lag_p99);
+            if o >= FOLLOWER_LAG_MIN_EVENTS {
+                if rel_exceeds(o, n, opts.time_rel_tol) && n - o > FOLLOWER_LAG_SLACK_EVENTS {
+                    push("follower_lag_p99", o, n, Verdict::Regression);
+                } else if rel_exceeds(n, o, opts.time_rel_tol) && o - n > FOLLOWER_LAG_SLACK_EVENTS
+                {
+                    push("follower_lag_p99", o, n, Verdict::Improvement);
                 }
             }
         }
@@ -428,6 +449,13 @@ fn diff_cell(
 /// movement (mirroring `time_abs_slack_s` at event scale).
 const LATENCY_MIN_US: f64 = 2_000.0;
 const LATENCY_SLACK_US: f64 = 1_000.0;
+
+/// Replication-lag noise gates (in events, not time): lag baselines
+/// below this are dominated by poll-interval quantisation, and a
+/// finding needs a few whole events of absolute movement on top of the
+/// relative threshold.
+const FOLLOWER_LAG_MIN_EVENTS: f64 = 8.0;
+const FOLLOWER_LAG_SLACK_EVENTS: f64 = 4.0;
 /// Throughput below one event per second is a degenerate cell; don't
 /// gate on its ratios.
 const EVENTS_PER_S_MIN: f64 = 1.0;
@@ -472,6 +500,8 @@ mod tests {
             read_p99_us: 0.0,
             reads_per_s: 0.0,
             shed_rate: 0.0,
+            follower_reads_per_s: 0.0,
+            follower_lag_p99: 0.0,
             peak_rss_bytes: 64 << 20,
         }
     }

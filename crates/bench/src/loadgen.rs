@@ -34,7 +34,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
-use tirm_online::{EventKind, OnlineEvent};
+use tirm_online::EventKind;
 use tirm_server::{Client, ClientOptions, Request, Response, StatsView};
 use tirm_workloads::events::LogEvent;
 use tirm_workloads::LatencyHistogram;
@@ -69,8 +69,19 @@ pub struct LoadgenConfig {
     /// Connection behavior. `reconnect_attempts == 0` (the default)
     /// keeps a lost connection fatal; a positive budget turns resets
     /// into bounded reconnect-with-backoff plus resume-from-`wal_seq`
-    /// (requires `handshake`, enforced by [`drive`]).
+    /// (requires `handshake`, enforced by [`drive`]). Each concurrent
+    /// client derives its own deterministic backoff jitter from its
+    /// seed (unless the caller pinned one here), so a fleet that lost
+    /// the same server re-dials spread out instead of in lockstep.
     pub reconnect: ClientOptions,
+    /// Follower read pool: reader connections are spread across these
+    /// endpoints round-robin (the mutation stream always targets
+    /// `addr`, the leader). Empty ⇒ all reads hit the leader.
+    pub follower_addrs: Vec<SocketAddr>,
+    /// Lag-aware routing threshold, in events: a reader that observes
+    /// its follower lagging more than this behind the leader re-routes
+    /// reads to the leader until the follower catches back up.
+    pub max_lag: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -83,6 +94,8 @@ impl Default for LoadgenConfig {
             drain: true,
             read_pause: Duration::ZERO,
             reconnect: ClientOptions::default(),
+            follower_addrs: Vec::new(),
+            max_lag: 64,
         }
     }
 }
@@ -115,6 +128,14 @@ pub struct LoadReport {
     pub events_per_s: f64,
     /// Reader-pool queries per wall-clock second.
     pub reads_per_s: f64,
+    /// Reads served by follower endpoints (0 without a follower pool).
+    pub follower_reads: u64,
+    /// Reads a follower-assigned reader routed to the leader instead —
+    /// lag over [`LoadgenConfig::max_lag`] or an unreachable follower.
+    pub leader_fallback_reads: u64,
+    /// Follower replication lag observed in the readers' `stats`
+    /// responses (events behind the leader), in observation order.
+    pub follower_lag: Vec<u64>,
     /// Server statistics after the drain.
     pub final_stats: StatsView,
 }
@@ -128,6 +149,23 @@ impl LoadReport {
             self.shed as f64 / self.offered as f64
         }
     }
+
+    /// p99 of the observed follower lag, in events (0 with no
+    /// observations — e.g. no follower pool).
+    pub fn follower_lag_p99(&self) -> u64 {
+        percentile_u64(&self.follower_lag, 0.99)
+    }
+}
+
+/// Nearest-rank percentile of unordered samples (0 when empty).
+pub fn percentile_u64(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Drives `log` against the server at `addr`. Returns when the log is
@@ -146,9 +184,24 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
             .map(|r| {
                 let stop = &stop;
                 let pause = cfg.read_pause;
-                let opts = &cfg.reconnect;
+                let max_lag = cfg.max_lag;
                 let seed = cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                s.spawn(move || reader_loop(addr, stop, seed, pause, opts))
+                // Per-client jitter keyed by the reader's own seed: a
+                // fleet that lost the same server must not re-dial in
+                // lockstep on identical backoff schedules.
+                let opts = jittered(&cfg.reconnect, seed);
+                // Round-robin over the follower pool; the leader joins
+                // the rotation so it keeps serving a share of reads.
+                let follower = if cfg.follower_addrs.is_empty() {
+                    None
+                } else {
+                    let pool = cfg.follower_addrs.len() + 1;
+                    match r % pool {
+                        0 => None,
+                        k => Some(cfg.follower_addrs[k - 1]),
+                    }
+                };
+                s.spawn(move || reader_loop(addr, follower, stop, seed, pause, opts, max_lag))
             })
             .collect();
 
@@ -156,19 +209,35 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
         stop.store(true, Ordering::Release);
         let mut read_latency = LatencyHistogram::default();
         let mut reads_per_reader = Vec::with_capacity(cfg.readers);
+        let mut follower_reads = 0u64;
+        let mut leader_fallback_reads = 0u64;
+        let mut follower_lag = Vec::new();
         for handle in readers {
-            let (count, hist) = handle.join().expect("reader panicked")?;
-            reads_per_reader.push(count);
-            for &ns in hist.samples() {
+            let side = handle.join().expect("reader panicked")?;
+            reads_per_reader.push(side.count);
+            follower_reads += side.follower_reads;
+            leader_fallback_reads += side.fallback_reads;
+            follower_lag.extend(side.lag_samples);
+            for &ns in side.hist.samples() {
                 read_latency.record(ns);
             }
         }
-        Ok((mutation_side?, (read_latency, reads_per_reader)))
+        Ok((
+            mutation_side?,
+            (
+                read_latency,
+                reads_per_reader,
+                follower_reads,
+                leader_fallback_reads,
+                follower_lag,
+            ),
+        ))
     })?;
     let wall_s = t0.elapsed().as_secs_f64();
 
     let (offered, accepted, shed, mutation_latency, per_kind, final_stats) = mutation_side;
-    let (read_latency, reads_per_reader) = read_side;
+    let (read_latency, reads_per_reader, follower_reads, leader_fallback_reads, follower_lag) =
+        read_side;
     let reads: u64 = reads_per_reader.iter().sum();
     Ok(LoadReport {
         wall_s,
@@ -190,8 +259,19 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
         } else {
             0.0
         },
+        follower_reads,
+        leader_fallback_reads,
+        follower_lag,
         final_stats,
     })
+}
+
+/// `opts` with deterministic backoff jitter keyed by `seed`, unless
+/// the caller already pinned a jitter seed.
+fn jittered(opts: &ClientOptions, seed: u64) -> ClientOptions {
+    let mut opts = opts.clone();
+    opts.jitter = opts.jitter.or(Some(seed));
+    opts
 }
 
 type MutationSide = (
@@ -213,7 +293,7 @@ fn resume_index(log: &[LogEvent], wal_seq: u64) -> usize {
         if mutations == wal_seq {
             return i;
         }
-        if !matches!(e.event, OnlineEvent::RegretQuery) {
+        if e.event.is_mutation() {
             mutations += 1;
         }
     }
@@ -240,11 +320,11 @@ fn reconnect(
 }
 
 fn mutation_loop(
-    addr: SocketAddr,
+    mut addr: SocketAddr,
     log: &[LogEvent],
     cfg: &LoadgenConfig,
 ) -> io::Result<MutationSide> {
-    let opts = &cfg.reconnect;
+    let opts = &jittered(&cfg.reconnect, cfg.seed);
     let resumable = opts.reconnect_attempts > 0;
     let mut i = 0usize;
     let mut client = if resumable || opts.handshake {
@@ -267,10 +347,7 @@ fn mutation_loop(
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let t0 = Instant::now();
     let mut next = Duration::ZERO;
-    let total_mutations = log
-        .iter()
-        .filter(|e| !matches!(e.event, OnlineEvent::RegretQuery))
-        .count() as u64;
+    let total_mutations = log.iter().filter(|e| e.event.is_mutation()).count() as u64;
     let mut resend_passes = 0u32;
     'passes: loop {
         'events: while i < log.len() {
@@ -336,6 +413,19 @@ fn mutation_loop(
                     Response::Regret { .. } | Response::Rejected { .. } => {
                         record(&mut per_kind, &mut overall, nanos);
                         break;
+                    }
+                    // We dialed a follower (or a leader that has since
+                    // been deposed): chase the referral when it names a
+                    // leader, then resume at *that* process's durable
+                    // frontier.
+                    Response::NotLeader { leader } if resumable => {
+                        if let Ok(next) = leader.parse::<SocketAddr>() {
+                            addr = next;
+                        }
+                        let (c, at) = reconnect(addr, log, opts)?;
+                        client = c;
+                        i = at;
+                        continue 'events;
                     }
                     // The server draining mid-log means the rest of the log
                     // cannot be delivered — loud failure, never a silent
@@ -444,23 +534,80 @@ fn mutation_loop(
     Ok((offered, accepted, shed, overall, per_kind, stats))
 }
 
+/// What one reader thread measured.
+struct ReaderSide {
+    count: u64,
+    hist: LatencyHistogram,
+    follower_reads: u64,
+    fallback_reads: u64,
+    lag_samples: Vec<u64>,
+}
+
+/// While demoted to the leader, re-probe the assigned follower after
+/// this many queries.
+const FOLLOWER_PROBE_EVERY: u64 = 64;
+
 /// One reader connection: closed-loop mix of `regret` / `stats` / `ad`
 /// queries until stopped.
+///
+/// With a `follower` assigned the reader prefers that replica and
+/// watches its replication lag through the `stats` responses already in
+/// the query mix: more than `max_lag` events behind (or unreachable)
+/// demotes the reader to the leader, and a periodic probe promotes it
+/// back once the follower has caught up.
 fn reader_loop(
-    addr: SocketAddr,
+    leader: SocketAddr,
+    follower: Option<SocketAddr>,
     stop: &AtomicBool,
     seed: u64,
     pause: Duration,
-    opts: &ClientOptions,
-) -> io::Result<(u64, LatencyHistogram)> {
+    opts: ClientOptions,
+    max_lag: u64,
+) -> io::Result<ReaderSide> {
     let resumable = opts.reconnect_attempts > 0;
-    let mut client = Client::connect(addr)?;
-    let mut hist = LatencyHistogram::default();
-    let mut count = 0u64;
+    let mut on_follower = follower.is_some();
+    let mut addr = follower.unwrap_or(leader);
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        // Follower not accepting yet (still bootstrapping): start on
+        // the leader and let the probe bring us over later.
+        Err(_) if on_follower && resumable => {
+            on_follower = false;
+            addr = leader;
+            Client::connect_with(addr, &opts)?
+        }
+        Err(e) => return Err(e),
+    };
+    let mut side = ReaderSide {
+        count: 0,
+        hist: LatencyHistogram::default(),
+        follower_reads: 0,
+        fallback_reads: 0,
+        lag_samples: Vec::new(),
+    };
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut since_probe = 0u64;
     while !stop.load(Ordering::Acquire) {
         if !pause.is_zero() {
             std::thread::sleep(pause);
+        }
+        if let Some(f) = follower {
+            if !on_follower {
+                since_probe += 1;
+                if since_probe >= FOLLOWER_PROBE_EVERY {
+                    since_probe = 0;
+                    if let Ok(mut probe) = Client::connect(f) {
+                        if let Ok(s) = probe.stats() {
+                            side.lag_samples.push(s.lag());
+                            if s.lag() <= max_lag {
+                                client = probe;
+                                addr = f;
+                                on_follower = true;
+                            }
+                        }
+                    }
+                }
+            }
         }
         let roll = rng.gen_range(0..6u32);
         let req = match roll {
@@ -474,19 +621,47 @@ fn reader_loop(
         let resp = match client.request(&req) {
             Ok(resp) => resp,
             // Readers are stateless: across a kill/restart just get a
-            // fresh connection and keep measuring.
+            // fresh connection and keep measuring. A dead *follower*
+            // additionally demotes to the leader right away instead of
+            // burning the reconnect budget on a corpse.
             Err(_) if resumable => {
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
-                client = Client::connect_with(addr, opts)?;
+                if on_follower {
+                    on_follower = false;
+                    addr = leader;
+                    since_probe = 0;
+                }
+                client = Client::connect_with(addr, &opts)?;
                 continue;
             }
             Err(e) => return Err(e),
         };
-        hist.record(t.elapsed().as_nanos() as u64);
+        side.hist.record(t.elapsed().as_nanos() as u64);
+        let routed = |side: &mut ReaderSide| {
+            side.count += 1;
+            if on_follower {
+                side.follower_reads += 1;
+            } else if follower.is_some() {
+                side.fallback_reads += 1;
+            }
+        };
         match resp {
-            Response::Regret { .. } | Response::Stats(_) | Response::Ad { .. } => count += 1,
+            Response::Regret { .. } | Response::Ad { .. } => routed(&mut side),
+            Response::Stats(s) => {
+                routed(&mut side);
+                if on_follower {
+                    side.lag_samples.push(s.lag());
+                    if s.lag() > max_lag {
+                        // Too stale to serve fresh-enough reads: demote.
+                        on_follower = false;
+                        addr = leader;
+                        since_probe = 0;
+                        client = Client::connect_with(addr, &opts)?;
+                    }
+                }
+            }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -495,5 +670,5 @@ fn reader_loop(
             }
         }
     }
-    Ok((count, hist))
+    Ok(side)
 }

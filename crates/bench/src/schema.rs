@@ -35,7 +35,11 @@ use tirm_workloads::ScaleConfig;
 /// footprint ratio the regression gate pins) and the machine-dependent
 /// `postings_scan_mentries_per_s` scan-throughput probe (0.0 outside
 /// TIRM cells; absent ⇒ 0.0 in pre-v5 artifacts).
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6 added the replication metrics `follower_reads_per_s` /
+/// `follower_lag_p99` (0.0 outside `SERVING-REPL/…` cells; absent ⇒
+/// 0.0 in pre-v6 artifacts).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Where an artifact was measured. Wall-clock comparisons are only
 /// meaningful between comparable environments (same OS/arch/CPU count);
@@ -182,6 +186,13 @@ pub struct BenchCell {
     /// offered mutations (retries count as offers, so deterministic-
     /// delivery runs report their backpressure here).
     pub shed_rate: f64,
+    /// Replicated serving cells: read queries answered by the follower
+    /// per wall-clock second — the replication read path's throughput
+    /// (0 elsewhere; absent pre-v6, decoded 0).
+    pub follower_reads_per_s: f64,
+    /// Replicated serving cells: p99 of the follower's replication lag
+    /// in events, sampled at each reader's periodic stats probe.
+    pub follower_lag_p99: f64,
     /// Process peak RSS (`VmHWM`) when the cell finished, bytes; 0 if
     /// unavailable. A high-water mark is monotone across a run, so this
     /// is *not* a per-cell quantity: it depends on matrix order and
@@ -207,6 +218,8 @@ impl BenchCell {
         self.read_p99_us = 0.0;
         self.reads_per_s = 0.0;
         self.shed_rate = 0.0;
+        self.follower_reads_per_s = 0.0;
+        self.follower_lag_p99 = 0.0;
         self.peak_rss_bytes = 0;
     }
 }
@@ -384,6 +397,8 @@ impl BenchCell {
             read_p99_us: f64_field_since(v, "read_p99_us", 4, schema_version)?,
             reads_per_s: f64_field_since(v, "reads_per_s", 4, schema_version)?,
             shed_rate: f64_field_since(v, "shed_rate", 4, schema_version)?,
+            follower_reads_per_s: f64_field_since(v, "follower_reads_per_s", 6, schema_version)?,
+            follower_lag_p99: f64_field_since(v, "follower_lag_p99", 6, schema_version)?,
             peak_rss_bytes: usize_field(v, "peak_rss_bytes")?,
         })
     }
@@ -516,6 +531,8 @@ mod tests {
             read_p99_us: 310.0,
             reads_per_s: 5_400.0,
             shed_rate: 0.125,
+            follower_reads_per_s: 2_700.0,
+            follower_lag_p99: 12.0,
             peak_rss_bytes: 52_428_800,
         }
     }
@@ -605,7 +622,7 @@ mod tests {
             vec![sample_cell("v1cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 5", "\"schema_version\": 1");
+        text = text.replace("\"schema_version\": 6", "\"schema_version\": 1");
         for key in [
             "dataset_cold_s",
             "dataset_warm_s",
@@ -662,7 +679,7 @@ mod tests {
             vec![sample_cell("v2cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 5", "\"schema_version\": 2");
+        text = text.replace("\"schema_version\": 6", "\"schema_version\": 2");
         for key in [
             "latency_p50_us",
             "latency_p95_us",
@@ -704,7 +721,7 @@ mod tests {
             vec![sample_cell("v3cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 5", "\"schema_version\": 3");
+        text = text.replace("\"schema_version\": 6", "\"schema_version\": 3");
         for key in ["read_p99_us", "reads_per_s", "shed_rate"] {
             let from = text.find(key).expect("field serialized");
             let to = text[from..].find('\n').unwrap() + from + 1;
@@ -737,7 +754,7 @@ mod tests {
             vec![sample_cell("v4cell")],
         );
         let mut text = report.to_json_string();
-        text = text.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        text = text.replace("\"schema_version\": 6", "\"schema_version\": 4");
         // The plain key before its `legacy_…` superstring so `find`
         // strips the right line.
         for key in [

@@ -109,7 +109,9 @@ pub fn run_suite(cfg: &SuiteConfig) -> BenchReport {
                 slot.insert(dataset)
             }
         };
-        let mut cell = if spec.serving {
+        let mut cell = if spec.serving_repl {
+            run_replicated_cell(dataset, spec, &cfg.scale, cfg.base_seed)
+        } else if spec.serving {
             run_serving_cell(dataset, spec, &cfg.scale, cfg.base_seed)
         } else if spec.online {
             run_online_cell(dataset, spec, &cfg.scale, cfg.base_seed)
@@ -121,7 +123,19 @@ pub fn run_suite(cfg: &SuiteConfig) -> BenchReport {
         if cell.allocator == "TIRM" {
             cell.postings_scan_mentries_per_s = *scan_probe.get_or_insert_with(postings_scan_probe);
         }
-        if spec.serving {
+        if spec.serving_repl {
+            eprintln!(
+                "        {:.2}s served (replicated), {:.0} ev/s, read p99={:.0}µs \
+                 ({:.0} reads/s, {:.0} via follower), lag p99={:.0} ev, regret={:.2}",
+                cell.wall_s,
+                cell.events_per_s,
+                cell.read_p99_us,
+                cell.reads_per_s,
+                cell.follower_reads_per_s,
+                cell.follower_lag_p99,
+                cell.total_regret
+            );
+        } else if spec.serving {
             eprintln!(
                 "        {:.2}s served, {:.0} ev/s, wire p99={:.0}µs, read p99={:.0}µs \
                  ({:.0} reads/s), shed {:.1}%, regret={:.2}",
@@ -163,7 +177,9 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: &ScaleConfig, base_seed: u64) ->
         scale,
         spec.problem_seed(base_seed),
     );
-    if spec.serving {
+    if spec.serving_repl {
+        run_replicated_cell(&dataset, spec, scale, base_seed)
+    } else if spec.serving {
         run_serving_cell(&dataset, spec, scale, base_seed)
     } else if spec.online {
         run_online_cell(&dataset, spec, scale, base_seed)
@@ -253,6 +269,8 @@ pub fn run_online_cell(
         read_p99_us: 0.0,
         reads_per_s: 0.0,
         shed_rate: 0.0,
+        follower_reads_per_s: 0.0,
+        follower_lag_p99: 0.0,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
 }
@@ -377,6 +395,218 @@ pub fn run_serving_cell(
         read_p99_us: load.read_latency.percentile_us(99.0),
         reads_per_s: load.reads_per_s,
         shed_rate: load.shed_rate(),
+        follower_reads_per_s: 0.0,
+        follower_lag_p99: 0.0,
+        peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
+    }
+}
+
+/// Lag-routing threshold (events) for the replicated cell's reader
+/// pool — a reader whose follower falls further behind re-routes to
+/// the leader until it catches back up.
+const REPL_MAX_LAG: u64 = 64;
+
+/// Runs one replicated network serving cell: boot a durable leader
+/// *plus* an in-process WAL-shipping follower over the shared dataset,
+/// split the reader pool across both with lag-aware routing, and drive
+/// the same deterministic-delivery mutation stream as a `SERVING/…`
+/// cell. After the leader drains, the follower must converge to the
+/// bit-identical snapshot before the cell evaluates it — so the cell
+/// is simultaneously the PR-gate's replication-correctness probe and
+/// the source of the v6 follower-read-throughput / lag-p99 metrics.
+pub fn run_replicated_cell(
+    dataset: &Dataset,
+    spec: &ScenarioSpec,
+    scale: &ScaleConfig,
+    base_seed: u64,
+) -> BenchCell {
+    assert!(
+        spec.serving_repl,
+        "not a replicated serving cell: {}",
+        spec.id()
+    );
+    let aseed = spec.seed(base_seed);
+    // Distinct stream salt, same reasoning as the SERVING cells: this
+    // grid point must not share an event stream with its siblings.
+    let log = serving_stream(dataset, spec, scale, base_seed, 0x4ef0);
+    let opts = serving_tirm_options(spec, scale, aseed);
+    let online = OnlineConfig {
+        tirm: opts,
+        kappa: spec.kappa,
+        lambda: spec.lambda,
+        ..OnlineConfig::default()
+    };
+
+    // Replication requires durable state on both sides. Scratch dirs,
+    // removed when the cell finishes; the pid + seed in the name keeps
+    // concurrent suite runs on one machine from colliding.
+    let scratch = std::env::temp_dir().join(format!(
+        "tirm_repl_cell_{}_{:016x}",
+        std::process::id(),
+        aseed
+    ));
+    let leader_dir = scratch.join("leader");
+    let follower_dir = scratch.join("follower");
+    std::fs::create_dir_all(&leader_dir).expect("creating leader state dir");
+    std::fs::create_dir_all(&follower_dir).expect("creating follower state dir");
+
+    let server_cfg = tirm_server::ServerConfig {
+        online: online.clone(),
+        queue_depth: 32,
+        durability: Some(tirm_server::DurabilityConfig {
+            // Tight cadence relative to the 48-event stream so the
+            // cell exercises checkpointing and multi-segment shipping,
+            // not just a single open segment.
+            checkpoint_interval: 16,
+            segment_events: 64,
+            ..tirm_server::DurabilityConfig::new(&leader_dir)
+        }),
+        ..tirm_server::ServerConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let ((load, follower), served) =
+        tirm_server::serve(&dataset.graph, &dataset.topic_probs, server_cfg, |handle| {
+            let leader_addr = handle.addr();
+            std::thread::scope(|s| {
+                let fcfg = tirm_server::FollowerConfig {
+                    online: online.clone(),
+                    checkpoint_interval: 16,
+                    segment_events: 64,
+                    ..tirm_server::FollowerConfig::new(leader_addr.to_string(), &follower_dir)
+                };
+                let (tx, rx) = std::sync::mpsc::channel();
+                let fjoin = s.spawn(move || {
+                    tirm_server::serve_follower(&dataset.graph, &dataset.topic_probs, fcfg, |fh| {
+                        tx.send(fh.addr()).expect("reporting follower addr");
+                        fh.wait_shutdown();
+                    })
+                });
+                let faddr = rx.recv().expect("follower never came up");
+
+                let load = drive(
+                    leader_addr,
+                    &log,
+                    &LoadgenConfig {
+                        readers: SERVING_READERS,
+                        rate: None,
+                        retry: true,
+                        seed: aseed,
+                        drain: true,
+                        read_pause: std::time::Duration::from_micros(500),
+                        follower_addrs: vec![faddr],
+                        max_lag: REPL_MAX_LAG,
+                        ..LoadgenConfig::default()
+                    },
+                )
+                .expect("load generator failed");
+
+                // The leader drained (`drain: true`), so its applied
+                // epoch is final; wait for the follower's *published*
+                // epoch — not its durable `wal_seq`, which runs ahead
+                // of the applied state by up to one page — to reach
+                // it, then wind the follower down for its report.
+                let target = tirm_server::Client::connect(leader_addr)
+                    .and_then(|mut c| c.stats())
+                    .expect("leader stats")
+                    .epoch;
+                let deadline = Instant::now() + std::time::Duration::from_secs(120);
+                loop {
+                    match tirm_server::Client::connect(faddr).and_then(|mut c| c.stats()) {
+                        Ok(st) if st.epoch >= target => break,
+                        _ if Instant::now() >= deadline => {
+                            panic!("follower never converged to epoch {target}")
+                        }
+                        _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                }
+                tirm_server::Client::connect(faddr)
+                    .and_then(|mut c| c.shutdown_server())
+                    .expect("follower shutdown");
+                let ((), follower) = fjoin
+                    .join()
+                    .expect("follower thread panicked")
+                    .expect("follower failed");
+                (load, follower)
+            })
+        })
+        .expect("replicated cell server failed");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    assert_eq!(
+        served.rejected, 0,
+        "generated streams are always valid once fully delivered"
+    );
+    assert!(
+        load.reads_per_reader.iter().all(|&c| c > 0),
+        "every reader connection must make progress while the writer grinds"
+    );
+    assert!(
+        load.follower_reads > 0,
+        "the reader pool must actually exercise the follower"
+    );
+    // The correctness anchor: the follower's last published snapshot is
+    // payload-identical to the leader's drained one.
+    assert!(
+        follower
+            .final_snapshot
+            .same_allocation(&served.final_snapshot),
+        "follower diverged from the leader's drained snapshot \
+         (follower epoch {}, leader epoch {})",
+        follower.final_snapshot.epoch,
+        served.final_snapshot.epoch
+    );
+
+    let snap = &served.final_snapshot;
+    let mut alloc = Allocation::empty(snap.num_ads(), dataset.graph.num_nodes());
+    for (i, ad) in snap.ads.iter().enumerate() {
+        for &v in &ad.seeds {
+            alloc.assign(v, i);
+        }
+    }
+    let (finals, ev, eval_s) = eval_final_allocation(dataset, spec, scale, &log, &alloc);
+    assert_eq!(finals, snap.num_ads(), "snapshot ≡ folded final population");
+
+    BenchCell {
+        id: spec.id(),
+        dataset: dataset.kind.name().to_string(),
+        prob_model: spec.model.name().to_string(),
+        allocator: "SERVING-REPL".to_string(),
+        threads: spec.threads,
+        kappa: spec.kappa,
+        lambda: spec.lambda,
+        seed: aseed,
+        nodes: dataset.graph.num_nodes(),
+        edges: dataset.graph.num_edges(),
+        ads: finals,
+        theta: snap.total_rr_sets,
+        total_seeds: alloc.total_seeds(),
+        distinct_targeted: alloc.distinct_targeted(),
+        total_regret: ev.as_ref().map(|e| e.regret.total()).unwrap_or(0.0),
+        relative_regret: ev
+            .as_ref()
+            .map(|e| e.regret.relative_regret())
+            .unwrap_or(0.0),
+        revenue: ev.as_ref().map(|e| e.regret.total_revenue()).unwrap_or(0.0),
+        memory_bytes: snap.engine_memory_bytes,
+        bytes_per_posting: 0.0,
+        legacy_bytes_per_posting: 0.0,
+        wall_s,
+        eval_s,
+        dataset_cold_s: 0.0,
+        dataset_warm_s: 0.0,
+        rr_sets_per_s: 0.0,
+        postings_scan_mentries_per_s: 0.0,
+        latency_p50_us: load.mutation_latency.percentile_us(50.0),
+        latency_p95_us: load.mutation_latency.percentile_us(95.0),
+        latency_p99_us: load.mutation_latency.percentile_us(99.0),
+        events_per_s: load.events_per_s,
+        read_p99_us: load.read_latency.percentile_us(99.0),
+        reads_per_s: load.reads_per_s,
+        shed_rate: load.shed_rate(),
+        follower_reads_per_s: load.follower_reads as f64 / wall_s,
+        follower_lag_p99: load.follower_lag_p99() as f64,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
 }
@@ -705,6 +935,8 @@ pub fn cell_from_run(
         read_p99_us: 0.0,
         reads_per_s: 0.0,
         shed_rate: 0.0,
+        follower_reads_per_s: 0.0,
+        follower_lag_p99: 0.0,
         peak_rss_bytes: metrics::peak_rss_bytes().unwrap_or(0),
     }
 }

@@ -28,6 +28,7 @@ fn spec(dataset: DatasetKind, model: ProbModel, allocator: AllocatorKind) -> Sce
         seed_cap: None,
         online: false,
         serving: false,
+        serving_repl: false,
     }
 }
 
@@ -374,6 +375,48 @@ fn serving_cell_payload_is_deterministic() {
     assert_eq!(a.read_p99_us, 0.0, "read metrics are timing fields");
     assert_eq!(a.reads_per_s, 0.0);
     assert_eq!(a.shed_rate, 0.0);
+}
+
+fn replicated_spec(dataset: DatasetKind, model: ProbModel, kappa: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        kappa,
+        serving_repl: true,
+        ..spec(dataset, model, AllocatorKind::Tirm)
+    }
+}
+
+#[test]
+fn replicated_cell_converges_and_stamps_follower_metrics() {
+    // One real leader + one real WAL-shipping follower: the runner
+    // itself asserts the follower's final snapshot is bit-identical to
+    // the leader's drained one, so this test passing *is* the
+    // replication-correctness check at tiny scale. On top we check the
+    // v6 metric stamps and the artifact round trip.
+    let mut cell = run_scenario(
+        &replicated_spec(DatasetKind::Epinions, ProbModel::Exponential, 2),
+        &tiny_scale(),
+        0x71a6_5eed,
+    );
+    assert!(cell.id.starts_with("SERVING-REPL/"));
+    assert_eq!(cell.allocator, "SERVING-REPL");
+    assert!(cell.theta > 0, "drained snapshot carries the RR capital");
+    assert!(cell.events_per_s > 0.0);
+    assert!(cell.reads_per_s > 0.0, "reader pool made progress");
+    assert!(
+        cell.follower_reads_per_s > 0.0,
+        "part of the reader pool must route through the follower"
+    );
+    assert!(cell.follower_lag_p99 >= 0.0, "lag p99 recorded");
+    let report = BenchReport::new(
+        "test",
+        EnvFingerprint::current(&tiny_scale()),
+        vec![cell.clone()],
+    );
+    let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(report, back, "v6 fields round-trip through the artifact");
+    cell.strip_timings();
+    assert_eq!(cell.follower_reads_per_s, 0.0, "timing field");
+    assert_eq!(cell.follower_lag_p99, 0.0, "timing field");
 }
 
 #[test]

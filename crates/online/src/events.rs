@@ -64,6 +64,14 @@ impl OnlineEvent {
             OnlineEvent::RegretQuery => EventKind::RegretQuery,
         }
     }
+
+    /// Whether the event changes allocator state. Mutations are what a
+    /// serving frontend WAL-logs, counts toward its durable frontier,
+    /// and replicates to followers; a `RegretQuery` is a pure read and
+    /// is none of those.
+    pub fn is_mutation(&self) -> bool {
+        self.kind().is_mutation()
+    }
 }
 
 /// Kind tag of an [`OnlineEvent`].
@@ -105,6 +113,12 @@ impl EventKind {
     /// Parses a log-file kind name.
     pub fn parse(s: &str) -> Option<EventKind> {
         EventKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether events of this kind change allocator state (see
+    /// [`OnlineEvent::is_mutation`]).
+    pub fn is_mutation(self) -> bool {
+        !matches!(self, EventKind::RegretQuery)
     }
 }
 

@@ -1,0 +1,87 @@
+//! Replication frontier introspection — the three sequence numbers
+//! that describe where a replica stands relative to its leader, and
+//! the lag arithmetic every layer above (serving stats, load-generator
+//! routing, soak assertions) shares instead of re-deriving.
+//!
+//! Sequence numbers count *mutations* ([`crate::OnlineEvent`]s with
+//! [`is_mutation`](crate::OnlineEvent::is_mutation) true) since the
+//! birth of the state-dir lineage; reads never advance them. On a
+//! leader all three coincide once the write queue drains; on a
+//! follower they trail the leader by the replication lag.
+
+/// Where a replica stands: what it has applied, what it has made
+/// durable, and the newest durable frontier it has observed on its
+/// leader. A snapshot in time — capture once and interrogate, so the
+/// numbers are mutually consistent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationFrontier {
+    /// Mutations applied to the in-memory allocator (what reads see).
+    pub applied_seq: u64,
+    /// Mutations appended to the local WAL *and* fsynced — the
+    /// replica's durable frontier, and the anchor it would resubscribe
+    /// from after a restart.
+    pub durable_seq: u64,
+    /// The leader's durable frontier as last observed (equal to
+    /// `durable_seq` on the leader itself).
+    pub leader_seq: u64,
+    /// The fencing epoch the replica serves under — bumped by each
+    /// promotion; frames announcing an older epoch come from a deposed
+    /// leader and must be rejected.
+    pub fencing_epoch: u64,
+}
+
+impl ReplicationFrontier {
+    /// Replication lag: durable mutations the leader has that this
+    /// replica has not yet made durable. Saturating — a frontier read
+    /// mid-promotion (local log ahead of a freshly promoted leader)
+    /// reads as caught up, not as an underflow panic.
+    pub fn lag(&self) -> u64 {
+        self.leader_seq.saturating_sub(self.durable_seq)
+    }
+
+    /// Locally durable mutations not yet applied to the in-memory
+    /// allocator (non-zero only inside an apply batch).
+    pub fn apply_backlog(&self) -> u64 {
+        self.durable_seq.saturating_sub(self.applied_seq)
+    }
+
+    /// Whether reads served here reflect everything the leader has
+    /// made durable (as of this observation).
+    pub fn caught_up(&self) -> bool {
+        self.lag() == 0 && self.apply_backlog() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_is_leader_minus_durable_and_saturates() {
+        let f = ReplicationFrontier {
+            applied_seq: 40,
+            durable_seq: 42,
+            leader_seq: 50,
+            fencing_epoch: 1,
+        };
+        assert_eq!(f.lag(), 8);
+        assert_eq!(f.apply_backlog(), 2);
+        assert!(!f.caught_up());
+
+        let ahead = ReplicationFrontier {
+            applied_seq: 50,
+            durable_seq: 50,
+            leader_seq: 42,
+            fencing_epoch: 2,
+        };
+        assert_eq!(ahead.lag(), 0, "a post-promotion read must not underflow");
+        assert!(ahead.caught_up());
+    }
+
+    #[test]
+    fn default_is_a_caught_up_cold_start() {
+        let f = ReplicationFrontier::default();
+        assert_eq!((f.lag(), f.apply_backlog()), (0, 0));
+        assert!(f.caught_up());
+    }
+}

@@ -31,12 +31,22 @@
 //!   needs `--state-dir`).
 //! * `--shard-writers S` — per-ad shard threads for reconciliation
 //!   (default 1 = classic single-writer; any S is bit-identical).
+//! * `--follow ADDR` — run as a **follower** of the leader at ADDR:
+//!   tail its WAL over the wire, serve snapshot-swapped reads at
+//!   `--bind`, answer mutations with a typed `not_leader` redirect.
+//!   Requires `--state-dir` (the follower keeps its own WAL +
+//!   checkpoints). A wire `promote` request turns this process into
+//!   the leader in place: fencing epoch bumped, same state dir, same
+//!   bind address.
+//! * `--peer ADDR` — (repeatable, follower mode) other replicas to try
+//!   when the leader stops answering — how a follower finds the new
+//!   leader after a hand-off.
 //!
 //! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
 //! warm-starts the dataset from the binary snapshot cache.
 
 use std::process::ExitCode;
-use tirm_server::{serve, ServerConfig};
+use tirm_server::{serve, serve_follower, wal, FollowerConfig, ServerConfig};
 use tirm_workloads::{Dataset, DatasetKind, ProbModel, ScaleConfig};
 
 fn usage(msg: &str) -> ExitCode {
@@ -44,7 +54,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: tirm_server [--dataset NAME] [--model topic|exp|wc] [--bind ADDR] \
          [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N] \
-         [--state-dir DIR] [--checkpoint-interval N] [--segment-events N] [--shard-writers S]"
+         [--state-dir DIR] [--checkpoint-interval N] [--segment-events N] [--shard-writers S] \
+         [--follow LEADER_ADDR [--peer ADDR]...]"
     );
     ExitCode::from(2)
 }
@@ -62,6 +73,8 @@ fn main() -> ExitCode {
     let mut checkpoint_interval: Option<u64> = None;
     let mut segment_events: Option<u64> = None;
     let mut shard_writers = 1usize;
+    let mut follow: Option<String> = None;
+    let mut peers: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,6 +127,14 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => shard_writers = n,
                 _ => return usage("--shard-writers expects a positive integer"),
             },
+            "--follow" => match args.next() {
+                Some(a) if !a.is_empty() => follow = Some(a),
+                _ => return usage("--follow expects the leader's address"),
+            },
+            "--peer" => match args.next() {
+                Some(a) if !a.is_empty() => peers.push(a),
+                _ => return usage("--peer expects a replica address"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -138,6 +159,67 @@ fn main() -> ExitCode {
     // shared with out-of-process oracles via the library.
     let online = tirm_server::serving_online_config(dataset_kind, &cfg, kappa, lambda, seed);
 
+    // Follower mode: tail the leader until shutdown or promotion; a
+    // promotion falls through into the leader path below over the same
+    // state dir and bind address.
+    if let Some(leader_addr) = follow {
+        let Some(dir) = state_dir.clone() else {
+            return usage("--follow requires --state-dir (a follower keeps its own WAL)");
+        };
+        let mut fcfg = FollowerConfig::new(leader_addr.clone(), &dir);
+        fcfg.online = online.clone();
+        fcfg.bind = bind.clone();
+        fcfg.peer_addrs = peers.clone();
+        fcfg.max_connections = max_connections;
+        if let Some(n) = checkpoint_interval {
+            fcfg.checkpoint_interval = n;
+        }
+        if let Some(n) = segment_events {
+            fcfg.segment_events = n;
+        }
+        let followed = serve_follower(&dataset.graph, &dataset.topic_probs, fcfg, |handle| {
+            eprintln!(
+                "following {leader_addr} — serving reads on {} (state dir [{dir}], wal_seq {}, \
+                 fencing epoch {}); send {{\"type\":\"promote\"}} to take over, \
+                 {{\"type\":\"shutdown\"}} to stop",
+                handle.addr(),
+                handle.wal_seq(),
+                handle.fencing_epoch(),
+            );
+            handle.wait_shutdown();
+        });
+        match followed {
+            Ok(((), report)) => {
+                eprintln!(
+                    "follower wound down at seq {} (lag {}): {} applied ({} re-rejected), \
+                     {} bootstrap(s), {} fenced reject(s)",
+                    report.frontier.durable_seq,
+                    report.frontier.lag(),
+                    report.applied,
+                    report.rejected_on_apply,
+                    report.bootstraps,
+                    report.fenced_rejects,
+                );
+                if !report.promoted {
+                    return ExitCode::SUCCESS;
+                }
+                match wal::bump_fencing_epoch(std::path::Path::new(&dir)) {
+                    Ok(epoch) => {
+                        eprintln!("promoted — taking over as leader under fencing epoch {epoch}")
+                    }
+                    Err(e) => {
+                        eprintln!("error: fencing epoch bump failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut builder = ServerConfig::builder()
         .online(online)
         .bind(bind)
@@ -157,20 +239,43 @@ fn main() -> ExitCode {
         Ok(cfg) => cfg,
         Err(why) => return usage(&why),
     };
-    let served = serve(&dataset.graph, &dataset.topic_probs, server_cfg, |handle| {
-        eprintln!(
-            "listening on {} (queue depth {queue_depth}, ≤ {max_connections} connections, \
-             {shard_writers} shard writer(s), durability {}); \
-             send {{\"type\":\"shutdown\"}} to stop",
-            handle.addr(),
-            match &state_dir {
-                Some(d) => format!("on [{d}], wal_seq {}", handle.wal_seq()),
-                None => "off".to_string(),
+    // A promoted follower re-binds the port its own listener just
+    // closed; lingering TIME_WAIT connections can hold it briefly, so
+    // retry AddrInUse for a bounded window instead of dying mid
+    // hand-off.
+    let mut bind_attempts = 0u32;
+    let served = loop {
+        let served = serve(
+            &dataset.graph,
+            &dataset.topic_probs,
+            server_cfg.clone(),
+            |handle| {
+                eprintln!(
+                    "listening on {} (queue depth {queue_depth}, ≤ {max_connections} connections, \
+                     {shard_writers} shard writer(s), durability {}); \
+                     send {{\"type\":\"shutdown\"}} to stop",
+                    handle.addr(),
+                    match &state_dir {
+                        Some(d) => format!(
+                            "on [{d}], wal_seq {}, fencing epoch {}",
+                            handle.wal_seq(),
+                            handle.fencing_epoch()
+                        ),
+                        None => "off".to_string(),
+                    },
+                );
+                handle.wait_shutdown();
+                eprintln!("shutdown requested — draining the write queue");
             },
         );
-        handle.wait_shutdown();
-        eprintln!("shutdown requested — draining the write queue");
-    });
+        match &served {
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && bind_attempts < 50 => {
+                bind_attempts += 1;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            _ => break served,
+        }
+    };
     match served {
         Ok(((), report)) => {
             if let Some(rec) = &report.recovery {

@@ -2,7 +2,8 @@
 //! generator, the soak test and the equivalence harness speak.
 
 use crate::protocol::{
-    read_frame, write_frame, ClientOptions, Request, Response, StatsView, PROTOCOL_VERSION,
+    hex_decode, read_frame, write_frame, ClientOptions, Request, Response, Role, StatsView,
+    PROTOCOL_VERSION,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -22,6 +23,31 @@ pub struct HelloInfo {
     /// fsynced so far. A client replaying an event log resumes at the
     /// `wal_seq`-th mutation — everything before it survived.
     pub wal_seq: u64,
+    /// Whether this endpoint admits mutations ([`Role::Leader`]) or
+    /// redirects them ([`Role::Follower`]). v1 servers announce no
+    /// role and decode as leaders.
+    pub role: Role,
+    /// The fencing epoch the server serves under (0 until a promotion
+    /// ever happened in its state dir's lineage).
+    pub fencing_epoch: u64,
+}
+
+/// One page of a checkpoint download
+/// ([`Client::replicate_checkpoint`]), already decoded from the wire's
+/// hex transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointChunk {
+    /// The WAL frontier the checkpoint covers — its identity. A seq
+    /// that changes between chunks means the leader rotated
+    /// checkpoints mid-download; restart from offset 0.
+    pub checkpoint_seq: u64,
+    /// Byte offset of this chunk within the checkpoint file.
+    pub offset: u64,
+    /// Total checkpoint file size (download done when
+    /// `offset + data.len() >= total_bytes`).
+    pub total_bytes: u64,
+    /// The raw checkpoint bytes of this chunk.
+    pub data: Vec<u8>,
 }
 
 /// One connection to a `tirm_server`. Requests are strictly
@@ -91,6 +117,8 @@ impl Client {
                     version,
                     epoch,
                     wal_seq,
+                    role,
+                    fencing_epoch,
                 } => {
                     if version != PROTOCOL_VERSION {
                         return Err(protocol_err(format!(
@@ -102,6 +130,8 @@ impl Client {
                         version,
                         epoch,
                         wal_seq,
+                        role,
+                        fencing_epoch,
                     });
                 }
                 other => return Err(protocol_err(format!("expected hello, got {other:?}"))),
@@ -187,6 +217,55 @@ impl Client {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(protocol_err(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// One replication poll: asks the server for WAL frames starting
+    /// at `from_seq`. The response is returned raw because three
+    /// outcomes are all legitimate protocol — `ReplicateFrames` (a
+    /// page, possibly empty when caught up), `ReplicateBootstrap` (the
+    /// anchor was pruned; download the checkpoint first), `NotLeader`
+    /// (re-target the stream).
+    pub fn replicate_poll(&mut self, from_seq: u64, max_frames: u64) -> io::Result<Response> {
+        self.request(&Request::ReplicatePoll {
+            from_seq,
+            max_frames,
+        })
+    }
+
+    /// One page of a checkpoint download, decoded from the wire's hex
+    /// transport. An `offset` at or past `total_bytes` yields an empty
+    /// `data` — the downloader's loop terminator.
+    pub fn replicate_checkpoint(
+        &mut self,
+        offset: u64,
+        max_bytes: u64,
+    ) -> io::Result<CheckpointChunk> {
+        match self.request(&Request::ReplicateCheckpoint { offset, max_bytes })? {
+            Response::ReplicateCheckpointChunk {
+                checkpoint_seq,
+                offset,
+                total_bytes,
+                data_hex,
+            } => Ok(CheckpointChunk {
+                checkpoint_seq,
+                offset,
+                total_bytes,
+                data: hex_decode(&data_hex).map_err(protocol_err)?,
+            }),
+            other => Err(protocol_err(format!(
+                "expected checkpoint chunk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks a follower to promote itself to leader, returning the
+    /// fencing epoch it will serve under. A current leader answers
+    /// `Rejected`, surfaced here as an error.
+    pub fn promote(&mut self) -> io::Result<u64> {
+        match self.request(&Request::Promote)? {
+            Response::Promoting { fencing_epoch } => Ok(fencing_epoch),
+            other => Err(protocol_err(format!("expected promoting, got {other:?}"))),
         }
     }
 

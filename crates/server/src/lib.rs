@@ -38,6 +38,7 @@
 //! Property-tested in `tests/wire_equivalence.rs`.
 
 pub mod client;
+pub mod replica;
 pub mod server;
 pub mod swap;
 pub mod wal;
@@ -80,10 +81,11 @@ pub fn serving_online_config(
 /// alias keeps the crate-local `protocol` paths working.
 pub use tirm_wire as protocol;
 
-pub use client::{Client, HelloInfo};
+pub use client::{CheckpointChunk, Client, HelloInfo};
 pub use protocol::{
-    ClientOptions, Request, Response, StatsView, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    ClientOptions, Request, Response, Role, StatsView, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use replica::{serve_follower, FollowerConfig, FollowerReport};
 pub use server::{serve, DurabilityConfig, ServeReport, ServerConfig, ServerHandle};
 pub use swap::{SnapshotReader, SnapshotSwap};
-pub use wal::{RecoveryReport, RecoveryWarning, Wal};
+pub use wal::{RecoveryReport, RecoveryWarning, ReplicaBatch, Wal};

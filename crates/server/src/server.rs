@@ -35,16 +35,19 @@
 //! shed (`Overloaded`) one never was admitted in the first place.
 
 use crate::protocol::{
-    read_frame_polling, write_frame, Request, Response, StatsView, PROTOCOL_VERSION,
+    hex_encode, read_frame_polling, write_frame, Request, Response, Role, StatsView,
+    PROTOCOL_VERSION,
 };
 use crate::swap::{SnapshotReader, SnapshotSwap};
-use crate::wal::{self, RecoveryReport, Wal};
-use std::io::Write as _;
+use crate::wal::{self, RecoveryReport, ReplicaBatch, Wal};
+use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
 use std::time::Duration;
 use tirm_graph::DiGraph;
 use tirm_online::{AllocationSnapshot, OnlineAllocator, OnlineConfig, OnlineEvent, OnlineStats};
@@ -264,22 +267,35 @@ impl ServerConfigBuilder {
 }
 
 /// Counters and flags shared by every thread of a server.
-struct Shared {
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) stop: AtomicBool,
     /// Mutations queued or in flight at the writer.
-    queue_len: AtomicUsize,
-    max_queue_len: AtomicUsize,
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    rejected: AtomicU64,
-    bad_requests: AtomicU64,
-    connections_open: AtomicUsize,
-    connections_total: AtomicU64,
-    connections_refused: AtomicU64,
+    pub(crate) queue_len: AtomicUsize,
+    pub(crate) max_queue_len: AtomicUsize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+    pub(crate) connections_open: AtomicUsize,
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) connections_refused: AtomicU64,
     /// Durable frontier: mutations logged *and* fsynced (equal to the
     /// count applied when durability is off). The `hello` response
     /// carries it as the resume anchor for reconnecting clients.
-    wal_seq: AtomicU64,
+    pub(crate) wal_seq: AtomicU64,
+    /// The fencing epoch this process serves under (see
+    /// [`wal::read_fencing_epoch`]). Bumped only by promotion; carried
+    /// in every handshake and replication response so a follower can
+    /// reject a deposed leader's stale frames.
+    pub(crate) fencing_epoch: AtomicU64,
+    /// The *leader's* durable frontier as last observed — equal to
+    /// `wal_seq` on a leader, updated by the apply loop on a follower.
+    /// `leader_seq - wal_seq` is the follower's replication lag.
+    pub(crate) leader_seq: AtomicU64,
+    /// Set by a wire `promote` request on a follower: the apply loop
+    /// winds down and [`crate::replica::serve_follower`] reports
+    /// `promoted = true` so the host process can take over as leader.
+    pub(crate) promote_requested: AtomicBool,
     /// Set by a wire `shutdown` request (or [`ServerHandle::request_shutdown`]);
     /// [`ServerHandle::wait_shutdown`] blocks on it.
     shutdown_requested: Mutex<bool>,
@@ -287,7 +303,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn new() -> Arc<Shared> {
+    pub(crate) fn new() -> Arc<Shared> {
         Arc::new(Shared {
             stop: AtomicBool::new(false),
             queue_len: AtomicUsize::new(0),
@@ -300,12 +316,15 @@ impl Shared {
             connections_total: AtomicU64::new(0),
             connections_refused: AtomicU64::new(0),
             wal_seq: AtomicU64::new(0),
+            fencing_epoch: AtomicU64::new(0),
+            leader_seq: AtomicU64::new(0),
+            promote_requested: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         })
     }
 
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         let mut requested = self
             .shutdown_requested
             .lock()
@@ -318,9 +337,9 @@ impl Shared {
 /// The caller's view of a running server (passed to [`serve`]'s
 /// closure).
 pub struct ServerHandle {
-    addr: SocketAddr,
-    swap: Arc<SnapshotSwap>,
-    shared: Arc<Shared>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) swap: Arc<SnapshotSwap>,
+    pub(crate) shared: Arc<Shared>,
 }
 
 impl ServerHandle {
@@ -355,6 +374,19 @@ impl ServerHandle {
     /// (count of mutations applied when durability is off).
     pub fn wal_seq(&self) -> u64 {
         self.shared.wal_seq.load(Ordering::Acquire)
+    }
+
+    /// The fencing epoch this process serves under (0 until a
+    /// promotion ever happened in this state dir's lineage).
+    pub fn fencing_epoch(&self) -> u64 {
+        self.shared.fencing_epoch.load(Ordering::Acquire)
+    }
+
+    /// The leader's durable frontier as last observed — equal to
+    /// [`wal_seq`](Self::wal_seq) on a leader; on a follower,
+    /// `leader_seq() - wal_seq()` is the current replication lag.
+    pub fn leader_seq(&self) -> u64 {
+        self.shared.leader_seq.load(Ordering::Acquire)
     }
 
     /// Flags the server for shutdown (same as a wire `shutdown`
@@ -411,6 +443,9 @@ pub struct ServeReport {
     /// Final durable frontier — the WAL sequence number after the last
     /// drained mutation.
     pub wal_seq: u64,
+    /// The fencing epoch the run served under (0 when no promotion ever
+    /// happened in this state dir's lineage, or durability is off).
+    pub fencing_epoch: u64,
 }
 
 impl ServeReport {
@@ -466,10 +501,21 @@ pub fn serve<R>(
     };
     let swap = SnapshotSwap::new(allocator.snapshot());
     let shared = Shared::new();
-    shared.wal_seq.store(
-        recovery.as_ref().map_or(0, |r| r.wal_seq),
-        Ordering::Release,
-    );
+    let frontier = recovery.as_ref().map_or(0, |r| r.wal_seq);
+    shared.wal_seq.store(frontier, Ordering::Release);
+    shared.leader_seq.store(frontier, Ordering::Release);
+    if let Some(d) = &cfg.durability {
+        // The fencing epoch survives in the state dir: a leader that
+        // was ever promoted keeps announcing its earned epoch across
+        // plain restarts.
+        let epoch = wal::read_fencing_epoch(&d.state_dir)?;
+        shared.fencing_epoch.store(epoch, Ordering::Release);
+    }
+    let ctx = Arc::new(ReplicaCtx {
+        role: Role::Leader,
+        state_dir: cfg.durability.as_ref().map(|d| d.state_dir.clone()),
+        leader_addr: Mutex::new(String::new()),
+    });
     let (tx, rx) = std::sync::mpsc::sync_channel::<OnlineEvent>(cfg.queue_depth);
     let handle = ServerHandle {
         addr,
@@ -503,35 +549,16 @@ pub fn serve<R>(
         };
 
         // Acceptor: spawns one handler per admitted connection.
-        let acceptor = {
-            let shared = shared.clone();
-            let swap = swap.clone();
-            let tx = tx.clone();
-            let read_poll = cfg.read_poll;
-            let max_connections = cfg.max_connections;
-            s.spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    if shared.connections_open.load(Ordering::Relaxed) >= max_connections {
-                        shared.connections_refused.fetch_add(1, Ordering::Relaxed);
-                        refuse_connection(stream);
-                        continue;
-                    }
-                    shared.connections_open.fetch_add(1, Ordering::Relaxed);
-                    shared.connections_total.fetch_add(1, Ordering::Relaxed);
-                    let shared = shared.clone();
-                    let swap = swap.clone();
-                    let tx = tx.clone();
-                    s.spawn(move || {
-                        handle_connection(stream, tx, swap, &shared, read_poll);
-                        shared.connections_open.fetch_sub(1, Ordering::Relaxed);
-                    });
-                }
-            })
-        };
+        let acceptor = run_acceptor(
+            s,
+            listener,
+            shared.clone(),
+            swap.clone(),
+            tx.clone(),
+            ctx.clone(),
+            cfg.read_poll,
+            cfg.max_connections,
+        );
 
         // The stop guard runs on BOTH exits from `f`: a clean return and
         // an unwind. A panicking closure (a failed harness expectation)
@@ -582,8 +609,67 @@ pub fn serve<R>(
         connections_refused: shared.connections_refused.load(Ordering::Relaxed),
         recovery,
         wal_seq: shared.wal_seq.load(Ordering::Acquire),
+        fencing_epoch: shared.fencing_epoch.load(Ordering::Acquire),
     };
     Ok((result, report))
+}
+
+/// What a connection handler needs to know about the process's role in
+/// a replica group: whether it is the leader (mutations admitted,
+/// replication served) or a follower (mutations redirected), and where
+/// WAL segments live for replication reads.
+pub(crate) struct ReplicaCtx {
+    /// This process's role — fixed for the lifetime of one
+    /// [`serve`]/[`crate::replica::serve_follower`] run (promotion
+    /// starts a new run).
+    pub(crate) role: Role,
+    /// The state dir replication reads stream segments from (`None` ⇒
+    /// memory-only, replication refused with a typed error).
+    pub(crate) state_dir: Option<PathBuf>,
+    /// Where a follower redirects mutations (the leader it is
+    /// tailing); updated by the apply loop when the leader moves.
+    pub(crate) leader_addr: Mutex<String>,
+}
+
+/// Spawns the acceptor thread: admission-bounds connections and spawns
+/// one [`handle_connection`] thread per admitted one. Shared between
+/// the leader's [`serve`] and the follower's
+/// [`crate::replica::serve_follower`] — the read path is identical on
+/// both; only the role context differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_acceptor<'scope>(
+    s: &'scope Scope<'scope, '_>,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    swap: Arc<SnapshotSwap>,
+    tx: SyncSender<OnlineEvent>,
+    ctx: Arc<ReplicaCtx>,
+    read_poll: Duration,
+    max_connections: usize,
+) -> ScopedJoinHandle<'scope, ()> {
+    s.spawn(move || {
+        for stream in listener.incoming() {
+            if shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if shared.connections_open.load(Ordering::Relaxed) >= max_connections {
+                shared.connections_refused.fetch_add(1, Ordering::Relaxed);
+                refuse_connection(stream);
+                continue;
+            }
+            shared.connections_open.fetch_add(1, Ordering::Relaxed);
+            shared.connections_total.fetch_add(1, Ordering::Relaxed);
+            let shared = shared.clone();
+            let swap = swap.clone();
+            let tx = tx.clone();
+            let ctx = ctx.clone();
+            s.spawn(move || {
+                handle_connection(stream, tx, swap, &shared, &ctx, read_poll);
+                shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    })
 }
 
 /// The writer's drain loop. Per batch: log every frame, fsync **once**,
@@ -626,10 +712,13 @@ fn writer_loop(
             }
             log.sync().expect("write-ahead log fsync failed");
             shared.wal_seq.store(log.seq(), Ordering::Release);
+            shared.leader_seq.store(log.seq(), Ordering::Release);
         } else {
-            shared
+            let seq = shared
                 .wal_seq
-                .fetch_add(batch.len() as u64, Ordering::Release);
+                .fetch_add(batch.len() as u64, Ordering::Release)
+                + batch.len() as u64;
+            shared.leader_seq.store(seq, Ordering::Release);
         }
 
         if shard_writers == 1 {
@@ -700,11 +789,12 @@ fn refuse_connection(mut stream: TcpStream) {
 /// One connection's request loop. Reads answer from the handler's
 /// cached snapshot (no lock unless the writer published); mutations are
 /// `try_send` admission — full queue ⇒ `Overloaded`, never a block.
-fn handle_connection(
+pub(crate) fn handle_connection(
     mut stream: TcpStream,
     tx: SyncSender<OnlineEvent>,
     swap: Arc<SnapshotSwap>,
     shared: &Shared,
+    ctx: &ReplicaCtx,
     read_poll: Duration,
 ) {
     // The write timeout bounds a peer that stops *reading*: without it,
@@ -737,9 +827,23 @@ fn handle_connection(
                     version: PROTOCOL_VERSION,
                     epoch: reader.latest().epoch,
                     wal_seq: shared.wal_seq.load(Ordering::Acquire),
+                    role: ctx.role,
+                    fencing_epoch: shared.fencing_epoch.load(Ordering::Acquire),
                 }
             }
-            Ok(Request::Mutate(ev)) => admit(&ev, &tx, &mut reader, shared),
+            Ok(Request::Mutate(ev)) => match ctx.role {
+                Role::Leader => admit(&ev, &tx, &mut reader, shared),
+                // A follower never admits writes — the typed redirect
+                // names the leader so a client can fail over in one
+                // hop instead of probing the pool.
+                Role::Follower => Response::NotLeader {
+                    leader: ctx
+                        .leader_addr
+                        .lock()
+                        .expect("leader addr poisoned")
+                        .clone(),
+                },
+            },
             Ok(Request::RegretQuery) => {
                 let snap = reader.latest();
                 Response::Regret {
@@ -758,9 +862,19 @@ fn handle_connection(
             }
             Ok(Request::Stats) => {
                 let snap = reader.latest();
+                let wal_seq = shared.wal_seq.load(Ordering::Acquire);
                 Response::Stats(StatsView {
                     epoch: snap.epoch,
-                    wal_seq: shared.wal_seq.load(Ordering::Acquire),
+                    wal_seq,
+                    role: ctx.role,
+                    fencing_epoch: shared.fencing_epoch.load(Ordering::Acquire),
+                    // A leader *is* the frontier; a follower reports
+                    // where it last saw the leader, so `lag()` is
+                    // leader_seq - wal_seq.
+                    leader_seq: match ctx.role {
+                        Role::Leader => wal_seq,
+                        Role::Follower => shared.leader_seq.load(Ordering::Acquire),
+                    },
                     live_ads: snap.num_ads(),
                     total_seeds: snap.total_seeds(),
                     total_rr_sets: snap.total_rr_sets,
@@ -774,12 +888,43 @@ fn handle_connection(
                     connections: shared.connections_open.load(Ordering::Relaxed),
                 })
             }
+            Ok(Request::ReplicatePoll {
+                from_seq,
+                max_frames,
+            }) => replicate_poll(ctx, shared, from_seq, max_frames),
+            Ok(Request::ReplicateCheckpoint { offset, max_bytes }) => {
+                replicate_checkpoint_chunk(ctx, offset, max_bytes)
+            }
+            Ok(Request::Promote) => match ctx.role {
+                Role::Leader => Response::Rejected {
+                    why: "already the leader".to_string(),
+                },
+                Role::Follower => {
+                    // Acknowledge with the epoch the promoted process
+                    // will serve under, then wind the follower down;
+                    // the host process bumps the fencing epoch and
+                    // re-serves the same state dir as leader.
+                    shared.promote_requested.store(true, Ordering::Release);
+                    shared.request_shutdown();
+                    Response::Promoting {
+                        fencing_epoch: shared.fencing_epoch.load(Ordering::Acquire) + 1,
+                    }
+                }
+            },
             Ok(Request::Shutdown) => {
                 shared.request_shutdown();
                 Response::ShuttingDown
             }
         };
         if write_frame(&mut stream, response.encode().as_bytes()).is_err() {
+            return;
+        }
+        // Drain-then-close: the in-flight request got its answer; once
+        // shutdown is underway the connection closes rather than serving
+        // a busy peer forever (a closed-loop reader re-requests fast
+        // enough that the idle-poll stop check above never fires, which
+        // would wedge the scope join on this handler).
+        if shared.stop.load(Ordering::Acquire) {
             return;
         }
     }
@@ -816,6 +961,142 @@ fn admit(
             Response::ShuttingDown
         }
     }
+}
+
+/// Frames per replication poll page — bounds one response frame no
+/// matter what the follower asks for.
+const MAX_REPLICATION_FRAMES: u64 = 4096;
+/// Cumulative event-body bytes per poll page (well under the wire
+/// frame cap; a follower just polls again from its new anchor).
+const MAX_REPLICATION_BYTES: usize = 4 << 20;
+/// Checkpoint bytes per bootstrap chunk (hex doubles it on the wire).
+const MAX_CHECKPOINT_CHUNK: u64 = 1 << 20;
+
+/// The follower's typed redirect to whatever leader this process knows.
+fn not_leader(ctx: &ReplicaCtx) -> Response {
+    Response::NotLeader {
+        leader: ctx
+            .leader_addr
+            .lock()
+            .expect("leader addr poisoned")
+            .clone(),
+    }
+}
+
+/// Answers one `replicate_poll`: a page of WAL frames starting at the
+/// follower's anchor, clamped to the durable frontier — or the typed
+/// bootstrap pivot when the anchor falls inside a pruned segment.
+fn replicate_poll(ctx: &ReplicaCtx, shared: &Shared, from_seq: u64, max_frames: u64) -> Response {
+    if ctx.role == Role::Follower {
+        return not_leader(ctx);
+    }
+    let Some(dir) = &ctx.state_dir else {
+        return Response::Rejected {
+            why: "replication requires durability (this server has no state dir)".to_string(),
+        };
+    };
+    let fencing_epoch = shared.fencing_epoch.load(Ordering::Acquire);
+    // Only frames at or below the durable frontier are streamed: they
+    // are fsynced (the WAL-before-apply invariant), so a disk read
+    // here can never observe a torn or unsynced tail.
+    let frontier = shared.wal_seq.load(Ordering::Acquire);
+    let max = max_frames.min(MAX_REPLICATION_FRAMES) as usize;
+    match wal::read_frames(dir, from_seq, max, frontier) {
+        Ok(ReplicaBatch::Frames { mut bodies }) => {
+            let mut total = 0usize;
+            let mut keep = bodies.len();
+            for (i, body) in bodies.iter().enumerate() {
+                total += body.len();
+                if total > MAX_REPLICATION_BYTES {
+                    // Keep at least one frame so the stream always
+                    // makes progress.
+                    keep = i.max(1);
+                    break;
+                }
+            }
+            bodies.truncate(keep);
+            Response::ReplicateFrames {
+                fencing_epoch,
+                start_seq: from_seq,
+                durable_seq: frontier,
+                frames: bodies,
+            }
+        }
+        Ok(ReplicaBatch::Pruned { .. }) => match wal::newest_checkpoint(dir) {
+            // The anchor predates the oldest retained segment: the
+            // follower must bootstrap from a checkpoint instead.
+            // Pruning only ever happens after a covering checkpoint,
+            // so one exists whenever this branch is reachable.
+            Ok(Some((checkpoint_seq, path))) => Response::ReplicateBootstrap {
+                fencing_epoch,
+                checkpoint_seq,
+                total_bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            },
+            Ok(None) => Response::Rejected {
+                why: "replication anchor pruned but no checkpoint exists".to_string(),
+            },
+            Err(e) => Response::Rejected {
+                why: format!("checkpoint scan failed: {e}"),
+            },
+        },
+        Err(e) => Response::Rejected {
+            why: format!("replication read failed: {e}"),
+        },
+    }
+}
+
+/// Answers one `replicate_checkpoint`: a byte range of the newest
+/// checkpoint file, hex-encoded. The chunk carries the checkpoint's
+/// `wal_seq` identity so a follower detects a checkpoint that rotated
+/// mid-download (mismatched seq ⇒ restart the bootstrap).
+fn replicate_checkpoint_chunk(ctx: &ReplicaCtx, offset: u64, max_bytes: u64) -> Response {
+    if ctx.role == Role::Follower {
+        return not_leader(ctx);
+    }
+    let Some(dir) = &ctx.state_dir else {
+        return Response::Rejected {
+            why: "replication requires durability (this server has no state dir)".to_string(),
+        };
+    };
+    match wal::newest_checkpoint(dir) {
+        Ok(Some((checkpoint_seq, path))) => {
+            match read_file_range(&path, offset, max_bytes.clamp(1, MAX_CHECKPOINT_CHUNK)) {
+                Ok((total_bytes, data)) => Response::ReplicateCheckpointChunk {
+                    checkpoint_seq,
+                    offset,
+                    total_bytes,
+                    data_hex: hex_encode(&data),
+                },
+                Err(e) => Response::Rejected {
+                    why: format!("checkpoint read failed: {e}"),
+                },
+            }
+        }
+        Ok(None) => Response::Rejected {
+            why: "no checkpoint to bootstrap from".to_string(),
+        },
+        Err(e) => Response::Rejected {
+            why: format!("checkpoint scan failed: {e}"),
+        },
+    }
+}
+
+/// Reads up to `max` bytes of `path` starting at `offset`, returning
+/// the file's total length alongside (an offset past the end yields an
+/// empty chunk, not an error — the downloader's loop terminator).
+fn read_file_range(
+    path: &std::path::Path,
+    offset: u64,
+    max: u64,
+) -> std::io::Result<(u64, Vec<u8>)> {
+    let mut f = File::open(path)?;
+    let total = f.metadata()?.len();
+    let mut data = Vec::new();
+    if offset < total {
+        f.seek(SeekFrom::Start(offset))?;
+        f.take(max).read_to_end(&mut data)?;
+    }
+    Ok((total, data))
 }
 
 #[cfg(test)]

@@ -49,6 +49,23 @@
 //! opens a fresh segment at the recovered sequence number, so the torn
 //! bytes are shadowed by construction (the next segment's start equals
 //! the recovery cursor and the scan continues through it).
+//!
+//! # Replication reads and fencing
+//!
+//! [`read_frames`] is the leader-side read path of WAL shipping: it
+//! serves frame bodies at or past a follower's subscription anchor
+//! straight from the segment files, clamped to the caller-supplied
+//! durable frontier (the write path fsyncs before the frontier
+//! advances, so everything below it is stable on disk even in the open
+//! segment). An anchor inside a pruned segment is the typed
+//! [`ReplicaBatch::Pruned`] outcome — the follower bootstraps from the
+//! newest checkpoint instead; it is **not** the gap error, which stays
+//! reserved for a segment missing from the middle of the retained
+//! range. The **fencing epoch** ([`read_fencing_epoch`] /
+//! [`bump_fencing_epoch`]) is a monotonic counter stored next to the
+//! log; promotion bumps it, every replication response carries it, and
+//! followers drop frames from any epoch older than the newest they
+//! have seen — a deposed leader's stale segments can never be applied.
 
 use std::fmt;
 use std::fs::{self, File};
@@ -253,6 +270,231 @@ impl Wal {
             sync_dir(&self.dir)?;
         }
         Ok(removed)
+    }
+}
+
+/// File holding the fencing epoch (ASCII decimal). Lives next to the
+/// segments so promotion and the log travel together.
+const FENCING_EPOCH_FILE: &str = "fencing.epoch";
+
+/// Reads the fencing epoch persisted in `dir` (0 when none was ever
+/// written — a log that has never seen a hand-off).
+pub fn read_fencing_epoch(dir: &Path) -> io::Result<u64> {
+    match fs::read_to_string(dir.join(FENCING_EPOCH_FILE)) {
+        Ok(text) => text.trim().parse::<u64>().map_err(|_| {
+            io::Error::new(
+                ErrorKind::InvalidData,
+                format!("corrupt fencing epoch file in {}", dir.display()),
+            )
+        }),
+        Err(e) if e.kind() == ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Persists `epoch` as the fencing epoch of `dir` (tmp → fsync →
+/// rename, like checkpoints — a crash mid-write leaves the old epoch).
+pub fn write_fencing_epoch(dir: &Path, epoch: u64) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("fencing.tmp.{}", std::process::id()));
+    let result = (|| -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("{epoch}\n").as_bytes())?;
+        f.sync_all()
+    })();
+    if let Err(e) = result {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    fs::rename(&tmp, dir.join(FENCING_EPOCH_FILE))?;
+    sync_dir(dir)
+}
+
+/// Atomically advances the fencing epoch in `dir` by one and returns
+/// the new value — the promotion step that fences out a deposed
+/// leader: its replication responses now carry an older epoch and
+/// followers refuse them.
+pub fn bump_fencing_epoch(dir: &Path) -> io::Result<u64> {
+    let next = read_fencing_epoch(dir)? + 1;
+    write_fencing_epoch(dir, next)?;
+    Ok(next)
+}
+
+/// The newest checkpoint on disk, if any — what a pruned-anchor
+/// bootstrap serves (its cover point always falls inside the retained
+/// segment range, because prune only deletes what a checkpoint
+/// covers).
+pub fn newest_checkpoint(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
+    Ok(list_checkpoints(dir)?.pop())
+}
+
+/// Installs a checkpoint downloaded from a leader: the bytes land
+/// under the canonical `ckpt-{wal_seq}.ck` name via the same
+/// tmp-write → fsync → rename → dir-fsync dance [`write_checkpoint`]
+/// uses, so a crash mid-install leaves either the old state or the new
+/// checkpoint — never a half-written file under a valid name. The
+/// payload is validated by [`recover`]'s checksummed restore, not
+/// here.
+pub fn install_checkpoint(dir: &Path, wal_seq: u64, bytes: &[u8]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = checkpoint_path(dir, wal_seq);
+    let tmp = dir.join(format!("ckpt.tmp.{}", std::process::id()));
+    let result = (|| -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, &path)?;
+        sync_dir(dir)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// One answer from the leader-side replication read path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplicaBatch {
+    /// Frame bodies for sequence numbers `from_seq ..
+    /// from_seq + bodies.len()`, in order. Empty ⇒ the follower is
+    /// caught up to the frontier.
+    Frames {
+        /// Raw event-JSON bodies (the wire/WAL codec).
+        bodies: Vec<String>,
+    },
+    /// The anchor precedes the oldest retained segment: those frames
+    /// were pruned after a checkpoint, so the caller must bootstrap
+    /// from a checkpoint instead. Not a gap error — pruning is the
+    /// log working as designed.
+    Pruned {
+        /// Start sequence of the oldest segment still on disk.
+        oldest_start: u64,
+    },
+}
+
+/// Reads up to `max_frames` frame bodies with sequence numbers in
+/// `[from_seq, frontier)` from the segments in `dir` — the leader-side
+/// replication read. Safe concurrently with the writer appending:
+/// every frame below the durable `frontier` was fsynced before the
+/// frontier advanced, sealed segments are immutable, and the open
+/// segment is append-only; a torn or unsynced tail simply ends the
+/// scan early (those frames are past the frontier by the write-path
+/// invariant, and the next poll re-reads them once durable).
+pub fn read_frames(
+    dir: &Path,
+    from_seq: u64,
+    max_frames: usize,
+    frontier: u64,
+) -> io::Result<ReplicaBatch> {
+    let segments = list_segments(dir)?;
+    if from_seq >= frontier || max_frames == 0 {
+        return Ok(ReplicaBatch::Frames { bodies: Vec::new() });
+    }
+    // The segment holding `from_seq`: greatest start at or below it.
+    let Some(first) = segments.iter().rposition(|&(start, _)| start <= from_seq) else {
+        // Every retained segment starts past the anchor (or there are
+        // none while the frontier says frames exist): pruned.
+        let oldest_start = segments.first().map_or(frontier, |&(s, _)| s);
+        return Ok(ReplicaBatch::Pruned { oldest_start });
+    };
+
+    let mut bodies = Vec::new();
+    let mut cursor = from_seq;
+    for (i, (start, path)) in segments.iter().enumerate().skip(first) {
+        if *start > cursor {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "gap in the write-ahead log: segment {} starts at seq {start} \
+                     but the replication scan reached only seq {cursor}",
+                    path.display()
+                ),
+            ));
+        }
+        // A sealed predecessor of a live successor may end in a torn
+        // tail (crash artifact): its missing frames were re-logged at
+        // the successor's start, which recovery guarantees equals the
+        // cursor — so only take this segment's frames up to where the
+        // next segment takes over.
+        let takeover = segments.get(i + 1).map(|&(s, _)| s);
+        collect_segment_frames(
+            path,
+            *start,
+            &mut cursor,
+            takeover,
+            frontier,
+            max_frames,
+            &mut bodies,
+        )?;
+        if bodies.len() >= max_frames || cursor >= frontier {
+            break;
+        }
+    }
+    Ok(ReplicaBatch::Frames { bodies })
+}
+
+/// Scans one segment, pushing bodies for `seq >= *cursor` (bounded by
+/// `takeover`, `frontier` and `max_frames`) and advancing the cursor.
+/// Torn/corrupt tails end the scan silently — replication only serves
+/// durable frames, and below the frontier those artifacts cannot
+/// exist.
+fn collect_segment_frames(
+    path: &Path,
+    start: u64,
+    cursor: &mut u64,
+    takeover: Option<u64>,
+    frontier: u64,
+    max_frames: usize,
+    bodies: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut r = BufReader::with_capacity(1 << 16, File::open(path)?);
+    let mut header = [0u8; WAL_HEADER_BYTES];
+    if !read_exact_or_eof(&mut r, &mut header).unwrap_or(false) {
+        return Ok(()); // header never synced: zero durable frames here
+    }
+    if &header[..8] != WAL_MAGIC {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("{} is not a WAL segment (bad magic)", path.display()),
+        ));
+    }
+    let mut seq = start;
+    loop {
+        if bodies.len() >= max_frames || *cursor >= frontier {
+            return Ok(());
+        }
+        if takeover.is_some_and(|t| seq >= t) {
+            return Ok(()); // the successor segment owns it from here
+        }
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(&mut r, &mut len_buf) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return Ok(()), // clean end or torn tail
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len == 0 || len > MAX_WAL_FRAME_BYTES {
+            return Ok(()); // corrupt tail: nothing durable past it
+        }
+        let mut body = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut r, &mut body) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return Ok(()),
+        }
+        if seq >= *cursor {
+            debug_assert_eq!(seq, *cursor, "frames are positionally dense");
+            let text = String::from_utf8(body).map_err(|_| {
+                io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "non-UTF-8 frame below the durable frontier in {}",
+                        path.display()
+                    ),
+                )
+            })?;
+            bodies.push(text);
+            *cursor = seq + 1;
+        }
+        seq += 1;
     }
 }
 
@@ -556,7 +798,7 @@ fn replay_segment(
     }
 }
 
-fn decode_frame(body: &[u8]) -> Result<OnlineEvent, String> {
+pub(crate) fn decode_frame(body: &[u8]) -> Result<OnlineEvent, String> {
     let text = std::str::from_utf8(body).map_err(|e| format!("not UTF-8: {e}"))?;
     let v: serde_json::Value =
         serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -840,6 +1082,180 @@ mod tests {
         let want = oracle(&graph, &probs, &cfg, &evs);
         assert!(recovered.snapshot().same_allocation(&want.snapshot()));
         assert!(recovered.snapshot().same_allocation(&live.snapshot()));
+    }
+
+    /// Decodes a replication frame body back into an event.
+    fn body_event(body: &str) -> OnlineEvent {
+        decode_frame(body.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn read_frames_serves_the_durable_range_and_respects_the_frontier() {
+        let dir = fresh_dir("repl_read");
+        let evs = events();
+
+        // Tiny segments: the stream spans sealed segments and the open
+        // one.
+        let mut wal = Wal::open(&dir, 0, 2).unwrap();
+        for ev in &evs {
+            wal.append(ev).unwrap();
+        }
+        wal.sync().unwrap();
+
+        // Full range from seq 0.
+        let batch = read_frames(&dir, 0, 100, wal.seq()).unwrap();
+        let ReplicaBatch::Frames { bodies } = batch else {
+            panic!("expected frames, got {batch:?}");
+        };
+        assert_eq!(bodies.len(), evs.len());
+        for (body, want) in bodies.iter().zip(&evs) {
+            assert_eq!(&body_event(body), want);
+        }
+
+        // Mid-log anchor.
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, 3, 100, wal.seq()).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!(bodies.len(), evs.len() - 3);
+        assert_eq!(&body_event(&bodies[0]), &evs[3]);
+
+        // max_frames clamps the page.
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, 1, 2, wal.seq()).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(&body_event(&bodies[0]), &evs[1]);
+
+        // The frontier clamps what is served even though more frames
+        // sit on disk (they are not yet acked durable to anyone).
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, 0, 100, 4).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!(bodies.len(), 4);
+
+        // Caught up: empty page, not an error.
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, wal.seq(), 100, wal.seq()).unwrap()
+        else {
+            panic!("expected frames");
+        };
+        assert!(bodies.is_empty());
+    }
+
+    #[test]
+    fn read_frames_anchor_inside_a_pruned_segment_is_typed_not_a_gap_error() {
+        let (graph, probs) = setup(300, 11);
+        let cfg = config(3);
+        let dir = fresh_dir("repl_pruned");
+        let evs = events();
+
+        let mut wal = Wal::open(&dir, 0, 2).unwrap();
+        let mut live = OnlineAllocator::new(&graph, &probs, cfg.clone());
+        for (i, ev) in evs.iter().enumerate() {
+            wal.append(ev).unwrap();
+            wal.sync().unwrap();
+            let _ = live.process(ev);
+            if i == 3 {
+                write_checkpoint(&dir, &mut live, (i + 1) as u64).unwrap();
+                assert_eq!(wal.prune((i + 1) as u64).unwrap(), 1);
+            }
+        }
+        wal.sync().unwrap();
+
+        // Anchor 0 now falls before the oldest retained segment: the
+        // typed bootstrap outcome, with the newest checkpoint covering
+        // the re-subscription point.
+        match read_frames(&dir, 0, 100, wal.seq()).unwrap() {
+            ReplicaBatch::Pruned { oldest_start } => {
+                assert_eq!(oldest_start, 2);
+                let (ckpt_seq, _) = newest_checkpoint(&dir).unwrap().unwrap();
+                assert!(
+                    ckpt_seq >= oldest_start,
+                    "checkpoint covers the pruned range"
+                );
+                // Re-subscribing at the checkpoint's cover point works.
+                let ReplicaBatch::Frames { bodies } =
+                    read_frames(&dir, ckpt_seq, 100, wal.seq()).unwrap()
+                else {
+                    panic!("resubscription failed");
+                };
+                assert_eq!(bodies.len(), evs.len() - ckpt_seq as usize);
+            }
+            other => panic!("expected the pruned outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_frames_stops_cleanly_at_a_torn_open_segment_tail() {
+        let dir = fresh_dir("repl_torn");
+        let evs = events();
+
+        let mut wal = Wal::open(&dir, 0, 1_000).unwrap();
+        for ev in &evs {
+            wal.append(ev).unwrap();
+        }
+        wal.sync().unwrap();
+        let frontier = wal.seq();
+        drop(wal);
+
+        // A torn append mid-stream: length prefix promising more bytes
+        // than the file holds (the crash-mid-append artifact), beyond
+        // the durable frontier.
+        let (_, seg) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&9999u32.to_le_bytes()).unwrap();
+        f.write_all(b"{\"type\":\"arr").unwrap();
+        drop(f);
+
+        // Every durable frame is served; the torn tail neither errors
+        // nor leaks partial bytes.
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, 0, 100, frontier).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!(bodies.len(), evs.len());
+        for (body, want) in bodies.iter().zip(&evs) {
+            assert_eq!(&body_event(body), want);
+        }
+        // Even with an (incorrectly) advanced frontier the torn frame
+        // is not served — the scan ends at the last whole frame.
+        let ReplicaBatch::Frames { bodies } = read_frames(&dir, 0, 100, frontier + 1).unwrap()
+        else {
+            panic!("expected frames");
+        };
+        assert_eq!(bodies.len(), evs.len());
+    }
+
+    #[test]
+    fn read_frames_gap_in_retained_range_is_still_a_hard_error() {
+        let dir = fresh_dir("repl_gap");
+        let mut wal = Wal::open(&dir, 0, 2).unwrap();
+        for ev in &events() {
+            wal.append(ev).unwrap();
+        }
+        wal.sync().unwrap();
+        let frontier = wal.seq();
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        fs::remove_file(&segments[1].1).unwrap();
+        let err = read_frames(&dir, 0, 100, frontier).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn fencing_epoch_reads_zero_then_bumps_monotonically() {
+        let dir = fresh_dir("fencing");
+        assert_eq!(read_fencing_epoch(&dir).unwrap(), 0, "missing dir ⇒ 0");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_fencing_epoch(&dir).unwrap(), 0, "missing file ⇒ 0");
+        assert_eq!(bump_fencing_epoch(&dir).unwrap(), 1);
+        assert_eq!(bump_fencing_epoch(&dir).unwrap(), 2);
+        assert_eq!(read_fencing_epoch(&dir).unwrap(), 2);
+        write_fencing_epoch(&dir, 40).unwrap();
+        assert_eq!(bump_fencing_epoch(&dir).unwrap(), 41);
+        // Corruption is a typed error, not a silent epoch reset (a
+        // reset would un-fence a deposed leader).
+        fs::write(dir.join("fencing.epoch"), b"not a number").unwrap();
+        assert!(read_fencing_epoch(&dir).is_err());
     }
 
     #[test]

@@ -33,6 +33,24 @@
 //! and decode bit-exactly (shortest round-trip float printing), so a
 //! client can verify the server's allocation against an in-process
 //! replay down to revenue-estimate bits.
+//!
+//! # Replication vocabulary (protocol v2)
+//!
+//! Followers tail a leader's write-ahead log through the same framing:
+//! [`Request::ReplicatePoll`] asks for frames at or past a `wal_seq`
+//! subscription anchor and is answered with
+//! [`Response::ReplicateFrames`] (raw event-JSON bodies, clamped to the
+//! leader's durable frontier) or [`Response::ReplicateBootstrap`] when
+//! the anchor falls inside a pruned segment — the follower then pages
+//! the named checkpoint down with [`Request::ReplicateCheckpoint`] /
+//! [`Response::ReplicateCheckpointChunk`] and re-subscribes at its
+//! cover point. Every replication response carries the leader's
+//! **fencing epoch**; a follower ignores frames from an epoch older
+//! than the newest it has seen, so a deposed leader's stale segments
+//! are rejected. Mutations sent to a follower get the typed
+//! [`Response::NotLeader`] redirect, and [`Request::Promote`] asks a
+//! follower to stop tailing, bump the fencing epoch, and take over
+//! writes ([`Response::Promoting`]).
 
 use serde_json::Value;
 use std::io::{ErrorKind, Read, Write};
@@ -42,8 +60,10 @@ use tirm_workloads::events::{event_from_value, event_json_fields};
 
 /// Version of the request/response vocabulary. Bumped on any change a
 /// peer cannot ignore; the `hello` exchange surfaces skew as a typed
-/// error instead of a mid-stream decode failure.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// error instead of a mid-stream decode failure. v2 added the
+/// replication vocabulary (`Replicate*`, `NotLeader`, `Promote`) and
+/// the role / fencing-epoch fields on `hello` and `stats`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame's body. Requests are small (an arrival with a
 /// full topic-weight vector is hundreds of bytes); responses embed at
@@ -51,6 +71,39 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// magnitude of headroom while bounding what a hostile peer can make
 /// the server buffer.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Which side of the replication stream a process is serving: the
+/// single writer (leader) or a read replica tailing its WAL
+/// (follower). Carried in `hello` and `stats` so clients can route
+/// mutations and reason about lag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations; streams its WAL to followers.
+    #[default]
+    Leader,
+    /// Serves snapshot reads; redirects mutations with
+    /// [`Response::NotLeader`].
+    Follower,
+}
+
+impl Role {
+    /// Wire name of the role.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Leader => "leader",
+            Role::Follower => "follower",
+        }
+    }
+
+    /// Parses a wire role name.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "leader" => Some(Role::Leader),
+            "follower" => Some(Role::Follower),
+            _ => None,
+        }
+    }
+}
 
 /// One decoded request.
 #[derive(Clone, Debug, PartialEq)]
@@ -81,6 +134,27 @@ pub enum Request {
     /// Ask the server to begin graceful shutdown
     /// (`{"type":"shutdown"}`).
     Shutdown,
+    /// Follower → leader: stream WAL frames starting at the `from_seq`
+    /// subscription anchor
+    /// (`{"type":"replicate_poll","from_seq":N,"max_frames":N}`).
+    ReplicatePoll {
+        /// First sequence number the follower still needs.
+        from_seq: u64,
+        /// Cap on frames in one response (bounds the frame size).
+        max_frames: u64,
+    },
+    /// Follower → leader: page down the bootstrap checkpoint named by a
+    /// [`Response::ReplicateBootstrap`]
+    /// (`{"type":"replicate_checkpoint","offset":N,"max_bytes":N}`).
+    ReplicateCheckpoint {
+        /// Byte offset into the checkpoint image.
+        offset: u64,
+        /// Cap on payload bytes in one chunk.
+        max_bytes: u64,
+    },
+    /// Ask a follower to take over as leader: stop tailing, bump the
+    /// fencing epoch, accept writes (`{"type":"promote"}`).
+    Promote,
 }
 
 impl Request {
@@ -96,6 +170,18 @@ impl Request {
             Request::AdQuery { id } => format!("{{\"type\":\"ad\",\"id\":{id}}}"),
             Request::Stats => "{\"type\":\"stats\"}".to_string(),
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+            Request::ReplicatePoll {
+                from_seq,
+                max_frames,
+            } => format!(
+                "{{\"type\":\"replicate_poll\",\"from_seq\":{from_seq},\
+                 \"max_frames\":{max_frames}}}"
+            ),
+            Request::ReplicateCheckpoint { offset, max_bytes } => format!(
+                "{{\"type\":\"replicate_checkpoint\",\"offset\":{offset},\
+                 \"max_bytes\":{max_bytes}}}"
+            ),
+            Request::Promote => "{\"type\":\"promote\"}".to_string(),
         }
     }
 
@@ -126,6 +212,29 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "replicate_poll" => {
+                let u = |key: &str| {
+                    v.get(key)
+                        .and_then(|x| x.as_u64())
+                        .ok_or_else(|| format!("missing `{key}`"))
+                };
+                Ok(Request::ReplicatePoll {
+                    from_seq: u("from_seq")?,
+                    max_frames: u("max_frames")?,
+                })
+            }
+            "replicate_checkpoint" => {
+                let u = |key: &str| {
+                    v.get(key)
+                        .and_then(|x| x.as_u64())
+                        .ok_or_else(|| format!("missing `{key}`"))
+                };
+                Ok(Request::ReplicateCheckpoint {
+                    offset: u("offset")?,
+                    max_bytes: u("max_bytes")?,
+                })
+            }
+            "promote" => Ok(Request::Promote),
             _ => match event_from_value(&v)? {
                 OnlineEvent::RegretQuery => Ok(Request::RegretQuery),
                 ev => Ok(Request::Mutate(ev)),
@@ -165,6 +274,23 @@ pub struct StatsView {
     pub bad_requests: u64,
     /// Currently open connections.
     pub connections: usize,
+    /// This process's replication role.
+    pub role: Role,
+    /// Fencing epoch the process serves at (0 before any hand-off).
+    pub fencing_epoch: u64,
+    /// The leader's durable frontier as last observed: equal to
+    /// `wal_seq` on a leader; on a follower, the `durable_seq` of the
+    /// newest replication response it applied.
+    pub leader_seq: u64,
+}
+
+impl StatsView {
+    /// Replication lag in events: how far the local durable frontier
+    /// trails the leader's (0 on a leader, and on a caught-up
+    /// follower).
+    pub fn lag(&self) -> u64 {
+        self.leader_seq.saturating_sub(self.wal_seq)
+    }
 }
 
 /// One decoded response.
@@ -182,6 +308,13 @@ pub enum Response {
         epoch: u64,
         /// WAL sequence number at handshake time (0 without a WAL).
         wal_seq: u64,
+        /// The process's replication role (decodes leniently: a v1
+        /// `hello` without the field is a leader).
+        role: Role,
+        /// Fencing epoch the process serves at (lenient: 0 when
+        /// absent). A follower tracks the max it has seen and rejects
+        /// replication frames from anything older.
+        fencing_epoch: u64,
     },
     /// The mutation was admitted to the writer queue: it will be
     /// **processed** before the server exits (the drain guarantee).
@@ -233,6 +366,57 @@ pub enum Response {
     },
     /// Serving statistics.
     Stats(StatsView),
+    /// Replication stream payload: `frames[i]` is the event-JSON body
+    /// of WAL frame `start_seq + i`. Frames are clamped to the leader's
+    /// durable frontier, so everything here is fsynced on the leader's
+    /// disk. An empty `frames` means "caught up; poll again later".
+    ReplicateFrames {
+        /// The leader's fencing epoch — stale-epoch frames are the
+        /// deposed-leader signature and must be dropped by followers.
+        fencing_epoch: u64,
+        /// Sequence number of `frames[0]`.
+        start_seq: u64,
+        /// The leader's durable frontier at response time (lag =
+        /// `durable_seq - (start_seq + frames.len())`).
+        durable_seq: u64,
+        /// Raw event-JSON frame bodies, in sequence order.
+        frames: Vec<String>,
+    },
+    /// The poll's `from_seq` precedes the oldest retained WAL segment
+    /// (pruned after a checkpoint): the follower must bootstrap from
+    /// the named checkpoint instead — **not** a gap error.
+    ReplicateBootstrap {
+        /// The leader's fencing epoch.
+        fencing_epoch: u64,
+        /// Cover point of the checkpoint to fetch; re-subscribe here.
+        checkpoint_seq: u64,
+        /// Size of the checkpoint image in bytes.
+        total_bytes: u64,
+    },
+    /// One page of the bootstrap checkpoint image.
+    ReplicateCheckpointChunk {
+        /// Cover point of the checkpoint being paged.
+        checkpoint_seq: u64,
+        /// Byte offset of this chunk.
+        offset: u64,
+        /// Total size of the image (chunking ends at it).
+        total_bytes: u64,
+        /// Hex-encoded payload bytes (`2·max_bytes` chars ≤ frame cap).
+        data_hex: String,
+    },
+    /// Typed redirect: this process is a follower; mutations (and
+    /// shutdown) belong at the leader.
+    NotLeader {
+        /// Address of the leader this follower tails (best effort —
+        /// may itself be stale during a hand-off).
+        leader: String,
+    },
+    /// A follower acknowledging [`Request::Promote`]: it is tearing
+    /// down the tail loop and will re-serve as leader.
+    Promoting {
+        /// The fencing epoch the promoted leader will serve at.
+        fencing_epoch: u64,
+    },
 }
 
 impl Response {
@@ -243,9 +427,12 @@ impl Response {
                 version,
                 epoch,
                 wal_seq,
+                role,
+                fencing_epoch,
             } => format!(
                 "{{\"type\":\"hello\",\"version\":{version},\"epoch\":{epoch},\
-                 \"wal_seq\":{wal_seq}}}"
+                 \"wal_seq\":{wal_seq},\"role\":\"{}\",\"fencing_epoch\":{fencing_epoch}}}",
+                role.name()
             ),
             Response::Accepted { epoch, queue_depth } => {
                 format!("{{\"type\":\"accepted\",\"epoch\":{epoch},\"queue_depth\":{queue_depth}}}")
@@ -283,7 +470,8 @@ impl Response {
                 "{{\"type\":\"stats\",\"epoch\":{},\"wal_seq\":{},\"live_ads\":{},\
                  \"total_seeds\":{},\"total_rr_sets\":{},\"engine_memory_bytes\":{},\
                  \"queue_depth\":{},\"max_queue_depth\":{},\"accepted\":{},\"shed\":{},\
-                 \"rejected\":{},\"bad_requests\":{},\"connections\":{}}}",
+                 \"rejected\":{},\"bad_requests\":{},\"connections\":{},\"role\":\"{}\",\
+                 \"fencing_epoch\":{},\"leader_seq\":{}}}",
                 s.epoch,
                 s.wal_seq,
                 s.live_ads,
@@ -296,8 +484,55 @@ impl Response {
                 s.shed,
                 s.rejected,
                 s.bad_requests,
-                s.connections
+                s.connections,
+                s.role.name(),
+                s.fencing_epoch,
+                s.leader_seq
             ),
+            Response::ReplicateFrames {
+                fencing_epoch,
+                start_seq,
+                durable_seq,
+                frames,
+            } => {
+                // Frame bodies are event-JSON objects: embed verbatim.
+                let mut out = format!(
+                    "{{\"type\":\"replicate_frames\",\"fencing_epoch\":{fencing_epoch},\
+                     \"start_seq\":{start_seq},\"durable_seq\":{durable_seq},\"frames\":["
+                );
+                for (i, frame) in frames.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(frame);
+                }
+                out.push_str("]}");
+                out
+            }
+            Response::ReplicateBootstrap {
+                fencing_epoch,
+                checkpoint_seq,
+                total_bytes,
+            } => format!(
+                "{{\"type\":\"replicate_bootstrap\",\"fencing_epoch\":{fencing_epoch},\
+                 \"checkpoint_seq\":{checkpoint_seq},\"total_bytes\":{total_bytes}}}"
+            ),
+            Response::ReplicateCheckpointChunk {
+                checkpoint_seq,
+                offset,
+                total_bytes,
+                data_hex,
+            } => format!(
+                "{{\"type\":\"replicate_checkpoint_chunk\",\"checkpoint_seq\":{checkpoint_seq},\
+                 \"offset\":{offset},\"total_bytes\":{total_bytes},\"data_hex\":\"{data_hex}\"}}"
+            ),
+            Response::NotLeader { leader } => format!(
+                "{{\"type\":\"not_leader\",\"leader\":{}}}",
+                serde_json::to_string(leader).expect("string serialization is infallible")
+            ),
+            Response::Promoting { fencing_epoch } => {
+                format!("{{\"type\":\"promoting\",\"fencing_epoch\":{fencing_epoch}}}")
+            }
         }
     }
 
@@ -326,6 +561,10 @@ impl Response {
                     .map_err(|_| "version out of range".to_string())?,
                 epoch: u("epoch")?,
                 wal_seq: u("wal_seq")?,
+                // Lenient: a v1 hello has neither field (single-process
+                // leader at epoch 0).
+                role: role_or_default(&v)?,
+                fencing_epoch: u("fencing_epoch").unwrap_or(0),
             }),
             "accepted" => Ok(Response::Accepted {
                 epoch: u("epoch")?,
@@ -364,22 +603,88 @@ impl Response {
                     ad,
                 })
             }
-            "stats" => Ok(Response::Stats(StatsView {
-                epoch: u("epoch")?,
-                wal_seq: u("wal_seq")?,
-                live_ads: u("live_ads")? as usize,
-                total_seeds: u("total_seeds")? as usize,
-                total_rr_sets: u("total_rr_sets")? as usize,
-                engine_memory_bytes: u("engine_memory_bytes")? as usize,
-                queue_depth: u("queue_depth")? as usize,
-                max_queue_depth: u("max_queue_depth")? as usize,
-                accepted: u("accepted")?,
-                shed: u("shed")?,
-                rejected: u("rejected")?,
-                bad_requests: u("bad_requests")?,
-                connections: u("connections")? as usize,
-            })),
+            "stats" => {
+                let wal_seq = u("wal_seq")?;
+                Ok(Response::Stats(StatsView {
+                    epoch: u("epoch")?,
+                    wal_seq,
+                    live_ads: u("live_ads")? as usize,
+                    total_seeds: u("total_seeds")? as usize,
+                    total_rr_sets: u("total_rr_sets")? as usize,
+                    engine_memory_bytes: u("engine_memory_bytes")? as usize,
+                    queue_depth: u("queue_depth")? as usize,
+                    max_queue_depth: u("max_queue_depth")? as usize,
+                    accepted: u("accepted")?,
+                    shed: u("shed")?,
+                    rejected: u("rejected")?,
+                    bad_requests: u("bad_requests")?,
+                    connections: u("connections")? as usize,
+                    // Lenient v1 defaults: a leader at fencing epoch 0,
+                    // with its own frontier as the leader frontier.
+                    role: role_or_default(&v)?,
+                    fencing_epoch: u("fencing_epoch").unwrap_or(0),
+                    leader_seq: u("leader_seq").unwrap_or(wal_seq),
+                }))
+            }
+            "replicate_frames" => {
+                let frames = v
+                    .get("frames")
+                    .and_then(|x| x.as_array())
+                    .ok_or_else(|| "missing `frames`".to_string())?
+                    .iter()
+                    .map(|frame| {
+                        if frame.as_object().is_some() {
+                            serde_json::to_string(frame).map_err(|e| e.to_string())
+                        } else {
+                            Err("frame body is not an object".to_string())
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::ReplicateFrames {
+                    fencing_epoch: u("fencing_epoch")?,
+                    start_seq: u("start_seq")?,
+                    durable_seq: u("durable_seq")?,
+                    frames,
+                })
+            }
+            "replicate_bootstrap" => Ok(Response::ReplicateBootstrap {
+                fencing_epoch: u("fencing_epoch")?,
+                checkpoint_seq: u("checkpoint_seq")?,
+                total_bytes: u("total_bytes")?,
+            }),
+            "replicate_checkpoint_chunk" => Ok(Response::ReplicateCheckpointChunk {
+                checkpoint_seq: u("checkpoint_seq")?,
+                offset: u("offset")?,
+                total_bytes: u("total_bytes")?,
+                data_hex: v
+                    .get("data_hex")
+                    .and_then(|x| x.as_str())
+                    .ok_or_else(|| "missing `data_hex`".to_string())?
+                    .to_string(),
+            }),
+            "not_leader" => Ok(Response::NotLeader {
+                leader: v
+                    .get("leader")
+                    .and_then(|x| x.as_str())
+                    .ok_or_else(|| "missing `leader`".to_string())?
+                    .to_string(),
+            }),
+            "promoting" => Ok(Response::Promoting {
+                fencing_epoch: u("fencing_epoch")?,
+            }),
             other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// Decodes an optional `role` field (absent ⇒ [`Role::Leader`], the v1
+/// single-process shape); a present-but-unknown role is an error.
+fn role_or_default(v: &Value) -> Result<Role, String> {
+    match v.get("role") {
+        None => Ok(Role::Leader),
+        Some(r) => {
+            let name = r.as_str().ok_or_else(|| "non-string `role`".to_string())?;
+            Role::parse(name).ok_or_else(|| format!("unknown role {name:?}"))
         }
     }
 }
@@ -403,6 +708,14 @@ pub struct ClientOptions {
     pub backoff_base: Duration,
     /// Cap on the per-attempt backoff.
     pub backoff_max: Duration,
+    /// Deterministic backoff jitter, keyed by a per-client seed:
+    /// `Some(seed)` scales each attempt's backoff by a factor in
+    /// `[0.5, 1.0)` derived from `(seed, attempt)`, so a fleet of
+    /// clients that lost the same server re-dials spread out instead of
+    /// in lockstep — while any single client's schedule stays exactly
+    /// reproducible. `None` keeps the unjittered schedule (tests that
+    /// pin exact sleeps).
+    pub jitter: Option<u64>,
 }
 
 impl Default for ClientOptions {
@@ -413,6 +726,7 @@ impl Default for ClientOptions {
             reconnect_attempts: 0,
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_secs(2),
+            jitter: None,
         }
     }
 }
@@ -427,14 +741,72 @@ impl ClientOptions {
         }
     }
 
+    /// [`reconnecting`](Self::reconnecting) with per-client backoff
+    /// jitter derived from `seed` — what concurrent load-generator
+    /// clients use so a restart doesn't see them re-dial in lockstep.
+    pub fn reconnecting_jittered(attempts: u32, seed: u64) -> Self {
+        ClientOptions {
+            reconnect_attempts: attempts,
+            jitter: Some(seed),
+            ..ClientOptions::default()
+        }
+    }
+
     /// Backoff before reconnect attempt `attempt` (0-based):
-    /// `base · 2^attempt`, saturating at the cap.
+    /// `base · 2^attempt`, saturating at the cap, then scaled by the
+    /// deterministic per-`(seed, attempt)` jitter factor when
+    /// [`jitter`](Self::jitter) is set.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
-        self.backoff_base
+        let full = self
+            .backoff_base
             .saturating_mul(factor)
-            .min(self.backoff_max)
+            .min(self.backoff_max);
+        match self.jitter {
+            None => full,
+            Some(seed) => {
+                // splitmix64 over (seed, attempt): top 53 bits → a
+                // uniform factor in [0.5, 1.0).
+                let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+                full.mul_f64(0.5 + unit / 2.0)
+            }
+        }
     }
+}
+
+/// Hex-encodes bytes (checkpoint pages on the wire — the frame body is
+/// JSON, so binary payloads travel as hex strings).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes a [`hex_encode`] string.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex string".to_string());
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex digit {:?}", pair[0] as char))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex digit {:?}", pair[1] as char))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
 }
 
 /// Decodes one ad object of an allocation payload.
@@ -618,6 +990,15 @@ mod tests {
             Request::AdQuery { id: 9 },
             Request::Stats,
             Request::Shutdown,
+            Request::ReplicatePoll {
+                from_seq: 42,
+                max_frames: 256,
+            },
+            Request::ReplicateCheckpoint {
+                offset: 1 << 20,
+                max_bytes: 65536,
+            },
+            Request::Promote,
         ];
         for req in reqs {
             let text = req.encode();
@@ -677,6 +1058,8 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 epoch: 12,
                 wal_seq: 9,
+                role: Role::Follower,
+                fencing_epoch: 3,
             },
             Response::Accepted {
                 epoch: 4,
@@ -712,7 +1095,40 @@ mod tests {
                 rejected: 1,
                 bad_requests: 3,
                 connections: 5,
+                role: Role::Follower,
+                fencing_epoch: 2,
+                leader_seq: 11,
             }),
+            Response::ReplicateFrames {
+                fencing_epoch: 1,
+                start_seq: 40,
+                durable_seq: 44,
+                frames: vec![
+                    "{\"type\":\"topup\",\"id\":3,\"amount\":2.5}".to_string(),
+                    "{\"type\":\"departure\",\"id\":3}".to_string(),
+                ],
+            },
+            Response::ReplicateFrames {
+                fencing_epoch: 0,
+                start_seq: 44,
+                durable_seq: 44,
+                frames: vec![],
+            },
+            Response::ReplicateBootstrap {
+                fencing_epoch: 2,
+                checkpoint_seq: 128,
+                total_bytes: 9000,
+            },
+            Response::ReplicateCheckpointChunk {
+                checkpoint_seq: 128,
+                offset: 4096,
+                total_bytes: 9000,
+                data_hex: hex_encode(&[0xde, 0xad, 0xbe, 0xef]),
+            },
+            Response::NotLeader {
+                leader: "127.0.0.1:7401".to_string(),
+            },
+            Response::Promoting { fencing_epoch: 4 },
         ];
         for resp in resps {
             let text = resp.encode();
@@ -781,5 +1197,131 @@ mod tests {
         assert_eq!(opts.backoff(2), Duration::from_millis(200));
         assert_eq!(opts.backoff(10), opts.backoff_max, "capped");
         assert_eq!(opts.backoff(40), opts.backoff_max, "no shift overflow");
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_declusters() {
+        let a = ClientOptions::reconnecting_jittered(8, 0xa11ce);
+        let b = ClientOptions::reconnecting_jittered(8, 0xb0b);
+        let plain = ClientOptions::reconnecting(8);
+        for attempt in 0..12 {
+            let full = plain.backoff(attempt);
+            for opts in [&a, &b] {
+                let j = opts.backoff(attempt);
+                assert!(j <= full, "jitter never lengthens the backoff");
+                assert!(
+                    j >= full.mul_f64(0.5),
+                    "jitter keeps at least half the backoff"
+                );
+                // Derived from (seed, attempt) only: same inputs, same
+                // schedule.
+                assert_eq!(j, opts.backoff(attempt));
+            }
+        }
+        // Distinct client seeds de-cluster: the schedules must differ
+        // somewhere (lockstep re-dials are the bug this fixes).
+        assert!(
+            (0..12).any(|i| a.backoff(i) != b.backoff(i)),
+            "two seeds produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn v1_hello_and_stats_decode_leniently_as_a_leader() {
+        // A v1 peer's frames carry neither role nor fencing fields.
+        let hello = b"{\"type\":\"hello\",\"version\":1,\"epoch\":4,\"wal_seq\":7}";
+        match Response::decode(hello).unwrap() {
+            Response::Hello {
+                role,
+                fencing_epoch,
+                wal_seq,
+                ..
+            } => {
+                assert_eq!(role, Role::Leader);
+                assert_eq!(fencing_epoch, 0);
+                assert_eq!(wal_seq, 7);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        let stats = b"{\"type\":\"stats\",\"epoch\":4,\"wal_seq\":7,\"live_ads\":1,\
+            \"total_seeds\":2,\"total_rr_sets\":3,\"engine_memory_bytes\":4,\
+            \"queue_depth\":0,\"max_queue_depth\":1,\"accepted\":5,\"shed\":0,\
+            \"rejected\":0,\"bad_requests\":0,\"connections\":1}";
+        match Response::decode(stats).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.role, Role::Leader);
+                assert_eq!(s.fencing_epoch, 0);
+                assert_eq!(s.leader_seq, s.wal_seq, "own frontier is the leader's");
+                assert_eq!(s.lag(), 0);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // An unknown role is a decode error, not a silent default.
+        let bad = b"{\"type\":\"hello\",\"version\":2,\"epoch\":0,\"wal_seq\":0,\
+            \"role\":\"observer\"}";
+        assert!(Response::decode(bad).is_err());
+    }
+
+    #[test]
+    fn follower_lag_is_leader_minus_local_frontier() {
+        let s = StatsView {
+            wal_seq: 90,
+            leader_seq: 100,
+            role: Role::Follower,
+            ..StatsView::default()
+        };
+        assert_eq!(s.lag(), 10);
+        let caught_up = StatsView {
+            wal_seq: 100,
+            leader_seq: 90, // stale leader observation
+            ..StatsView::default()
+        };
+        assert_eq!(caught_up.lag(), 0, "saturates, never underflows");
+    }
+
+    #[test]
+    fn replicate_frames_bodies_decode_as_events() {
+        // The stream payload is the event vocabulary verbatim: each
+        // frame body decodes through the shared codec.
+        let resp = Response::ReplicateFrames {
+            fencing_epoch: 1,
+            start_seq: 5,
+            durable_seq: 7,
+            frames: vec![
+                format!("{{{}}}", event_json_fields(&arrival())),
+                "{\"type\":\"departure\",\"id\":7}".to_string(),
+            ],
+        };
+        let text = resp.encode();
+        match Response::decode(text.as_bytes()).unwrap() {
+            Response::ReplicateFrames { frames, .. } => {
+                assert_eq!(frames.len(), 2);
+                let ev = Request::decode(frames[0].as_bytes()).unwrap();
+                assert_eq!(ev, Request::Mutate(arrival()));
+                let ev = Request::decode(frames[1].as_bytes()).unwrap();
+                assert_eq!(ev, Request::Mutate(OnlineEvent::AdDeparture { id: 7 }));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "bad digit");
+    }
+
+    #[test]
+    fn roles_round_trip_names() {
+        for role in [Role::Leader, Role::Follower] {
+            assert_eq!(Role::parse(role.name()), Some(role));
+        }
+        assert_eq!(Role::parse("observer"), None);
+        assert_eq!(Role::default(), Role::Leader);
     }
 }

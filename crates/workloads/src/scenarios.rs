@@ -70,6 +70,12 @@ pub struct ScenarioSpec {
     /// stamps wire latencies, read-path percentiles and the shed rate.
     /// Ids live in the `SERVING/...` namespace.
     pub serving: bool,
+    /// Replicated network-serving cell: like `serving`, but the runner
+    /// boots a durable leader *plus* a WAL-shipping follower and routes
+    /// part of the reader pool at the follower — stamping follower read
+    /// throughput and replication lag alongside the serving metrics.
+    /// Ids live in the `SERVING-REPL/...` namespace.
+    pub serving_repl: bool,
 }
 
 impl ScenarioSpec {
@@ -85,6 +91,7 @@ impl ScenarioSpec {
             seed_cap: None,
             online: false,
             serving: false,
+            serving_repl: false,
         }
     }
 
@@ -107,15 +114,33 @@ impl ScenarioSpec {
         }
     }
 
+    /// A replicated network-serving cell (leader + WAL-shipping
+    /// follower, reader pool split across both) over the dataset's
+    /// canonical model.
+    fn serving_repl(dataset: DatasetKind, kappa: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            kappa,
+            serving_repl: true,
+            ..ScenarioSpec::base(dataset)
+        }
+    }
+
     /// Stable cell identity, the join key between two baseline files:
     /// `DATASET/model/ALLOCATOR/t<threads>/k<kappa>/l<lambda>`,
-    /// `ONLINE/DATASET/model/t…/k…/l…` for in-process serving cells, or
-    /// `SERVING/DATASET/model/t…/k…/l…` for network serving cells.
+    /// `ONLINE/DATASET/model/t…/k…/l…` for in-process serving cells,
+    /// `SERVING/DATASET/model/t…/k…/l…` for network serving cells, or
+    /// `SERVING-REPL/DATASET/model/t…/k…/l…` for replicated ones.
     pub fn id(&self) -> String {
-        if self.online || self.serving {
+        if self.online || self.serving || self.serving_repl {
             return format!(
                 "{}/{}/{}/t{}/k{}/l{}",
-                if self.serving { "SERVING" } else { "ONLINE" },
+                if self.serving_repl {
+                    "SERVING-REPL"
+                } else if self.serving {
+                    "SERVING"
+                } else {
+                    "ONLINE"
+                },
                 self.dataset.name(),
                 self.model.name(),
                 self.threads,
@@ -293,6 +318,8 @@ impl Tier {
             ScenarioSpec::serving(DatasetKind::Flixster, 2),
             ScenarioSpec::serving(DatasetKind::Epinions, 1),
             ScenarioSpec::serving(DatasetKind::Dblp, 1),
+            ScenarioSpec::serving_repl(DatasetKind::Epinions, 2),
+            ScenarioSpec::serving_repl(DatasetKind::Dblp, 1),
         ]
     }
 
@@ -411,11 +438,13 @@ impl Tier {
             Tier::Quick => {
                 specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2));
                 specs.push(ScenarioSpec::serving(DatasetKind::Epinions, 2));
+                specs.push(ScenarioSpec::serving_repl(DatasetKind::Epinions, 2));
             }
             Tier::Full => {
                 specs.push(ScenarioSpec::online(DatasetKind::Epinions, 2));
                 specs.push(ScenarioSpec::online(DatasetKind::Dblp, 1));
                 specs.push(ScenarioSpec::serving(DatasetKind::Epinions, 2));
+                specs.push(ScenarioSpec::serving_repl(DatasetKind::Epinions, 2));
             }
             Tier::Paper | Tier::Online | Tier::Serving => {}
         }
@@ -520,8 +549,16 @@ mod tests {
     fn serving_grid_shape() {
         let specs = Tier::Serving.matrix();
         assert!(specs.len() >= 4);
-        assert!(specs.iter().all(|s| s.serving && !s.online));
-        assert!(specs.iter().all(|s| s.id().starts_with("SERVING/")));
+        assert!(specs
+            .iter()
+            .all(|s| (s.serving ^ s.serving_repl) && !s.online));
+        assert!(specs
+            .iter()
+            .all(|s| s.id().starts_with("SERVING/") || s.id().starts_with("SERVING-REPL/")));
+        assert!(
+            specs.iter().any(|s| s.serving_repl),
+            "the serving tier must watch replication"
+        );
         assert!(
             specs.iter().any(|s| s.kappa >= 2) && specs.iter().any(|s| s.kappa == 1),
             "both delta-path room and full contention"

@@ -267,12 +267,24 @@ impl Parser<'_> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (1–4 bytes) verbatim.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Copy the longest run of plain bytes in one shot,
+                    // validating UTF-8 once per run. (Validating the
+                    // whole remaining input per scalar is quadratic —
+                    // multi-megabyte strings such as replication
+                    // checkpoint chunks made that path unusable.)
+                    // Byte-wise scanning is UTF-8-safe: continuation
+                    // bytes are ≥ 0x80, so they never match the
+                    // delimiter or control checks.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -602,6 +614,22 @@ mod tests {
         assert_eq!(from_str("9").unwrap().as_u64(), Some(9));
         assert_eq!(from_str("-9").unwrap().as_u64(), None);
         assert_eq!(from_str("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parse_multi_megabyte_string() {
+        // Regression guard: the string parser must handle payloads the
+        // size of a replication checkpoint chunk (megabytes) in linear
+        // time — the per-scalar validation it once did was quadratic
+        // and effectively hung on inputs this large. Escapes at both
+        // run boundaries check the batched copy splices correctly.
+        let body = "ab".repeat(1 << 20);
+        let doc = format!("{{\"data\":\"\\t{body}\\n\",\"tail\":\"x\"}}");
+        let v = from_str(&doc).unwrap();
+        let got = v.get("data").unwrap().as_str().unwrap().to_string();
+        assert_eq!(got.len(), (2 << 20) + 2);
+        assert!(got.starts_with('\t') && got.ends_with('\n'));
+        assert_eq!(v.get("tail").unwrap().as_str(), Some("x"));
     }
 
     #[test]
