@@ -42,7 +42,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 use tirm_bench::loadgen::{drive, LoadgenConfig};
-use tirm_bench::write_json;
+use tirm_bench::{scrape_metrics, write_json};
 use tirm_online::{AllocationSnapshot, OnlineAllocator};
 use tirm_server::wal::{recover, Wal};
 use tirm_server::{Client, ClientOptions};
@@ -270,6 +270,14 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("no free port: {e}")),
     };
     let addr: SocketAddr = ([127, 0, 0, 1], port).into();
+    // A second fixed port for the child's metrics endpoint, so every
+    // life of the server exposes its registry at the same address and
+    // the soak can scrape right before each SIGKILL.
+    let metrics_port = match TcpListener::bind("127.0.0.1:0").and_then(|l| l.local_addr()) {
+        Ok(a) => a.port(),
+        Err(e) => return fail(&format!("no free metrics port: {e}")),
+    };
+    let metrics_addr: SocketAddr = ([127, 0, 0, 1], metrics_port).into();
 
     let spawner = ServerSpawner {
         bin: server_bin,
@@ -290,6 +298,8 @@ fn main() -> ExitCode {
             segment_events.to_string(),
             "--shard-writers".into(),
             shard_writers.to_string(),
+            "--metrics-addr".into(),
+            metrics_addr.to_string(),
         ],
     };
 
@@ -350,6 +360,10 @@ fn main() -> ExitCode {
                 },
             }
         };
+        // Last-breath scrape: the registry the crash is about to erase,
+        // preserved as a CI artifact (the WAL protects state, not
+        // metrics — the dump is the only record of this life).
+        scrape_metrics(metrics_addr, &format!("crash_soak_kill{k}"));
         // SIGKILL: no drain, no checkpoint, no fsync of anything
         // in-flight — the hard crash the WAL exists for.
         child.kill().ok();
@@ -405,6 +419,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(&format!("fetching the final allocation: {e}")),
     };
+    scrape_metrics(metrics_addr, "crash_soak_final");
     monitor.shutdown_server().ok();
     child.wait().ok();
 

@@ -107,6 +107,8 @@ struct LoadgenSummary {
     follower_reads: u64,
     leader_fallback_reads: u64,
     follower_lag_p99: u64,
+    leader_queue_p99: u64,
+    leader_shed_total: u64,
     latency_p50_us: f64,
     latency_p95_us: f64,
     latency_p99_us: f64,
@@ -305,6 +307,15 @@ fn main() -> ExitCode {
         report.final_stats.max_queue_depth,
         report.final_stats.epoch,
     );
+    if !report.leader_queue_depth.is_empty() {
+        println!(
+            "leader pressure — queue depth p99 {} over {} observations, \
+             {} mutations shed process-lifetime",
+            report.leader_queue_p99(),
+            report.leader_queue_depth.len(),
+            report.leader_shed_total,
+        );
+    }
     if !followers.is_empty() {
         println!(
             "follower pool — {} follower reads, {} leader fallbacks, lag p99 {} events",
@@ -337,6 +348,8 @@ fn main() -> ExitCode {
             follower_reads: report.follower_reads,
             leader_fallback_reads: report.leader_fallback_reads,
             follower_lag_p99: report.follower_lag_p99(),
+            leader_queue_p99: report.leader_queue_p99(),
+            leader_shed_total: report.leader_shed_total,
             latency_p50_us: report.mutation_latency.percentile_us(50.0),
             latency_p95_us: report.mutation_latency.percentile_us(95.0),
             latency_p99_us: report.mutation_latency.percentile_us(99.0),

@@ -48,7 +48,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 use tirm_bench::loadgen::{drive, percentile_u64, LoadgenConfig};
-use tirm_bench::write_json;
+use tirm_bench::{scrape_metrics, write_json};
 use tirm_online::{AllocationSnapshot, OnlineAllocator};
 use tirm_server::{Client, ClientOptions, Role};
 use tirm_workloads::events::{scale_budgets, LogEvent};
@@ -165,6 +165,9 @@ fn replay_oracle(
 /// child currently serves there.
 struct Replica {
     addr: SocketAddr,
+    /// Fixed per-slot `--metrics-addr`, stable across restarts so the
+    /// soak can scrape a victim's registry right before the SIGKILL.
+    metrics_addr: SocketAddr,
     state_dir: PathBuf,
     child: Child,
 }
@@ -181,12 +184,14 @@ impl Fleet {
     fn spawn(
         &self,
         addr: SocketAddr,
+        metrics_addr: SocketAddr,
         state_dir: &Path,
         follow: Option<SocketAddr>,
         peers: &[SocketAddr],
     ) -> io::Result<Child> {
         let mut args = self.common.clone();
         args.extend(["--bind".into(), addr.to_string()]);
+        args.extend(["--metrics-addr".into(), metrics_addr.to_string()]);
         args.extend(["--state-dir".into(), state_dir.display().to_string()]);
         if let Some(leader) = follow {
             args.extend(["--follow".into(), leader.to_string()]);
@@ -332,10 +337,15 @@ fn main() -> ExitCode {
     // Fixed ports for every replica slot, so restarts and referrals
     // always land on the same address.
     let mut addrs = Vec::with_capacity(replicas_total);
+    let mut metrics_addrs = Vec::with_capacity(replicas_total);
     for _ in 0..replicas_total {
         match TcpListener::bind("127.0.0.1:0").and_then(|l| l.local_addr()) {
             Ok(a) => addrs.push(SocketAddr::from(([127, 0, 0, 1], a.port()))),
             Err(e) => return fail(&format!("no free port: {e}")),
+        }
+        match TcpListener::bind("127.0.0.1:0").and_then(|l| l.local_addr()) {
+            Ok(a) => metrics_addrs.push(SocketAddr::from(([127, 0, 0, 1], a.port()))),
+            Err(e) => return fail(&format!("no free metrics port: {e}")),
         }
     }
     let all_addrs = addrs.clone();
@@ -363,12 +373,13 @@ fn main() -> ExitCode {
     for (i, addr) in addrs.iter().enumerate() {
         let state_dir = base.join(format!("replica{i}"));
         let follow = (i != leader_idx).then_some(addrs[leader_idx]);
-        let child = match fleet.spawn(*addr, &state_dir, follow, &all_addrs) {
+        let child = match fleet.spawn(*addr, metrics_addrs[i], &state_dir, follow, &all_addrs) {
             Ok(c) => c,
             Err(e) => return fail(&format!("spawning replica {i}: {e}")),
         };
         replicas.push(Replica {
             addr: *addr,
+            metrics_addr: metrics_addrs[i],
             state_dir,
             child,
         });
@@ -453,6 +464,12 @@ fn main() -> ExitCode {
             rng.gen_range(0..replicas_total)
         };
         let was_leader = target == leader_idx;
+        // Preserve the victim's registry as an artifact before the
+        // SIGKILL erases it (metrics are in-memory only — no WAL).
+        scrape_metrics(
+            replicas[target].metrics_addr,
+            &format!("replica_soak_kill{k}_r{target}"),
+        );
         replicas[target].child.kill().ok();
         replicas[target].child.wait().ok();
 
@@ -501,6 +518,7 @@ fn main() -> ExitCode {
         let (addr, state_dir) = (replicas[target].addr, replicas[target].state_dir.clone());
         replicas[target].child = match fleet.spawn(
             addr,
+            replicas[target].metrics_addr,
             &state_dir,
             Some(replicas[leader_idx].addr),
             &all_addrs,
@@ -596,6 +614,7 @@ fn main() -> ExitCode {
         bit_identical.push(same);
     }
 
+    scrape_metrics(replicas[leader_idx].metrics_addr, "replica_soak_final");
     for r in replicas.iter_mut() {
         Client::connect(r.addr)
             .and_then(|mut c| c.shutdown_server())

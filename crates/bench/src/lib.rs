@@ -243,6 +243,31 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Scrapes a server's `--metrics-addr` endpoint and preserves the
+/// Prometheus text under [`experiments_dir()`]`/<name>.prom` — how the
+/// soak harnesses capture a child's registry right before a SIGKILL
+/// erases it. Best-effort and non-fatal: the scrape is evidence, not a
+/// gate, and a soak mid-crash must not fail on a telemetry hiccup; the
+/// text is still parse-checked so a malformed exposition is surfaced
+/// loudly in the log.
+pub fn scrape_metrics(addr: std::net::SocketAddr, name: &str) {
+    let text = match tirm_obs::http::fetch(addr, "/metrics", std::time::Duration::from_secs(5)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("warn: metrics scrape from {addr} failed: {e}");
+            return;
+        }
+    };
+    if let Err(e) = tirm_obs::prom::parse(&text) {
+        eprintln!("warn: metrics scrape from {addr} does not parse: {e}");
+    }
+    let path = experiments_dir().join(format!("{name}.prom"));
+    match tirm_graph::snapshot::write_atomic(&path, text.as_bytes()) {
+        Ok(()) => eprintln!("[prom] {}", path.display()),
+        Err(e) => eprintln!("warn: writing {name}.prom failed: {e}"),
+    }
+}
+
 /// Writes a [`schema::BenchReport`] under [`experiments_dir()`]`/<name>.json`
 /// with the same log-or-warn behaviour as [`write_json`] — the standard
 /// sink for every experiment binary's artifact.

@@ -136,6 +136,14 @@ pub struct LoadReport {
     /// Follower replication lag observed in the readers' `stats`
     /// responses (events behind the leader), in observation order.
     pub follower_lag: Vec<u64>,
+    /// Leader write-queue depth observed in the readers' `stats`
+    /// responses while routed to the leader, in observation order —
+    /// the pressure signal lag-aware routing reacts to.
+    pub leader_queue_depth: Vec<u64>,
+    /// Highest registry-backed process-lifetime shed counter observed
+    /// on the leader (survives restarts within a process; 0 when no
+    /// reader ever polled the leader's stats).
+    pub leader_shed_total: u64,
     /// Server statistics after the drain.
     pub final_stats: StatsView,
 }
@@ -154,6 +162,12 @@ impl LoadReport {
     /// observations — e.g. no follower pool).
     pub fn follower_lag_p99(&self) -> u64 {
         percentile_u64(&self.follower_lag, 0.99)
+    }
+
+    /// p99 of the leader write-queue depth the readers observed (0
+    /// with no observations).
+    pub fn leader_queue_p99(&self) -> u64 {
+        percentile_u64(&self.leader_queue_depth, 0.99)
     }
 }
 
@@ -212,12 +226,16 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
         let mut follower_reads = 0u64;
         let mut leader_fallback_reads = 0u64;
         let mut follower_lag = Vec::new();
+        let mut leader_queue_depth = Vec::new();
+        let mut leader_shed_total = 0u64;
         for handle in readers {
             let side = handle.join().expect("reader panicked")?;
             reads_per_reader.push(side.count);
             follower_reads += side.follower_reads;
             leader_fallback_reads += side.fallback_reads;
             follower_lag.extend(side.lag_samples);
+            leader_queue_depth.extend(side.leader_queue_samples);
+            leader_shed_total = leader_shed_total.max(side.leader_shed_total);
             for &ns in side.hist.samples() {
                 read_latency.record(ns);
             }
@@ -230,14 +248,23 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
                 follower_reads,
                 leader_fallback_reads,
                 follower_lag,
+                leader_queue_depth,
+                leader_shed_total,
             ),
         ))
     })?;
     let wall_s = t0.elapsed().as_secs_f64();
 
     let (offered, accepted, shed, mutation_latency, per_kind, final_stats) = mutation_side;
-    let (read_latency, reads_per_reader, follower_reads, leader_fallback_reads, follower_lag) =
-        read_side;
+    let (
+        read_latency,
+        reads_per_reader,
+        follower_reads,
+        leader_fallback_reads,
+        follower_lag,
+        leader_queue_depth,
+        leader_shed_total,
+    ) = read_side;
     let reads: u64 = reads_per_reader.iter().sum();
     Ok(LoadReport {
         wall_s,
@@ -262,6 +289,8 @@ pub fn drive(addr: SocketAddr, log: &[LogEvent], cfg: &LoadgenConfig) -> io::Res
         follower_reads,
         leader_fallback_reads,
         follower_lag,
+        leader_queue_depth,
+        leader_shed_total,
         final_stats,
     })
 }
@@ -541,6 +570,8 @@ struct ReaderSide {
     follower_reads: u64,
     fallback_reads: u64,
     lag_samples: Vec<u64>,
+    leader_queue_samples: Vec<u64>,
+    leader_shed_total: u64,
 }
 
 /// While demoted to the leader, re-probe the assigned follower after
@@ -584,6 +615,8 @@ fn reader_loop(
         follower_reads: 0,
         fallback_reads: 0,
         lag_samples: Vec::new(),
+        leader_queue_samples: Vec::new(),
+        leader_shed_total: 0,
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut since_probe = 0u64;
@@ -659,6 +692,20 @@ fn reader_loop(
                         addr = leader;
                         since_probe = 0;
                         client = Client::connect_with(addr, &opts)?;
+                    }
+                } else {
+                    // Routed to the leader: these stats are the leader's
+                    // own, so the registry-backed counters are the
+                    // pressure signal lag-aware routing was blind to.
+                    side.leader_queue_samples.push(s.queue_depth as u64);
+                    let shedding = s.shed_total > side.leader_shed_total;
+                    side.leader_shed_total = side.leader_shed_total.max(s.shed_total);
+                    if shedding && follower.is_some() {
+                        // The leader is shedding writes while we add
+                        // read load to it — re-probe the follower at
+                        // the next iteration instead of waiting out
+                        // the full probe interval.
+                        since_probe = FOLLOWER_PROBE_EVERY;
                     }
                 }
             }

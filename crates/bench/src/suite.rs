@@ -280,6 +280,32 @@ pub fn run_online_cell(
 /// lock-free while the writer grinds".
 pub const SERVING_READERS: usize = 4;
 
+/// The PR-gate's exposition probe, run right after the serving cell
+/// while its traffic is still in the process-global registry: boot the
+/// metrics HTTP endpoint on an ephemeral loopback port, scrape
+/// `/metrics`, and assert the Prometheus text parses with the core
+/// serving counters non-zero. A cell that served traffic but exposes an
+/// empty or unparseable scrape is an observability regression even when
+/// the allocation is right. Runs outside the cell's timed window so the
+/// probe's own wall cost never shows up in the gated `wall_s`.
+fn probe_metrics_exposition() {
+    let srv = tirm_obs::http::serve("127.0.0.1:0").expect("metrics endpoint bind failed");
+    let text = tirm_obs::http::fetch(srv.addr(), "/metrics", std::time::Duration::from_secs(5))
+        .expect("metrics scrape failed");
+    let samples = tirm_obs::prom::parse(&text).expect("exposition must parse");
+    for name in [
+        "tirm_server_accepted_total",
+        "tirm_rrset_rr_sets_sampled_total",
+        "tirm_online_apply_latency_ns_count",
+    ] {
+        let v = tirm_obs::prom::sample_value(&samples, name);
+        assert!(
+            v.is_some_and(|v| v > 0.0),
+            "core counter {name} missing or zero after the serving cell: {v:?}"
+        );
+    }
+}
+
 /// Runs one network serving cell: boot a real `tirm_server` on a
 /// loopback port over the shared dataset, drive it with the load
 /// generator (mutation stream in deterministic-delivery mode — every
@@ -335,6 +361,7 @@ pub fn run_serving_cell(
         })
         .expect("serving cell server failed");
     let wall_s = t0.elapsed().as_secs_f64();
+    probe_metrics_exposition();
     assert_eq!(
         served.rejected, 0,
         "generated streams are always valid once fully delivered"

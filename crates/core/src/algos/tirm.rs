@@ -451,8 +451,10 @@ fn tirm_run(
     // per-ad FastPaths share it. Building the degree ordering is
     // O(n log n + m) once — noise against the sampling volume.
     let layout = Arc::new(if opts.relabel.enabled_for(n) {
+        tirm_obs::registry::RELABEL_SCALE_AWARE.inc();
         SamplingLayout::degree_ordered(problem.graph)
     } else {
+        tirm_obs::registry::RELABEL_IDENTITY.inc();
         SamplingLayout::identity()
     });
 

@@ -1,0 +1,198 @@
+//! Minimal HTTP/1.0 exposition endpoint over std TCP — enough for
+//! `curl` and a Prometheus scraper, with no new dependencies.
+//!
+//! Routes:
+//! - `GET /metrics`       → Prometheus text exposition of the registry
+//! - `GET /metrics.json`  → the structured JSON dump (same payload as
+//!   the `metrics` wire request)
+//!
+//! The acceptor runs on its own thread with a non-blocking listener and
+//! a short poll so [`MetricsServer::stop`] (or drop) tears it down
+//! promptly. Serving a scrape only *reads* metrics, so the endpoint
+//! cannot perturb the instrumented process beyond scheduler noise.
+
+use crate::{prom, registry};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running exposition endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with a `:0` port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and joins its thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+    // Read until the end of the request head (or timeout); only the
+    // request line matters.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = match buf.split(|&b| b == b'\r').next() {
+        Some(l) if !l.is_empty() => String::from_utf8_lossy(l).into_owned(),
+        _ => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        );
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = prom::render(&registry::snapshot());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/metrics.json" => {
+            let body = registry::dump_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Binds `addr` and serves the exposition endpoint on a background
+/// thread until the returned handle is stopped or dropped.
+pub fn serve(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("tirm-metrics-http".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        handle_quietly(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_quietly(stream: TcpStream) {
+    // Scrapes are serialized on the acceptor thread: exposition is rare
+    // (seconds apart) and cheap, and a single thread keeps the endpoint's
+    // footprint on the instrumented process minimal.
+    handle(stream);
+}
+
+/// Blocking one-shot HTTP GET against an exposition endpoint, returning
+/// the response body. Shared by tests, the suite probe, and the soak
+/// binaries' scrapes (none of which want a real HTTP client dep).
+pub fn fetch(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::other(format!("non-200 response: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_prometheus_and_json_then_stops() {
+        let mut server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let timeout = Duration::from_secs(5);
+        crate::registry::SERVER_ACCEPTED.inc();
+
+        let text = fetch(addr, "/metrics", timeout).expect("scrape /metrics");
+        let samples = prom::parse(&text).expect("exposition parses");
+        assert!(prom::sample_value(&samples, "tirm_server_accepted_total").unwrap() >= 1.0);
+
+        let json = fetch(addr, "/metrics.json", timeout).expect("scrape /metrics.json");
+        assert!(json.starts_with("{\"counters\":{"));
+
+        assert!(fetch(addr, "/nope", timeout).is_err());
+        server.stop();
+        // Port is released once stopped.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

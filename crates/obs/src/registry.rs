@@ -1,0 +1,464 @@
+//! The process-wide metric inventory.
+//!
+//! Metrics are plain `static` items — no registration, no lazy init, no
+//! allocation — and the inventory below is the single source of truth
+//! for both exposition surfaces (Prometheus text and the JSON dump
+//! carried by the `metrics` wire request). Adding a metric means adding
+//! a static and one inventory row; the renderers, the wire surface, and
+//! the soak scrapes pick it up automatically.
+//!
+//! Naming follows Prometheus conventions: `tirm_<layer>_<what>[_total]`,
+//! nanosecond histograms suffixed `_ns`.
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{SlowEvent, SlowTrace};
+
+// ---------------------------------------------------------------------
+// Sampler (tirm_rrset / tirm_core).
+// ---------------------------------------------------------------------
+
+/// RR sets materialized by the parallel sampler (both RR and RRC modes).
+pub static RR_SETS_SAMPLED: Counter = Counter::new();
+/// High-water mark of resident RR index arena bytes.
+pub static RR_ARENA_BYTES: Gauge = Gauge::new();
+/// Per-run relabel decisions that chose scale-aware mark relabeling.
+pub static RELABEL_SCALE_AWARE: Counter = Counter::new();
+/// Per-run relabel decisions that kept the identity layout.
+pub static RELABEL_IDENTITY: Counter = Counter::new();
+
+// ---------------------------------------------------------------------
+// Online allocator (tirm_online).
+// ---------------------------------------------------------------------
+
+/// `process()` latency for `AdArrival` events.
+pub static APPLY_LATENCY_ARRIVAL: Histogram = Histogram::new();
+/// `process()` latency for `BudgetTopUp` events.
+pub static APPLY_LATENCY_TOPUP: Histogram = Histogram::new();
+/// `process()` latency for `AdDeparture` events.
+pub static APPLY_LATENCY_DEPARTURE: Histogram = Histogram::new();
+/// `process()` latency for `Reallocate` events.
+pub static APPLY_LATENCY_REALLOCATE: Histogram = Histogram::new();
+/// `process()` latency for `RegretQuery` events.
+pub static APPLY_LATENCY_REGRET_QUERY: Histogram = Histogram::new();
+/// Reconciliations served by the incremental delta path.
+pub static DELTA_RECONCILIATIONS: Counter = Counter::new();
+/// Reconciliations that fell back to a full interleaved re-run.
+pub static FULL_RECONCILIATIONS: Counter = Counter::new();
+/// Departed-ad shards evicted from the retained pool.
+pub static POOL_EVICTIONS: Counter = Counter::new();
+/// Departed-ad shards reclaimed warm on re-arrival.
+pub static POOL_RECLAIMS: Counter = Counter::new();
+
+// ---------------------------------------------------------------------
+// Serving (tirm_server).
+// ---------------------------------------------------------------------
+
+/// Mutations admitted into the writer queue.
+pub static SERVER_ACCEPTED: Counter = Counter::new();
+/// Mutations shed at admission (queue full).
+pub static SERVER_SHED: Counter = Counter::new();
+/// Events rejected by the allocator (invalid ids/payloads).
+pub static SERVER_REJECTED: Counter = Counter::new();
+/// High-water mark of the writer queue depth.
+pub static SERVER_QUEUE_HIGH_WATER: Gauge = Gauge::new();
+/// Allocation snapshots published to the lock-free reader swap.
+pub static SNAPSHOT_PUBLISHES: Counter = Counter::new();
+/// Per-frame WAL append (buffered write) latency.
+pub static WAL_APPEND_LATENCY_NS: Histogram = Histogram::new();
+/// WAL group-commit fsync latency.
+pub static WAL_FSYNC_LATENCY_NS: Histogram = Histogram::new();
+/// Frames per WAL group commit.
+pub static WAL_BATCH_EVENTS: Histogram = Histogram::new();
+/// Checkpoint write wall time.
+pub static CHECKPOINT_WALL_NS: Histogram = Histogram::new();
+
+// ---------------------------------------------------------------------
+// Replication.
+// ---------------------------------------------------------------------
+
+/// Durable frames shipped to followers via `replicate_poll`.
+pub static REPL_FRAMES_SHIPPED: Counter = Counter::new();
+/// Replication requests rejected by fencing-epoch checks.
+pub static REPL_FENCED_REJECTS: Counter = Counter::new();
+/// Follower bootstrap attempts that failed and were retried.
+pub static REPL_BOOTSTRAP_RETRIES: Counter = Counter::new();
+/// Follower's current lag behind the leader, in frames.
+pub static REPL_FOLLOWER_LAG: Gauge = Gauge::new();
+
+/// Process-wide slow-event trace (top-64 slowest spans).
+pub static SLOW_TRACE: SlowTrace = SlowTrace::new(64);
+
+/// Counter inventory: `(name, help, counter)`.
+pub static COUNTERS: &[(&str, &str, &Counter)] = &[
+    (
+        "tirm_rrset_rr_sets_sampled_total",
+        "RR sets materialized by the parallel sampler",
+        &RR_SETS_SAMPLED,
+    ),
+    (
+        "tirm_rrset_relabel_scale_aware_total",
+        "Sampler runs that chose scale-aware mark relabeling",
+        &RELABEL_SCALE_AWARE,
+    ),
+    (
+        "tirm_rrset_relabel_identity_total",
+        "Sampler runs that kept the identity vertex layout",
+        &RELABEL_IDENTITY,
+    ),
+    (
+        "tirm_online_delta_reconciliations_total",
+        "Reconciliations served by the incremental delta path",
+        &DELTA_RECONCILIATIONS,
+    ),
+    (
+        "tirm_online_full_reconciliations_total",
+        "Reconciliations that fell back to a full interleaved re-run",
+        &FULL_RECONCILIATIONS,
+    ),
+    (
+        "tirm_online_pool_evictions_total",
+        "Departed-ad shards evicted from the retained pool",
+        &POOL_EVICTIONS,
+    ),
+    (
+        "tirm_online_pool_reclaims_total",
+        "Departed-ad shards reclaimed warm on re-arrival",
+        &POOL_RECLAIMS,
+    ),
+    (
+        "tirm_server_accepted_total",
+        "Mutations admitted into the writer queue",
+        &SERVER_ACCEPTED,
+    ),
+    (
+        "tirm_server_shed_total",
+        "Mutations shed at admission because the queue was full",
+        &SERVER_SHED,
+    ),
+    (
+        "tirm_server_rejected_total",
+        "Events rejected by the allocator",
+        &SERVER_REJECTED,
+    ),
+    (
+        "tirm_server_snapshot_publishes_total",
+        "Allocation snapshots published to the reader swap",
+        &SNAPSHOT_PUBLISHES,
+    ),
+    (
+        "tirm_repl_frames_shipped_total",
+        "Durable WAL frames shipped to followers",
+        &REPL_FRAMES_SHIPPED,
+    ),
+    (
+        "tirm_repl_fenced_rejects_total",
+        "Replication requests rejected by fencing-epoch checks",
+        &REPL_FENCED_REJECTS,
+    ),
+    (
+        "tirm_repl_bootstrap_retries_total",
+        "Follower bootstrap attempts that failed and were retried",
+        &REPL_BOOTSTRAP_RETRIES,
+    ),
+];
+
+/// Gauge inventory: `(name, help, gauge)`.
+pub static GAUGES: &[(&str, &str, &Gauge)] = &[
+    (
+        "tirm_rrset_arena_bytes_high_water",
+        "High-water mark of resident RR index arena bytes",
+        &RR_ARENA_BYTES,
+    ),
+    (
+        "tirm_server_queue_depth_high_water",
+        "High-water mark of the writer queue depth",
+        &SERVER_QUEUE_HIGH_WATER,
+    ),
+    (
+        "tirm_repl_follower_lag_frames",
+        "Follower lag behind the leader, in frames",
+        &REPL_FOLLOWER_LAG,
+    ),
+];
+
+/// Histogram inventory: `(family, label `(key, value)` or None, help,
+/// histogram)`. Rows sharing a family must be contiguous — the
+/// Prometheus renderer emits one HELP/TYPE header per family run.
+#[allow(clippy::type_complexity)]
+pub static HISTOGRAMS: &[(&str, Option<(&str, &str)>, &str, &Histogram)] = &[
+    (
+        "tirm_online_apply_latency_ns",
+        Some(("kind", "arrival")),
+        "Allocator process() latency by event kind (ns)",
+        &APPLY_LATENCY_ARRIVAL,
+    ),
+    (
+        "tirm_online_apply_latency_ns",
+        Some(("kind", "topup")),
+        "Allocator process() latency by event kind (ns)",
+        &APPLY_LATENCY_TOPUP,
+    ),
+    (
+        "tirm_online_apply_latency_ns",
+        Some(("kind", "departure")),
+        "Allocator process() latency by event kind (ns)",
+        &APPLY_LATENCY_DEPARTURE,
+    ),
+    (
+        "tirm_online_apply_latency_ns",
+        Some(("kind", "reallocate")),
+        "Allocator process() latency by event kind (ns)",
+        &APPLY_LATENCY_REALLOCATE,
+    ),
+    (
+        "tirm_online_apply_latency_ns",
+        Some(("kind", "regret_query")),
+        "Allocator process() latency by event kind (ns)",
+        &APPLY_LATENCY_REGRET_QUERY,
+    ),
+    (
+        "tirm_server_wal_append_latency_ns",
+        None,
+        "Per-frame WAL append latency (ns)",
+        &WAL_APPEND_LATENCY_NS,
+    ),
+    (
+        "tirm_server_wal_fsync_latency_ns",
+        None,
+        "WAL group-commit fsync latency (ns)",
+        &WAL_FSYNC_LATENCY_NS,
+    ),
+    (
+        "tirm_server_wal_batch_events",
+        None,
+        "Frames per WAL group commit",
+        &WAL_BATCH_EVENTS,
+    ),
+    (
+        "tirm_server_checkpoint_wall_ns",
+        None,
+        "Checkpoint write wall time (ns)",
+        &CHECKPOINT_WALL_NS,
+    ),
+];
+
+/// The apply-latency histogram for an event-kind name (as produced by
+/// `tirm_online::EventKind::name()`), if known.
+pub fn apply_latency_for(kind_name: &str) -> Option<&'static Histogram> {
+    match kind_name {
+        "arrival" => Some(&APPLY_LATENCY_ARRIVAL),
+        "topup" => Some(&APPLY_LATENCY_TOPUP),
+        "departure" => Some(&APPLY_LATENCY_DEPARTURE),
+        "reallocate" => Some(&APPLY_LATENCY_REALLOCATE),
+        "regret_query" => Some(&APPLY_LATENCY_REGRET_QUERY),
+        _ => None,
+    }
+}
+
+/// Point-in-time copy of every registry metric, in inventory order.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, help, value)` per counter.
+    pub counters: Vec<(&'static str, &'static str, u64)>,
+    /// `(name, help, value)` per gauge.
+    pub gauges: Vec<(&'static str, &'static str, u64)>,
+    /// `(family, label, help, snapshot)` per histogram.
+    #[allow(clippy::type_complexity)]
+    pub histograms: Vec<(
+        &'static str,
+        Option<(&'static str, &'static str)>,
+        &'static str,
+        HistogramSnapshot,
+    )>,
+    /// Slow-event trace contents, slowest first.
+    pub slow_events: Vec<SlowEvent>,
+}
+
+/// Snapshots the whole registry.
+pub fn snapshot() -> RegistrySnapshot {
+    RegistrySnapshot {
+        counters: COUNTERS.iter().map(|(n, h, c)| (*n, *h, c.get())).collect(),
+        gauges: GAUGES.iter().map(|(n, h, g)| (*n, *h, g.get())).collect(),
+        histograms: HISTOGRAMS
+            .iter()
+            .map(|(f, l, h, hist)| (*f, *l, *h, hist.snapshot()))
+            .collect(),
+        slow_events: SLOW_TRACE.dump(),
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Display name of one histogram row: the family, plus the label in
+/// Prometheus selector form when present
+/// (`tirm_online_apply_latency_ns{kind="arrival"}`).
+pub fn histogram_display_name(family: &str, label: Option<(&str, &str)>) -> String {
+    match label {
+        Some((k, v)) => format!("{family}{{{k}=\"{v}\"}}"),
+        None => family.to_string(),
+    }
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot as a single deterministic JSON object.
+    ///
+    /// All values are integers, and consumers that parse-and-re-emit
+    /// through the vendored order-preserving `serde_json` reproduce
+    /// these bytes exactly — the property the `metrics` wire request's
+    /// round-trip tests rely on. Histogram buckets are sparse
+    /// `[bucket_index, count]` pairs (see
+    /// [`crate::metric::bucket_index`] for the layout).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"counters\":{");
+        for (i, (name, _, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(name, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, _, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(name, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (family, label, _, snap)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&histogram_display_name(family, *label), &mut out);
+            out.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                snap.count, snap.sum
+            ));
+            let mut first = true;
+            for (b, c) in snap.counts.iter().enumerate() {
+                if *c > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{b},{c}]"));
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"slow_events\":[");
+        for (i, e) in self.slow_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":\"");
+            json_escape(e.kind, &mut out);
+            out.push_str(&format!(
+                "\",\"ad_id\":{},\"nanos\":{},\"seq\":{}}}",
+                e.ad_id, e.nanos, e.seq
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Snapshots the registry and renders it as JSON (the payload of the
+/// `metrics` wire response and the `--metrics-json` shutdown dump).
+pub fn dump_json() -> String {
+    snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_names_are_unique_and_well_formed() {
+        let mut names: Vec<String> = COUNTERS
+            .iter()
+            .map(|(n, _, _)| n.to_string())
+            .chain(GAUGES.iter().map(|(n, _, _)| n.to_string()))
+            .chain(
+                HISTOGRAMS
+                    .iter()
+                    .map(|(f, l, _, _)| histogram_display_name(f, *l)),
+            )
+            .collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric names in inventory");
+        for (n, _, _) in COUNTERS {
+            assert!(n.starts_with("tirm_"), "{n}");
+            assert!(n.ends_with("_total"), "counter {n} must end in _total");
+        }
+        for (n, _, _) in GAUGES {
+            assert!(n.starts_with("tirm_"), "{n}");
+        }
+        // Family runs must be contiguous for the Prometheus renderer.
+        let mut seen: Vec<&str> = Vec::new();
+        for (f, _, _, _) in HISTOGRAMS {
+            if seen.last() != Some(f) {
+                assert!(!seen.contains(f), "family {f} split across inventory");
+                seen.push(f);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_latency_lookup_covers_all_kinds() {
+        for k in [
+            "arrival",
+            "topup",
+            "departure",
+            "reallocate",
+            "regret_query",
+        ] {
+            assert!(apply_latency_for(k).is_some(), "{k}");
+        }
+        assert!(apply_latency_for("bogus").is_none());
+    }
+
+    #[test]
+    fn json_dump_parses_and_reserializes_identically() {
+        // Touch a few metrics so the dump is non-trivial; the registry is
+        // process-global so other tests' traffic is fine too.
+        RR_SETS_SAMPLED.add(3);
+        RR_ARENA_BYTES.set_max(1 << 20);
+        WAL_FSYNC_LATENCY_NS.record(12_345);
+        SLOW_TRACE.record("test_span", 7, 999_999);
+        let dump = dump_json();
+        let v: serde_json::Value = serde_json::from_str(&dump).expect("dump is valid JSON");
+        // The vendored serde_json preserves object insertion order and the
+        // dump is all-integer, so re-serialization is byte-identical. The
+        // `metrics` wire response depends on this.
+        assert_eq!(serde_json::to_string(&v).unwrap(), dump);
+        let counters = v.get("counters").and_then(|c| c.as_object()).unwrap();
+        assert!(counters
+            .iter()
+            .any(|(k, _)| k.as_str() == "tirm_rrset_rr_sets_sampled_total"));
+        let hists = v.get("histograms").and_then(|h| h.as_object()).unwrap();
+        assert!(hists
+            .iter()
+            .any(|(k, _)| k.as_str() == "tirm_server_wal_fsync_latency_ns"));
+        assert!(v.get("slow_events").and_then(|s| s.as_array()).is_some());
+    }
+}

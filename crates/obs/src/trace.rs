@@ -1,0 +1,132 @@
+//! Bounded slow-event trace: keeps the top-K slowest events seen so far,
+//! dumpable on demand.
+//!
+//! The fast path is a single relaxed load: once the buffer is full, its
+//! minimum duration is cached in an atomic floor, and events at or below
+//! the floor return without touching the lock. Only genuinely slow events
+//! (by construction, at most K of them per floor level) pay for the
+//! mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One traced slow event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEvent {
+    /// Static event kind label (e.g. `"arrival"`, `"wal_fsync"`).
+    pub kind: &'static str,
+    /// Ad id the event concerned, or 0 when not ad-scoped.
+    pub ad_id: u64,
+    /// Duration in nanoseconds.
+    pub nanos: u64,
+    /// Process-wide admission order (monotone; later ⇒ more recent).
+    pub seq: u64,
+}
+
+struct TraceInner {
+    entries: Vec<SlowEvent>,
+    next_seq: u64,
+}
+
+/// Top-K slowest events, `const`-constructible for `static` position.
+pub struct SlowTrace {
+    capacity: usize,
+    /// Admission floor in nanoseconds: events at or below this cannot
+    /// displace anything (0 until the buffer fills).
+    floor: AtomicU64,
+    inner: Mutex<TraceInner>,
+}
+
+impl SlowTrace {
+    /// An empty trace keeping the slowest `capacity` events.
+    pub const fn new(capacity: usize) -> Self {
+        SlowTrace {
+            capacity,
+            floor: AtomicU64::new(0),
+            inner: Mutex::new(TraceInner {
+                entries: Vec::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Offers one event; keeps it only if it ranks among the slowest
+    /// seen.
+    pub fn record(&self, kind: &'static str, ad_id: u64, nanos: u64) {
+        if nanos <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(SlowEvent {
+            kind,
+            ad_id,
+            nanos,
+            seq,
+        });
+        if inner.entries.len() > self.capacity {
+            let min_idx = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.nanos)
+                .map(|(i, _)| i)
+                .unwrap();
+            inner.entries.swap_remove(min_idx);
+        }
+        if inner.entries.len() >= self.capacity {
+            let new_floor = inner.entries.iter().map(|e| e.nanos).min().unwrap_or(0);
+            self.floor.store(new_floor, Ordering::Relaxed);
+        }
+    }
+
+    /// Current contents, slowest first (ties broken by recency).
+    pub fn dump(&self) -> Vec<SlowEvent> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut out = inner.entries.clone();
+        drop(inner);
+        out.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(b.seq.cmp(&a.seq)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_top_k_by_duration() {
+        let t = SlowTrace::new(4);
+        for nanos in [10u64, 50, 20, 40, 30, 60, 5] {
+            t.record("ev", nanos, nanos);
+        }
+        let dump = t.dump();
+        let durations: Vec<u64> = dump.iter().map(|e| e.nanos).collect();
+        assert_eq!(durations, vec![60, 50, 40, 30]);
+        // Floor rejects without admitting: 5 and 10 never displace.
+        assert!(dump.iter().all(|e| e.nanos >= 30));
+        assert_eq!(dump[0].ad_id, 60);
+        assert_eq!(dump[0].kind, "ev");
+    }
+
+    #[test]
+    fn fast_reject_below_floor() {
+        let t = SlowTrace::new(2);
+        t.record("a", 0, 100);
+        t.record("b", 0, 200);
+        // Buffer full: floor is now 100, this is dropped without a lock
+        // round-trip mutating anything.
+        t.record("c", 0, 50);
+        let dump = t.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].nanos, 200);
+        assert_eq!(dump[1].nanos, 100);
+    }
+}

@@ -45,6 +45,17 @@ use tirm_core::{
 use tirm_graph::{DiGraph, NodeId};
 use tirm_topics::{CtpTable, TopicDist, TopicEdgeProbs};
 
+/// The ad an event concerns, for the slow-event trace (0 for events
+/// that aren't ad-scoped).
+fn event_ad_id(event: &OnlineEvent) -> u64 {
+    match event {
+        OnlineEvent::AdArrival { id, .. }
+        | OnlineEvent::BudgetTopUp { id, .. }
+        | OnlineEvent::AdDeparture { id } => *id,
+        OnlineEvent::Reallocate | OnlineEvent::RegretQuery => 0,
+    }
+}
+
 /// Configuration of an [`OnlineAllocator`].
 #[derive(Clone, Debug)]
 pub struct OnlineConfig {
@@ -176,6 +187,21 @@ impl<'g> OnlineAllocator<'g> {
     /// and (unless [`OnlineConfig::auto_reallocate`] is off) reconcile
     /// the allocation before returning.
     pub fn process(&mut self, event: &OnlineEvent) -> Result<EventOutcome, OnlineError> {
+        // Observability wrapper: time the whole apply (including
+        // reconciliation) into the per-kind registry histogram and the
+        // slow-event trace. Write-only — the outcome is untouched.
+        let t0 = std::time::Instant::now();
+        let out = self.process_impl(event);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let kind_name = event.kind().name();
+        if let Some(h) = tirm_obs::registry::apply_latency_for(kind_name) {
+            h.record(nanos);
+        }
+        tirm_obs::registry::SLOW_TRACE.record(kind_name, event_ad_id(event), nanos);
+        out
+    }
+
+    fn process_impl(&mut self, event: &OnlineEvent) -> Result<EventOutcome, OnlineError> {
         self.stats.events += 1;
         let kind = event.kind();
         let fresh_before = self.stats.fresh_rr_sets;
@@ -309,6 +335,7 @@ impl<'g> OnlineAllocator<'g> {
             self.stale = false;
             self.contended = false;
             self.stats.delta_reallocations += 1;
+            tirm_obs::registry::DELTA_RECONCILIATIONS.inc();
             return (true, true);
         }
         let delta_sound = !self.contended && self.cfg.tirm.max_total_seeds.is_none();
@@ -321,6 +348,7 @@ impl<'g> OnlineAllocator<'g> {
                 self.contended = sat;
                 self.stale = false;
                 self.stats.delta_reallocations += 1;
+                tirm_obs::registry::DELTA_RECONCILIATIONS.inc();
                 return (true, true);
             }
             // Same fallback as the sequential delta path: the composition
@@ -330,6 +358,7 @@ impl<'g> OnlineAllocator<'g> {
         self.dirty.clear();
         self.stale = false;
         self.stats.full_reallocations += 1;
+        tirm_obs::registry::FULL_RECONCILIATIONS.inc();
         (true, false)
     }
 
@@ -454,6 +483,7 @@ impl<'g> OnlineAllocator<'g> {
         let warm = self.pool.reclaim(id, topics);
         if warm.is_some() {
             self.stats.shard_reclaims += 1;
+            tirm_obs::registry::POOL_RECLAIMS.inc();
         }
         self.live.push(LiveAd {
             id,
@@ -532,6 +562,7 @@ impl<'g> OnlineAllocator<'g> {
             self.stale = false;
             self.contended = false;
             self.stats.delta_reallocations += 1;
+            tirm_obs::registry::DELTA_RECONCILIATIONS.inc();
             return (true, true);
         }
         // `max_total_seeds` is a *global* cap coupling all trajectories
@@ -555,6 +586,7 @@ impl<'g> OnlineAllocator<'g> {
                 self.contended = sat;
                 self.stale = false;
                 self.stats.delta_reallocations += 1;
+                tirm_obs::registry::DELTA_RECONCILIATIONS.inc();
                 return (true, true);
             }
             // Composition saturated someone: per-ad independence no
@@ -565,6 +597,7 @@ impl<'g> OnlineAllocator<'g> {
         self.dirty.clear();
         self.stale = false;
         self.stats.full_reallocations += 1;
+        tirm_obs::registry::FULL_RECONCILIATIONS.inc();
         (true, false)
     }
 

@@ -83,6 +83,7 @@ impl RetainedPool {
             let evicted = self.entries.remove(0);
             self.total_bytes -= evicted.bytes;
             self.evictions += 1;
+            tirm_obs::registry::POOL_EVICTIONS.inc();
         }
     }
 

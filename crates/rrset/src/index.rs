@@ -400,7 +400,11 @@ impl RrIndex {
     /// against, and the storage share of the Table 4 metric. O(1): pure
     /// capacity reads, no per-node walk.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * 4 + self.offsets.capacity() * 4 + self.postings_bytes()
+        let bytes = self.nodes.capacity() * 4 + self.offsets.capacity() * 4 + self.postings_bytes();
+        // Budget accounting polls this on every pool/online decision, so
+        // it doubles as the arena high-water observation point.
+        tirm_obs::registry::RR_ARENA_BYTES.set_max(bytes as u64);
+        bytes
     }
 
     /// Bytes attributable to the postings structure alone (frozen tier,

@@ -415,6 +415,7 @@ impl ParallelSampler {
             }
         }
         self.total_sampled += count;
+        tirm_obs::registry::RR_SETS_SAMPLED.add(count as u64);
         out
     }
 
@@ -466,6 +467,9 @@ impl ParallelSampler {
             }
         }
         self.total_sampled += count;
+        // Batch-granular observability: one sharded counter add per call,
+        // nothing per set.
+        tirm_obs::registry::RR_SETS_SAMPLED.add(count as u64);
         count
     }
 }

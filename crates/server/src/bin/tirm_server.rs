@@ -41,6 +41,13 @@
 //! * `--peer ADDR` — (repeatable, follower mode) other replicas to try
 //!   when the leader stops answering — how a follower finds the new
 //!   leader after a hand-off.
+//! * `--metrics-addr ADDR` — serve the observability registry over
+//!   HTTP: `GET /metrics` (Prometheus text) and `GET /metrics.json`
+//!   (structured dump). Out-of-band — reads the registry, never the
+//!   serving state. Works in leader and follower modes; port 0 picks
+//!   an ephemeral port, printed on stderr.
+//! * `--metrics-json PATH` — on clean shutdown, write the final
+//!   registry snapshot to PATH as JSON (atomic temp+rename).
 //!
 //! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
 //! warm-starts the dataset from the binary snapshot cache.
@@ -55,7 +62,7 @@ fn usage(msg: &str) -> ExitCode {
         "usage: tirm_server [--dataset NAME] [--model topic|exp|wc] [--bind ADDR] \
          [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N] \
          [--state-dir DIR] [--checkpoint-interval N] [--segment-events N] [--shard-writers S] \
-         [--follow LEADER_ADDR [--peer ADDR]...]"
+         [--follow LEADER_ADDR [--peer ADDR]...] [--metrics-addr ADDR] [--metrics-json PATH]"
     );
     ExitCode::from(2)
 }
@@ -75,6 +82,8 @@ fn main() -> ExitCode {
     let mut shard_writers = 1usize;
     let mut follow: Option<String> = None;
     let mut peers: Vec<String> = Vec::new();
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +144,14 @@ fn main() -> ExitCode {
                 Some(a) if !a.is_empty() => peers.push(a),
                 _ => return usage("--peer expects a replica address"),
             },
+            "--metrics-addr" => match args.next() {
+                Some(a) if !a.is_empty() => metrics_addr = Some(a),
+                _ => return usage("--metrics-addr expects an address"),
+            },
+            "--metrics-json" => match args.next() {
+                Some(p) if !p.is_empty() => metrics_json = Some(p),
+                _ => return usage("--metrics-json expects a file path"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -158,6 +175,40 @@ fn main() -> ExitCode {
     // measures under the same cap as the suite's cells at this scale;
     // shared with out-of-process oracles via the library.
     let online = tirm_server::serving_online_config(dataset_kind, &cfg, kappa, lambda, seed);
+
+    // The metrics endpoint outlives role changes: one HTTP server for
+    // the whole process, spanning follower tailing and a post-promotion
+    // leader run alike (the registry is process-global).
+    let _metrics_server = match &metrics_addr {
+        Some(addr) => match tirm_obs::http::serve(addr) {
+            Ok(srv) => {
+                eprintln!("metrics on http://{}/metrics", srv.addr());
+                Some(srv)
+            }
+            Err(e) => {
+                eprintln!("error: metrics endpoint bind failed on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    // Final registry snapshot on clean shutdown — same atomic
+    // temp+rename discipline as checkpoints, so a scraper never reads a
+    // torn dump.
+    let dump_metrics_json = |path: &Option<String>| -> ExitCode {
+        if let Some(path) = path {
+            let dump = tirm_obs::dump_json();
+            if let Err(e) =
+                tirm_graph::snapshot::write_atomic(std::path::Path::new(path), dump.as_bytes())
+            {
+                eprintln!("error: metrics dump to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics dump written to {path}");
+        }
+        ExitCode::SUCCESS
+    };
 
     // Follower mode: tail the leader until shutdown or promotion; a
     // promotion falls through into the leader path below over the same
@@ -201,7 +252,7 @@ fn main() -> ExitCode {
                     report.fenced_rejects,
                 );
                 if !report.promoted {
-                    return ExitCode::SUCCESS;
+                    return dump_metrics_json(&metrics_json);
                 }
                 match wal::bump_fencing_epoch(std::path::Path::new(&dir)) {
                     Ok(epoch) => {
@@ -304,7 +355,7 @@ fn main() -> ExitCode {
                 report.final_snapshot.total_seeds(),
                 report.final_snapshot.regret_estimate,
             );
-            ExitCode::SUCCESS
+            dump_metrics_json(&metrics_json)
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -220,6 +220,17 @@ impl Client {
         }
     }
 
+    /// The server's observability registry dump as a JSON string
+    /// (counters, gauges, histograms, slow-event trace). The dump is
+    /// process-lifetime state — it survives snapshot publishes and
+    /// follower promotion, unlike the per-run [`Self::stats`] counters.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(protocol_err(format!("expected metrics, got {other:?}"))),
+        }
+    }
+
     /// One replication poll: asks the server for WAL frames starting
     /// at `from_seq`. The response is returned raw because three
     /// outcomes are all legitimate protocol — `ReplicateFrames` (a

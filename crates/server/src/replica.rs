@@ -320,6 +320,7 @@ fn apply_loop<'g>(
             if h.role == Role::Leader && h.fencing_epoch < local_epoch {
                 // A deposed leader still answering: refuse to regress.
                 out.fenced_rejects += 1;
+                tirm_obs::registry::REPL_FENCED_REJECTS.inc();
                 endpoints.rotate_left(1);
                 sleep_checked(shared, cfg.poll_interval);
                 continue 'reconnect;
@@ -358,6 +359,7 @@ fn apply_loop<'g>(
                         // The satellite case: a deposed leader's stale
                         // segments. Drop the page unapplied.
                         out.fenced_rejects += 1;
+                        tirm_obs::registry::REPL_FENCED_REJECTS.inc();
                         endpoints.rotate_left(1);
                         continue 'reconnect;
                     }
@@ -379,6 +381,8 @@ fn apply_loop<'g>(
                         continue;
                     }
                     shared.leader_seq.store(durable_seq, Ordering::Release);
+                    tirm_obs::registry::REPL_FOLLOWER_LAG
+                        .set(durable_seq.saturating_sub(wal_log.seq()));
                     if frames.is_empty() {
                         sleep_checked(shared, cfg.poll_interval);
                         continue;
@@ -405,6 +409,8 @@ fn apply_loop<'g>(
                     }
                     wal_log.sync().expect("follower WAL fsync failed");
                     shared.wal_seq.store(wal_log.seq(), Ordering::Release);
+                    tirm_obs::registry::REPL_FOLLOWER_LAG
+                        .set(durable_seq.saturating_sub(wal_log.seq()));
                     for ev in &events {
                         match allocator.process(ev) {
                             Ok(_) => swap.publish(allocator.snapshot()),
@@ -430,6 +436,7 @@ fn apply_loop<'g>(
                     let local_epoch = shared.fencing_epoch.load(Ordering::Acquire);
                     if fencing_epoch < local_epoch {
                         out.fenced_rejects += 1;
+                        tirm_obs::registry::REPL_FENCED_REJECTS.inc();
                         endpoints.rotate_left(1);
                         continue 'reconnect;
                     }
@@ -459,6 +466,7 @@ fn apply_loop<'g>(
                         // serving reads and retry — possibly elsewhere.
                         Err(e) => {
                             eprintln!("bootstrap from {target} failed (will retry): {e}");
+                            tirm_obs::registry::REPL_BOOTSTRAP_RETRIES.inc();
                             endpoints.rotate_left(1);
                             sleep_checked(shared, cfg.poll_interval);
                             continue 'reconnect;

@@ -730,6 +730,7 @@ fn writer_loop(
                     Ok(_) => swap.publish(allocator.snapshot()),
                     Err(_) => {
                         shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        tirm_obs::registry::SERVER_REJECTED.inc();
                     }
                 }
             }
@@ -741,6 +742,7 @@ fn writer_loop(
                     Ok(_) => applied = true,
                     Err(_) => {
                         shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        tirm_obs::registry::SERVER_REJECTED.inc();
                     }
                 }
             }
@@ -886,8 +888,17 @@ pub(crate) fn handle_connection(
                     rejected: shared.rejected.load(Ordering::Relaxed),
                     bad_requests: shared.bad_requests.load(Ordering::Relaxed),
                     connections: shared.connections_open.load(Ordering::Relaxed),
+                    // Registry-backed process-lifetime totals: these
+                    // survive follower→leader promotion within the
+                    // process, unlike the per-serve-run `Shared`
+                    // counters above.
+                    shed_total: tirm_obs::registry::SERVER_SHED.get(),
+                    rejected_total: tirm_obs::registry::SERVER_REJECTED.get(),
                 })
             }
+            Ok(Request::Metrics) => Response::Metrics {
+                json: tirm_obs::dump_json(),
+            },
             Ok(Request::ReplicatePoll {
                 from_seq,
                 max_frames,
@@ -944,6 +955,8 @@ fn admit(
         Ok(()) => {
             shared.max_queue_len.fetch_max(depth, Ordering::Relaxed);
             shared.accepted.fetch_add(1, Ordering::Relaxed);
+            tirm_obs::registry::SERVER_ACCEPTED.inc();
+            tirm_obs::registry::SERVER_QUEUE_HIGH_WATER.set_max(depth as u64);
             Response::Accepted {
                 epoch: reader.latest().epoch,
                 queue_depth: depth,
@@ -952,6 +965,7 @@ fn admit(
         Err(TrySendError::Full(_)) => {
             shared.queue_len.fetch_sub(1, Ordering::Relaxed);
             shared.shed.fetch_add(1, Ordering::Relaxed);
+            tirm_obs::registry::SERVER_SHED.inc();
             Response::Overloaded {
                 queue_depth: depth - 1,
             }
@@ -1015,6 +1029,7 @@ fn replicate_poll(ctx: &ReplicaCtx, shared: &Shared, from_seq: u64, max_frames: 
                 }
             }
             bodies.truncate(keep);
+            tirm_obs::registry::REPL_FRAMES_SHIPPED.add(bodies.len() as u64);
             Response::ReplicateFrames {
                 fencing_epoch,
                 start_seq: from_seq,

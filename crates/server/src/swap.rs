@@ -57,6 +57,7 @@ impl SnapshotSwap {
     pub fn publish(&self, snapshot: Arc<AllocationSnapshot>) {
         *self.slot.lock().expect("snapshot slot poisoned") = snapshot;
         self.version.fetch_add(1, Ordering::Release);
+        tirm_obs::registry::SNAPSHOT_PUBLISHES.inc();
     }
 
     /// Publications so far.

@@ -216,6 +216,7 @@ impl Wal {
     /// open one is full. Returns the frame's sequence number. The frame
     /// is buffered — it is *not* durable until [`sync`](Self::sync).
     pub fn append(&mut self, ev: &OnlineEvent) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
         if self.seq - self.segment_start >= self.segment_events {
             self.rotate()?;
         }
@@ -226,6 +227,7 @@ impl Wal {
         let assigned = self.seq;
         self.seq += 1;
         self.unsynced += 1;
+        tirm_obs::registry::WAL_APPEND_LATENCY_NS.record_duration(t0.elapsed());
         Ok(assigned)
     }
 
@@ -236,9 +238,15 @@ impl Wal {
         if self.unsynced == 0 {
             return Ok(());
         }
+        let batch = self.unsynced;
+        let t0 = std::time::Instant::now();
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.unsynced = 0;
+        let elapsed = t0.elapsed();
+        tirm_obs::registry::WAL_FSYNC_LATENCY_NS.record_duration(elapsed);
+        tirm_obs::registry::WAL_BATCH_EVENTS.record(batch);
+        tirm_obs::registry::SLOW_TRACE.record("wal_fsync", 0, elapsed.as_nanos() as u64);
         Ok(())
     }
 
@@ -507,6 +515,7 @@ pub fn write_checkpoint(
     allocator: &mut OnlineAllocator<'_>,
     wal_seq: u64,
 ) -> io::Result<PathBuf> {
+    let t0 = std::time::Instant::now();
     fs::create_dir_all(dir)?;
     let path = checkpoint_path(dir, wal_seq);
     let tmp = dir.join(format!("ckpt.tmp.{}", std::process::id()));
@@ -529,6 +538,9 @@ pub fn write_checkpoint(
         }
         sync_dir(dir)?;
     }
+    let elapsed = t0.elapsed();
+    tirm_obs::registry::CHECKPOINT_WALL_NS.record_duration(elapsed);
+    tirm_obs::registry::SLOW_TRACE.record("checkpoint", 0, elapsed.as_nanos() as u64);
     Ok(path)
 }
 

@@ -62,8 +62,10 @@ use tirm_workloads::events::{event_from_value, event_json_fields};
 /// peer cannot ignore; the `hello` exchange surfaces skew as a typed
 /// error instead of a mid-stream decode failure. v2 added the
 /// replication vocabulary (`Replicate*`, `NotLeader`, `Promote`) and
-/// the role / fencing-epoch fields on `hello` and `stats`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// the role / fencing-epoch fields on `hello` and `stats`. v3 added the
+/// `metrics` observability request and the registry-backed
+/// `shed_total` / `rejected_total` fields on `stats`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard cap on one frame's body. Requests are small (an arrival with a
 /// full topic-weight vector is hundreds of bytes); responses embed at
@@ -131,6 +133,10 @@ pub enum Request {
     },
     /// Serving statistics (`{"type":"stats"}`).
     Stats,
+    /// The process-wide observability registry dump
+    /// (`{"type":"metrics"}`): every counter, gauge and latency
+    /// histogram plus the slow-event trace, as one JSON object.
+    Metrics,
     /// Ask the server to begin graceful shutdown
     /// (`{"type":"shutdown"}`).
     Shutdown,
@@ -169,6 +175,7 @@ impl Request {
             Request::AllocationQuery => "{\"type\":\"allocation\"}".to_string(),
             Request::AdQuery { id } => format!("{{\"type\":\"ad\",\"id\":{id}}}"),
             Request::Stats => "{\"type\":\"stats\"}".to_string(),
+            Request::Metrics => "{\"type\":\"metrics\"}".to_string(),
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
             Request::ReplicatePoll {
                 from_seq,
@@ -211,6 +218,7 @@ impl Request {
                     .ok_or_else(|| "missing `id`".to_string())?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "replicate_poll" => {
                 let u = |key: &str| {
@@ -282,6 +290,15 @@ pub struct StatsView {
     /// `wal_seq` on a leader; on a follower, the `durable_seq` of the
     /// newest replication response it applied.
     pub leader_seq: u64,
+    /// Mutations shed over the *process* lifetime (registry-backed):
+    /// unlike `shed`, this survives a follower's promotion to leader
+    /// within the same process, so lag-aware routers see accumulated
+    /// leader pressure across hand-offs. Decodes leniently to `shed`
+    /// against pre-v3 servers.
+    pub shed_total: u64,
+    /// Allocator rejections over the process lifetime
+    /// (registry-backed; lenient to `rejected` pre-v3).
+    pub rejected_total: u64,
 }
 
 impl StatsView {
@@ -366,6 +383,14 @@ pub enum Response {
     },
     /// Serving statistics.
     Stats(StatsView),
+    /// The observability registry dump: one JSON object (`counters`,
+    /// `gauges`, `histograms`, `slow_events`) embedded verbatim. All
+    /// values are integers and object order is preserved by the codec,
+    /// so the dump round-trips byte-exactly.
+    Metrics {
+        /// The registry dump as rendered by `tirm_obs::dump_json`.
+        json: String,
+    },
     /// Replication stream payload: `frames[i]` is the event-JSON body
     /// of WAL frame `start_seq + i`. Frames are clamped to the leader's
     /// durable frontier, so everything here is fsynced on the leader's
@@ -471,7 +496,8 @@ impl Response {
                  \"total_seeds\":{},\"total_rr_sets\":{},\"engine_memory_bytes\":{},\
                  \"queue_depth\":{},\"max_queue_depth\":{},\"accepted\":{},\"shed\":{},\
                  \"rejected\":{},\"bad_requests\":{},\"connections\":{},\"role\":\"{}\",\
-                 \"fencing_epoch\":{},\"leader_seq\":{}}}",
+                 \"fencing_epoch\":{},\"leader_seq\":{},\"shed_total\":{},\
+                 \"rejected_total\":{}}}",
                 s.epoch,
                 s.wal_seq,
                 s.live_ads,
@@ -487,8 +513,14 @@ impl Response {
                 s.connections,
                 s.role.name(),
                 s.fencing_epoch,
-                s.leader_seq
+                s.leader_seq,
+                s.shed_total,
+                s.rejected_total
             ),
+            Response::Metrics { json } => {
+                // The dump is already a JSON object: embed verbatim.
+                format!("{{\"type\":\"metrics\",\"metrics\":{json}}}")
+            }
             Response::ReplicateFrames {
                 fencing_epoch,
                 start_seq,
@@ -603,8 +635,21 @@ impl Response {
                     ad,
                 })
             }
+            "metrics" => {
+                let dump = v
+                    .get("metrics")
+                    .ok_or_else(|| "missing `metrics`".to_string())?;
+                if dump.as_object().is_none() {
+                    return Err("`metrics` is not an object".to_string());
+                }
+                Ok(Response::Metrics {
+                    json: serde_json::to_string(dump).map_err(|e| e.to_string())?,
+                })
+            }
             "stats" => {
                 let wal_seq = u("wal_seq")?;
+                let shed = u("shed")?;
+                let rejected = u("rejected")?;
                 Ok(Response::Stats(StatsView {
                     epoch: u("epoch")?,
                     wal_seq,
@@ -615,8 +660,8 @@ impl Response {
                     queue_depth: u("queue_depth")? as usize,
                     max_queue_depth: u("max_queue_depth")? as usize,
                     accepted: u("accepted")?,
-                    shed: u("shed")?,
-                    rejected: u("rejected")?,
+                    shed,
+                    rejected,
                     bad_requests: u("bad_requests")?,
                     connections: u("connections")? as usize,
                     // Lenient v1 defaults: a leader at fencing epoch 0,
@@ -624,6 +669,10 @@ impl Response {
                     role: role_or_default(&v)?,
                     fencing_epoch: u("fencing_epoch").unwrap_or(0),
                     leader_seq: u("leader_seq").unwrap_or(wal_seq),
+                    // Lenient pre-v3 defaults: one serve-run per process,
+                    // so the per-run counters are the lifetime ones.
+                    shed_total: u("shed_total").unwrap_or(shed),
+                    rejected_total: u("rejected_total").unwrap_or(rejected),
                 }))
             }
             "replicate_frames" => {
@@ -989,6 +1038,7 @@ mod tests {
             Request::AllocationQuery,
             Request::AdQuery { id: 9 },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::ReplicatePoll {
                 from_seq: 42,
@@ -1098,7 +1148,14 @@ mod tests {
                 role: Role::Follower,
                 fencing_epoch: 2,
                 leader_seq: 11,
+                shed_total: 6,
+                rejected_total: 2,
             }),
+            Response::Metrics {
+                json: "{\"counters\":{\"tirm_server_shed_total\":2},\"gauges\":{},\
+                       \"histograms\":{},\"slow_events\":[]}"
+                    .to_string(),
+            },
             Response::ReplicateFrames {
                 fencing_epoch: 1,
                 start_seq: 40,
@@ -1135,6 +1192,25 @@ mod tests {
             let back = Response::decode(text.as_bytes()).unwrap();
             assert_eq!(back, resp, "{text}");
         }
+    }
+
+    #[test]
+    fn metrics_response_embeds_the_dump_verbatim() {
+        // The registry dump rides the frame as a JSON object, not an
+        // escaped string: decode must hand back the same bytes.
+        let json = "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":7}}".to_string();
+        let text = Response::Metrics { json: json.clone() }.encode();
+        assert!(
+            text.contains("\"metrics\":{\"counters\""),
+            "dump must be embedded as an object: {text}"
+        );
+        match Response::decode(text.as_bytes()).unwrap() {
+            Response::Metrics { json: back } => assert_eq!(back, json),
+            other => panic!("wrong response: {other:?}"),
+        }
+        // A metrics payload that is not an object is a protocol error.
+        assert!(Response::decode(b"{\"type\":\"metrics\",\"metrics\":3}").is_err());
+        assert!(Response::decode(b"{\"type\":\"metrics\"}").is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub use tirm_core as core;
 pub use tirm_diffusion as diffusion;
 pub use tirm_graph as graph;
 pub use tirm_irie as irie;
+pub use tirm_obs as obs;
 pub use tirm_online as online;
 pub use tirm_rrset as rrset;
 pub use tirm_server as server;
