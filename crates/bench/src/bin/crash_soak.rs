@@ -360,10 +360,27 @@ fn main() -> ExitCode {
                 },
             }
         };
-        // Last-breath scrape: the registry the crash is about to erase,
-        // preserved as a CI artifact (the WAL protects state, not
-        // metrics — the dump is the only record of this life).
+        // Last-breath scrapes: the registry and the flight-recorder
+        // timeline the crash is about to erase, preserved as CI
+        // artifacts (the WAL protects state, not telemetry — these
+        // dumps are the only record of this life). The kill-window
+        // check: the lineage scraped moments before a SIGKILL must
+        // still reconstruct complete durable lifecycles for the
+        // mutations that ran up to the kill.
         scrape_metrics(metrics_addr, &format!("crash_soak_kill{k}"));
+        if let Some(trace) = tirm_bench::scrape_trace(metrics_addr, &format!("crash_soak_kill{k}"))
+        {
+            let complete = tirm_bench::traces_covering_stages(
+                &trace,
+                &["admit", "queue", "wal_append", "fsync", "apply", "publish"],
+            );
+            if complete == 0 {
+                return fail(&format!(
+                    "kill {k}: pre-kill /trace.json holds no complete durable lifecycle"
+                ));
+            }
+            eprintln!("kill {k}: {complete} complete lifecycles in the kill window");
+        }
         // SIGKILL: no drain, no checkpoint, no fsync of anything
         // in-flight — the hard crash the WAL exists for.
         child.kill().ok();
@@ -420,6 +437,7 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("fetching the final allocation: {e}")),
     };
     scrape_metrics(metrics_addr, "crash_soak_final");
+    tirm_bench::scrape_trace(metrics_addr, "crash_soak_final");
     monitor.shutdown_server().ok();
     child.wait().ok();
 

@@ -464,12 +464,36 @@ fn main() -> ExitCode {
             rng.gen_range(0..replicas_total)
         };
         let was_leader = target == leader_idx;
-        // Preserve the victim's registry as an artifact before the
-        // SIGKILL erases it (metrics are in-memory only — no WAL).
+        // Preserve the victim's registry and lineage timeline as
+        // artifacts before the SIGKILL erases them (telemetry is
+        // in-memory only — no WAL). Kill-window check: the victim's
+        // last-breath /trace.json must reconstruct complete lifecycles
+        // for its role — the leader's full durable pipeline, or the
+        // follower's append→apply→publish extension of the leader's
+        // trace ids.
         scrape_metrics(
             replicas[target].metrics_addr,
             &format!("replica_soak_kill{k}_r{target}"),
         );
+        if let Some(trace) = tirm_bench::scrape_trace(
+            replicas[target].metrics_addr,
+            &format!("replica_soak_kill{k}_r{target}"),
+        ) {
+            let lifecycle: &[&str] = if was_leader {
+                &["admit", "queue", "wal_append", "fsync", "apply", "publish"]
+            } else {
+                &["follower_append", "follower_apply", "publish"]
+            };
+            let complete = tirm_bench::traces_covering_stages(&trace, lifecycle);
+            if complete == 0 {
+                return fail(&format!(
+                    "kill {k}: replica {target}'s pre-kill /trace.json holds no complete \
+                     {} lifecycle",
+                    if was_leader { "leader" } else { "follower" },
+                ));
+            }
+            eprintln!("kill {k}: {complete} complete lifecycles in replica {target}'s kill window");
+        }
         replicas[target].child.kill().ok();
         replicas[target].child.wait().ok();
 
@@ -615,6 +639,7 @@ fn main() -> ExitCode {
     }
 
     scrape_metrics(replicas[leader_idx].metrics_addr, "replica_soak_final");
+    tirm_bench::scrape_trace(replicas[leader_idx].metrics_addr, "replica_soak_final");
     for r in replicas.iter_mut() {
         Client::connect(r.addr)
             .and_then(|mut c| c.shutdown_server())

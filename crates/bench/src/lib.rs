@@ -268,6 +268,71 @@ pub fn scrape_metrics(addr: std::net::SocketAddr, name: &str) {
     }
 }
 
+/// Scrapes a server's `/trace.json` flight-recorder dump and preserves
+/// it under [`experiments_dir()`]`/<name>.trace.json` — the soak
+/// harnesses' last-breath lineage capture right before a SIGKILL (which
+/// leaves no `--trace-json` dump behind). Best-effort and non-fatal
+/// like [`scrape_metrics`], but the JSON is still parse-checked so a
+/// malformed dump is loud in the log. Returns the dump when it was
+/// fetched and parsed, so callers can assert kill-window coverage.
+pub fn scrape_trace(addr: std::net::SocketAddr, name: &str) -> Option<String> {
+    let json = match tirm_obs::http::fetch(addr, "/trace.json", std::time::Duration::from_secs(5)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("warn: trace scrape from {addr} failed: {e}");
+            return None;
+        }
+    };
+    if let Err(e) = serde_json::from_str(&json) {
+        eprintln!("warn: trace scrape from {addr} does not parse: {e}");
+        return None;
+    }
+    let path = experiments_dir().join(format!("{name}.trace.json"));
+    match tirm_graph::snapshot::write_atomic(&path, json.as_bytes()) {
+        Ok(()) => eprintln!("[trace] {}", path.display()),
+        Err(e) => eprintln!("warn: writing {name}.trace.json failed: {e}"),
+    }
+    Some(json)
+}
+
+/// How many distinct trace ids in a Chrome trace-event dump cover every
+/// stage in `stages` — the soak harnesses' kill-window check: a scrape
+/// taken right before a SIGKILL must still hold complete lifecycles for
+/// the mutations that ran in the window before it.
+pub fn traces_covering_stages(chrome_json: &str, stages: &[&str]) -> usize {
+    let Ok(v) = serde_json::from_str(chrome_json) else {
+        return 0;
+    };
+    let field = |v: &serde_json::Value, key: &str| {
+        v.as_object().and_then(|o| {
+            o.iter()
+                .find(|(k, _)| k.as_str() == key)
+                .map(|(_, v)| v.clone())
+        })
+    };
+    let Some(events) = field(&v, "traceEvents").and_then(|e| e.as_array().map(<[_]>::to_vec))
+    else {
+        return 0;
+    };
+    let mut seen: std::collections::HashMap<u64, std::collections::HashSet<String>> =
+        std::collections::HashMap::new();
+    for e in &events {
+        let trace = field(e, "args")
+            .and_then(|a| field(&a, "trace"))
+            .and_then(|t| t.as_u64())
+            .unwrap_or(0);
+        if trace == 0 {
+            continue;
+        }
+        if let Some(name) = field(e, "name").and_then(|n| n.as_str().map(str::to_owned)) {
+            if stages.contains(&name.as_str()) {
+                seen.entry(trace).or_default().insert(name);
+            }
+        }
+    }
+    seen.values().filter(|s| s.len() == stages.len()).count()
+}
+
 /// Writes a [`schema::BenchReport`] under [`experiments_dir()`]`/<name>.json`
 /// with the same log-or-warn behaviour as [`write_json`] — the standard
 /// sink for every experiment binary's artifact.

@@ -304,6 +304,18 @@ fn probe_metrics_exposition() {
             "core counter {name} missing or zero after the serving cell: {v:?}"
         );
     }
+    // The flight recorder's gate: /trace.json parses and holds at least
+    // one mutation with a complete lifecycle. The serving cell is
+    // memory-only, so the lifecycle is the non-durable core (admit →
+    // queue → apply → publish); the durable stages are gated by the
+    // server crate's own tests and the soaks.
+    let trace = tirm_obs::http::fetch(srv.addr(), "/trace.json", std::time::Duration::from_secs(5))
+        .expect("trace scrape failed");
+    let complete = crate::traces_covering_stages(&trace, &["admit", "queue", "apply", "publish"]);
+    assert!(
+        complete >= 1,
+        "no complete mutation lifecycle in /trace.json after the serving cell"
+    );
 }
 
 /// Runs one network serving cell: boot a real `tirm_server` on a

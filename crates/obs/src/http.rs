@@ -5,19 +5,27 @@
 //! - `GET /metrics`       → Prometheus text exposition of the registry
 //! - `GET /metrics.json`  → the structured JSON dump (same payload as
 //!   the `metrics` wire request)
+//! - `GET /trace.json`    → the flight-recorder lineage dump in Chrome
+//!   trace-event format (load in `about:tracing` or Perfetto)
 //!
 //! The acceptor runs on its own thread with a non-blocking listener and
 //! a short poll so [`MetricsServer::stop`] (or drop) tears it down
 //! promptly. Serving a scrape only *reads* metrics, so the endpoint
 //! cannot perturb the instrumented process beyond scheduler noise.
 
-use crate::{prom, registry};
+use crate::{flight, prom, registry};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Total wall-clock budget for writing one response. Generous because a
+/// legitimate scraper draining a multi-megabyte trace dump through small
+/// reads is slow, not broken; a truly dead peer still can't hold the
+/// single acceptor thread past this.
+const RESPONSE_WRITE_DEADLINE: Duration = Duration::from_secs(15);
 
 /// Handle to a running exposition endpoint.
 pub struct MetricsServer {
@@ -47,14 +55,53 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Writes all of `buf`, riding out partial writes and transient
+/// `WouldBlock`/`TimedOut` stalls until `deadline`.
+///
+/// The accepted stream is switched to blocking mode, but that call can
+/// fail (and a short write timeout turns a slow reader into a spurious
+/// `TimedOut` mid-body), so a plain `write_all` could silently truncate
+/// a large `/metrics.json` or `/trace.json` response. Here a stall only
+/// fails the response once the overall deadline passes.
+fn write_fully(stream: &mut TcpStream, mut buf: &[u8], deadline: Instant) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped reading",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "response write deadline exceeded",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let head = format!(
         "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    let deadline = Instant::now() + RESPONSE_WRITE_DEADLINE;
+    // A peer that dies mid-response is its problem, not ours — but a
+    // slow one gets the whole body (see `write_fully`).
+    let _ = write_fully(stream, head.as_bytes(), deadline)
+        .and_then(|()| write_fully(stream, body.as_bytes(), deadline))
+        .and_then(|()| stream.flush());
 }
 
 fn handle(mut stream: TcpStream) {
@@ -104,6 +151,10 @@ fn handle(mut stream: TcpStream) {
         }
         "/metrics.json" => {
             let body = registry::dump_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/trace.json" => {
+            let body = flight::dump_chrome_json();
             respond(&mut stream, "200 OK", "application/json", &body);
         }
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
@@ -190,9 +241,51 @@ mod tests {
         let json = fetch(addr, "/metrics.json", timeout).expect("scrape /metrics.json");
         assert!(json.starts_with("{\"counters\":{"));
 
+        crate::flight::record_since(
+            9_200_001,
+            crate::flight::Stage::Apply,
+            crate::flight::now_ns(),
+        );
+        let trace = fetch(addr, "/trace.json", timeout).expect("scrape /trace.json");
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"cat\":\"lineage\""));
+
         assert!(fetch(addr, "/nope", timeout).is_err());
         server.stop();
         // Port is released once stopped.
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    /// The satellite fix behind `write_fully`: a reader draining a large
+    /// response in dribs through a socket forced into nonblocking mode
+    /// (the historical failure: accepted streams inheriting the
+    /// listener's nonblocking flag) still receives every byte.
+    #[test]
+    fn write_fully_rides_out_a_slow_nonblocking_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let mut total = 0usize;
+            let mut chunk = [0u8; 4096];
+            loop {
+                std::thread::sleep(Duration::from_millis(1));
+                match s.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => total += n,
+                    Err(_) => break,
+                }
+            }
+            total
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        // Big enough to overrun any kernel send buffer, so the writer
+        // must hit WouldBlock and wait for the slow reader.
+        let body = vec![b'x'; 2 << 20];
+        write_fully(&mut stream, &body, Instant::now() + Duration::from_secs(30))
+            .expect("full body written despite slow reader");
+        drop(stream);
+        assert_eq!(reader.join().unwrap(), body.len());
     }
 }

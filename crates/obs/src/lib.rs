@@ -22,7 +22,14 @@
 //! allocation), and per-item instrumentation lives at batch granularity
 //! (per sampler call, per WAL group commit, per event apply) rather than
 //! inside inner loops.
+//!
+//! The [`flight`] module extends the same discipline from aggregates to
+//! *lineage*: per-mutation lifecycle stage records (admit → queue →
+//! wal_append → fsync → apply → publish → replication) written into
+//! fixed-size per-thread ring buffers, keyed by a trace id derived from
+//! the mutation's WAL position so timelines join up across processes.
 
+pub mod flight;
 pub mod http;
 pub mod metric;
 pub mod prom;
@@ -30,6 +37,7 @@ pub mod registry;
 pub mod sample;
 pub mod trace;
 
+pub use flight::{FlightEvent, Stage};
 pub use metric::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, COUNTER_SHARDS,
     HISTOGRAM_BUCKETS,

@@ -122,6 +122,15 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Exemplar: the largest traced sample seen so far, and the flight
+    /// trace id that produced it — the bridge from "the slowest bucket"
+    /// to a concrete event-lineage timeline. The pair is updated with
+    /// two relaxed stores (value CAS, then trace), so a reader racing
+    /// the update may briefly pair the new value with the old trace;
+    /// exemplars are diagnostics, not accounting, and the next traced
+    /// record heals it.
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 /// Index of the bucket holding `v`. Pinned by tests: changing this
@@ -154,6 +163,8 @@ impl Histogram {
             buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +174,33 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// [`record`](Self::record), and — when this sample is the largest
+    /// traced one so far — stamps it as the histogram's exemplar,
+    /// linking the slowest bucket to the flight-recorder trace id that
+    /// produced it. `trace == 0` (no trace in flight) records plainly.
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace: u64) {
+        self.record(v);
+        if trace == 0 {
+            return;
+        }
+        let mut cur = self.exemplar_value.load(Ordering::Relaxed);
+        while v >= cur {
+            match self.exemplar_value.compare_exchange_weak(
+                cur,
+                v,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.exemplar_trace.store(trace, Ordering::Relaxed);
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
     }
 
     /// Records an elapsed [`Duration`] in nanoseconds.
@@ -189,6 +227,8 @@ impl Histogram {
             counts,
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            exemplar_value: self.exemplar_value.load(Ordering::Relaxed),
+            exemplar_trace: self.exemplar_trace.load(Ordering::Relaxed),
         }
     }
 }
@@ -208,6 +248,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// Largest traced sample seen (0 when no traced sample recorded).
+    pub exemplar_value: u64,
+    /// Flight trace id of the exemplar sample (0 when none).
+    pub exemplar_trace: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -216,6 +260,8 @@ impl Default for HistogramSnapshot {
             counts: [0; HISTOGRAM_BUCKETS],
             count: 0,
             sum: 0,
+            exemplar_value: 0,
+            exemplar_trace: 0,
         }
     }
 }
@@ -228,6 +274,10 @@ impl HistogramSnapshot {
         }
         self.count += other.count;
         self.sum += other.sum;
+        if other.exemplar_value > self.exemplar_value {
+            self.exemplar_value = other.exemplar_value;
+            self.exemplar_trace = other.exemplar_trace;
+        }
     }
 
     /// Nearest-rank percentile, reported as the upper bound of the
@@ -383,6 +433,33 @@ mod tests {
         assert_eq!(m.percentile(100.0), bucket_bound(20));
         assert!((m.mean() - (99.0 * 100.0 + 1_000_000.0) / 100.0).abs() < 1e-9);
         assert_eq!(HistogramSnapshot::default().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn exemplar_tracks_largest_traced_sample() {
+        let h = Histogram::new();
+        h.record_traced(100, 7);
+        h.record_traced(50, 8); // smaller: exemplar unchanged
+        h.record_traced(0, 9); // ties at 0 lose to the 100 exemplar
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.exemplar_value, 100);
+        assert_eq!(s.exemplar_trace, 7);
+        h.record_traced(200, 0); // untraced: counted, never an exemplar
+        h.record_traced(150, 11);
+        let s = h.snapshot();
+        assert_eq!(s.exemplar_value, 150);
+        assert_eq!(s.exemplar_trace, 11);
+        // Merge keeps the larger exemplar.
+        let other = Histogram::new();
+        other.record_traced(999, 42);
+        let mut m = s.clone();
+        m.merge(&other.snapshot());
+        assert_eq!(m.exemplar_value, 999);
+        assert_eq!(m.exemplar_trace, 42);
+        let mut n = other.snapshot();
+        n.merge(&s);
+        assert_eq!(n.exemplar_trace, 42);
     }
 
     #[test]

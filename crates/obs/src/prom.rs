@@ -109,6 +109,20 @@ pub fn render(snap: &RegistrySnapshot) -> String {
         }
         push_hist(&mut out, family, *label, s);
     }
+    // Build identity as the standard *_info idiom: constant value 1,
+    // the identity entirely in the labels.
+    push_header(
+        &mut out,
+        "tirm_build_info",
+        "Build identity: git sha, wire protocol version, durable schema version",
+        "gauge",
+    );
+    out.push_str("tirm_build_info{git_sha=\"");
+    escape_label(snap.build.git_sha, &mut out);
+    out.push_str(&format!(
+        "\",protocol_version=\"{}\",schema_version=\"{}\"}} 1\n",
+        snap.build.protocol_version, snap.build.schema_version
+    ));
     out
 }
 
@@ -249,6 +263,11 @@ mod tests {
                 nanos: 2,
                 seq: 0,
             }],
+            build: crate::registry::BuildInfo {
+                git_sha: "abc123def456",
+                protocol_version: 4,
+                schema_version: 1,
+            },
         }
     }
 
@@ -289,6 +308,9 @@ tirm_test_kinded_ns_bucket{kind=\"a\\\"b\",le=\"7\"} 1
 tirm_test_kinded_ns_bucket{kind=\"a\\\"b\",le=\"+Inf\"} 1
 tirm_test_kinded_ns_sum{kind=\"a\\\"b\"} 5
 tirm_test_kinded_ns_count{kind=\"a\\\"b\"} 1
+# HELP tirm_build_info Build identity: git sha, wire protocol version, durable schema version
+# TYPE tirm_build_info gauge
+tirm_build_info{git_sha=\"abc123def456\",protocol_version=\"4\",schema_version=\"1\"} 1
 ";
         assert_eq!(text, expected);
     }
@@ -319,6 +341,20 @@ tirm_test_kinded_ns_count{kind=\"a\\\"b\"} 1
         assert_eq!(
             labeled.labels,
             vec![("kind".to_string(), "a\"b".to_string())]
+        );
+        // Build identity parses back with its three labels intact.
+        let build = samples
+            .iter()
+            .find(|s| s.name == "tirm_build_info")
+            .unwrap();
+        assert_eq!(build.value, 1.0);
+        assert_eq!(
+            build.labels,
+            vec![
+                ("git_sha".to_string(), "abc123def456".to_string()),
+                ("protocol_version".to_string(), "4".to_string()),
+                ("schema_version".to_string(), "1".to_string()),
+            ]
         );
     }
 

@@ -85,6 +85,35 @@ pub static REPL_BOOTSTRAP_RETRIES: Counter = Counter::new();
 /// Follower's current lag behind the leader, in frames.
 pub static REPL_FOLLOWER_LAG: Gauge = Gauge::new();
 
+// ---------------------------------------------------------------------
+// Flight recorder (tirm_obs::flight).
+// ---------------------------------------------------------------------
+
+/// Lifecycle stage records written into the flight rings.
+pub static FLIGHT_RECORDS: Counter = Counter::new();
+/// Stage records that overwrote an older ring entry (ring wrapped).
+pub static FLIGHT_OVERWRITTEN: Counter = Counter::new();
+/// Stage records dropped because every ring slot was claimed.
+pub static FLIGHT_DROPPED: Counter = Counter::new();
+
+// ---------------------------------------------------------------------
+// Process identity.
+// ---------------------------------------------------------------------
+
+/// Seconds since the flight-recorder epoch (first instrumented event or
+/// explicit [`crate::flight::now_ns`] touch); refreshed at snapshot time.
+pub static PROCESS_UPTIME_SECONDS: Gauge = Gauge::new();
+/// Wire protocol version label of `tirm_build_info`; set by the serving
+/// layer at startup (the obs crate cannot depend on `tirm_wire`).
+pub static BUILD_PROTOCOL_VERSION: Gauge = Gauge::new();
+/// Durable schema (WAL) version label of `tirm_build_info`; set by the
+/// serving layer at startup.
+pub static BUILD_SCHEMA_VERSION: Gauge = Gauge::new();
+
+/// Git commit this binary was built from (captured by the obs build
+/// script; `"unknown"` outside a git checkout).
+pub const GIT_SHA: &str = env!("TIRM_GIT_SHA");
+
 /// Process-wide slow-event trace (top-64 slowest spans).
 pub static SLOW_TRACE: SlowTrace = SlowTrace::new(64);
 
@@ -160,6 +189,21 @@ pub static COUNTERS: &[(&str, &str, &Counter)] = &[
         "Follower bootstrap attempts that failed and were retried",
         &REPL_BOOTSTRAP_RETRIES,
     ),
+    (
+        "tirm_flight_records_total",
+        "Lifecycle stage records written into the flight rings",
+        &FLIGHT_RECORDS,
+    ),
+    (
+        "tirm_flight_records_overwritten_total",
+        "Flight records that overwrote an older ring entry",
+        &FLIGHT_OVERWRITTEN,
+    ),
+    (
+        "tirm_flight_records_dropped_total",
+        "Flight records dropped because every ring slot was claimed",
+        &FLIGHT_DROPPED,
+    ),
 ];
 
 /// Gauge inventory: `(name, help, gauge)`.
@@ -178,6 +222,11 @@ pub static GAUGES: &[(&str, &str, &Gauge)] = &[
         "tirm_repl_follower_lag_frames",
         "Follower lag behind the leader, in frames",
         &REPL_FOLLOWER_LAG,
+    ),
+    (
+        "tirm_process_uptime_seconds",
+        "Seconds since the process flight epoch",
+        &PROCESS_UPTIME_SECONDS,
     ),
 ];
 
@@ -255,6 +304,19 @@ pub fn apply_latency_for(kind_name: &str) -> Option<&'static Histogram> {
     }
 }
 
+/// Build identity carried by a [`RegistrySnapshot`], rendered as the
+/// `tirm_build_info` gauge family (value constant 1, identity in the
+/// labels — the standard Prometheus *_info idiom).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Git commit sha (or `"unknown"`).
+    pub git_sha: &'static str,
+    /// Wire protocol version (0 until the serving layer sets it).
+    pub protocol_version: u64,
+    /// Durable schema (WAL) version (0 until the serving layer sets it).
+    pub schema_version: u64,
+}
+
 /// Point-in-time copy of every registry metric, in inventory order.
 #[derive(Clone, Debug, Default)]
 pub struct RegistrySnapshot {
@@ -272,10 +334,15 @@ pub struct RegistrySnapshot {
     )>,
     /// Slow-event trace contents, slowest first.
     pub slow_events: Vec<SlowEvent>,
+    /// Build identity (`tirm_build_info` labels).
+    pub build: BuildInfo,
 }
 
 /// Snapshots the whole registry.
 pub fn snapshot() -> RegistrySnapshot {
+    // Uptime is refreshed on the exposition path only — instrumented
+    // code never reads it, preserving the write-only invariant.
+    PROCESS_UPTIME_SECONDS.set(crate::flight::now_ns() / 1_000_000_000);
     RegistrySnapshot {
         counters: COUNTERS.iter().map(|(n, h, c)| (*n, *h, c.get())).collect(),
         gauges: GAUGES.iter().map(|(n, h, g)| (*n, *h, g.get())).collect(),
@@ -284,6 +351,11 @@ pub fn snapshot() -> RegistrySnapshot {
             .map(|(f, l, h, hist)| (*f, *l, *h, hist.snapshot()))
             .collect(),
         slow_events: SLOW_TRACE.dump(),
+        build: BuildInfo {
+            git_sha: GIT_SHA,
+            protocol_version: BUILD_PROTOCOL_VERSION.get(),
+            schema_version: BUILD_SCHEMA_VERSION.get(),
+        },
     }
 }
 
@@ -348,8 +420,8 @@ impl RegistrySnapshot {
             out.push('"');
             json_escape(&histogram_display_name(family, *label), &mut out);
             out.push_str(&format!(
-                "\":{{\"count\":{},\"sum\":{},\"buckets\":[",
-                snap.count, snap.sum
+                "\":{{\"count\":{},\"sum\":{},\"exemplar\":[{},{}],\"buckets\":[",
+                snap.count, snap.sum, snap.exemplar_value, snap.exemplar_trace
             ));
             let mut first = true;
             for (b, c) in snap.counts.iter().enumerate() {
@@ -375,7 +447,12 @@ impl RegistrySnapshot {
                 e.ad_id, e.nanos, e.seq
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"build\":{\"git_sha\":\"");
+        json_escape(self.build.git_sha, &mut out);
+        out.push_str(&format!(
+            "\",\"protocol_version\":{},\"schema_version\":{}}}}}",
+            self.build.protocol_version, self.build.schema_version
+        ));
         out
     }
 }
@@ -460,5 +537,29 @@ mod tests {
             .iter()
             .any(|(k, _)| k.as_str() == "tirm_server_wal_fsync_latency_ns"));
         assert!(v.get("slow_events").and_then(|s| s.as_array()).is_some());
+        let build = v.get("build").and_then(|b| b.as_object()).unwrap();
+        assert!(build.iter().any(|(k, _)| k.as_str() == "git_sha"));
+        let fsync = hists
+            .iter()
+            .find(|(k, _)| k.as_str() == "tirm_server_wal_fsync_latency_ns")
+            .map(|(_, v)| v)
+            .unwrap();
+        let ex = fsync.get("exemplar").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(ex.len(), 2, "exemplar is a [value, trace] pair");
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_exposed() {
+        assert!(!GIT_SHA.is_empty(), "build script must always set a sha");
+        BUILD_PROTOCOL_VERSION.set(4);
+        BUILD_SCHEMA_VERSION.set(1);
+        let snap = snapshot();
+        assert_eq!(snap.build.git_sha, GIT_SHA);
+        assert_eq!(snap.build.protocol_version, 4);
+        assert_eq!(snap.build.schema_version, 1);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, _, _)| *n == "tirm_process_uptime_seconds"));
     }
 }

@@ -1,0 +1,36 @@
+//! Slot-exhaustion accounting, isolated in its own test binary: burning
+//! every ring slot would silently break any other test that records in
+//! the same process, so this is the only test here.
+
+use tirm_obs::flight::{self, Stage, RING_SLOTS};
+use tirm_obs::registry;
+
+#[test]
+fn threads_past_the_slot_cap_drop_records_and_count_them() {
+    const EXTRA: usize = 8;
+    let base = 5_000_000u64;
+    let mut handles = Vec::new();
+    for i in 0..RING_SLOTS + EXTRA {
+        let trace = base + 1 + i as u64;
+        handles.push(std::thread::spawn(move || {
+            flight::record(trace, Stage::Apply, 1, 2);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Exactly RING_SLOTS threads got a ring; the rest dropped their one
+    // record each and the drop is counted, never silent.
+    let visible = flight::dump_events()
+        .into_iter()
+        .filter(|e| (base + 1..=base + (RING_SLOTS + EXTRA) as u64).contains(&e.trace))
+        .count();
+    assert_eq!(visible, RING_SLOTS);
+    assert_eq!(registry::FLIGHT_DROPPED.get(), EXTRA as u64);
+    assert!(flight::lost_records() >= EXTRA as u64);
+    // A late thread (slot long exhausted) still degrades gracefully.
+    std::thread::spawn(move || flight::record(base + 999, Stage::Apply, 3, 4))
+        .join()
+        .unwrap();
+    assert_eq!(registry::FLIGHT_DROPPED.get(), EXTRA as u64 + 1);
+}

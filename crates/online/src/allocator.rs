@@ -195,7 +195,9 @@ impl<'g> OnlineAllocator<'g> {
         let nanos = t0.elapsed().as_nanos() as u64;
         let kind_name = event.kind().name();
         if let Some(h) = tirm_obs::registry::apply_latency_for(kind_name) {
-            h.record(nanos);
+            // Exemplar: link the slowest apply to its lineage trace
+            // (0 outside a serving writer — recorded plainly).
+            h.record_traced(nanos, tirm_obs::flight::current_trace());
         }
         tirm_obs::registry::SLOW_TRACE.record(kind_name, event_ad_id(event), nanos);
         out

@@ -48,6 +48,11 @@
 //!   an ephemeral port, printed on stderr.
 //! * `--metrics-json PATH` — on clean shutdown, write the final
 //!   registry snapshot to PATH as JSON (atomic temp+rename).
+//! * `--trace-json PATH` — flight-recorder dump: on clean shutdown
+//!   *or panic*, write the event-lineage timeline to PATH as Chrome
+//!   trace-event JSON (atomic temp+rename; load in `about:tracing`).
+//!   A SIGKILL leaves no dump — scrape HTTP `/trace.json` for
+//!   last-breath timelines instead.
 //!
 //! `TIRM_SCALE` / `TIRM_THREADS` scale the run; `TIRM_SNAPSHOT_DIR`
 //! warm-starts the dataset from the binary snapshot cache.
@@ -62,7 +67,8 @@ fn usage(msg: &str) -> ExitCode {
         "usage: tirm_server [--dataset NAME] [--model topic|exp|wc] [--bind ADDR] \
          [--kappa N] [--lambda F] [--seed N] [--queue-depth N] [--max-connections N] \
          [--state-dir DIR] [--checkpoint-interval N] [--segment-events N] [--shard-writers S] \
-         [--follow LEADER_ADDR [--peer ADDR]...] [--metrics-addr ADDR] [--metrics-json PATH]"
+         [--follow LEADER_ADDR [--peer ADDR]...] [--metrics-addr ADDR] [--metrics-json PATH] \
+         [--trace-json PATH]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +90,7 @@ fn main() -> ExitCode {
     let mut peers: Vec<String> = Vec::new();
     let mut metrics_addr: Option<String> = None;
     let mut metrics_json: Option<String> = None;
+    let mut trace_json: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -152,6 +159,10 @@ fn main() -> ExitCode {
                 Some(p) if !p.is_empty() => metrics_json = Some(p),
                 _ => return usage("--metrics-json expects a file path"),
             },
+            "--trace-json" => match args.next() {
+                Some(p) if !p.is_empty() => trace_json = Some(p),
+                _ => return usage("--trace-json expects a file path"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -193,6 +204,22 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    // Crash flight recorder: a panic anywhere in the process dumps the
+    // lineage timeline before unwinding continues, so the last thing
+    // the server did is reconstructable post-mortem. (A SIGKILL leaves
+    // no dump — the soaks scrape /trace.json right before each kill.)
+    if let Some(path) = trace_json.clone() {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let dump = tirm_obs::flight::dump_chrome_json();
+            match tirm_graph::snapshot::write_atomic(std::path::Path::new(&path), dump.as_bytes()) {
+                Ok(()) => eprintln!("panic — flight-recorder dump written to {path}"),
+                Err(e) => eprintln!("panic — flight-recorder dump to {path} failed: {e}"),
+            }
+            previous(info);
+        }));
+    }
+
     // Final registry snapshot on clean shutdown — same atomic
     // temp+rename discipline as checkpoints, so a scraper never reads a
     // torn dump.
@@ -206,6 +233,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("metrics dump written to {path}");
+        }
+        ExitCode::SUCCESS
+    };
+
+    // Clean-shutdown twin of the panic hook above.
+    let dump_trace_json = |path: &Option<String>| -> ExitCode {
+        if let Some(path) = path {
+            let dump = tirm_obs::flight::dump_chrome_json();
+            if let Err(e) =
+                tirm_graph::snapshot::write_atomic(std::path::Path::new(path), dump.as_bytes())
+            {
+                eprintln!("error: flight-recorder dump to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("flight-recorder dump written to {path}");
         }
         ExitCode::SUCCESS
     };
@@ -252,7 +294,13 @@ fn main() -> ExitCode {
                     report.fenced_rejects,
                 );
                 if !report.promoted {
-                    return dump_metrics_json(&metrics_json);
+                    let trace_rc = dump_trace_json(&trace_json);
+                    let metrics_rc = dump_metrics_json(&metrics_json);
+                    return if metrics_rc != ExitCode::SUCCESS {
+                        metrics_rc
+                    } else {
+                        trace_rc
+                    };
                 }
                 match wal::bump_fencing_epoch(std::path::Path::new(&dir)) {
                     Ok(epoch) => {
@@ -355,7 +403,13 @@ fn main() -> ExitCode {
                 report.final_snapshot.total_seeds(),
                 report.final_snapshot.regret_estimate,
             );
-            dump_metrics_json(&metrics_json)
+            let trace_rc = dump_trace_json(&trace_json);
+            let metrics_rc = dump_metrics_json(&metrics_json);
+            if metrics_rc != ExitCode::SUCCESS {
+                metrics_rc
+            } else {
+                trace_rc
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -231,6 +231,15 @@ impl Client {
         }
     }
 
+    /// Fetches the server's flight-recorder lineage dump (Chrome
+    /// trace-event JSON, same payload as HTTP `/trace.json`).
+    pub fn trace_dump(&mut self) -> io::Result<String> {
+        match self.request(&Request::TraceDump)? {
+            Response::TraceDump { json } => Ok(json),
+            other => Err(protocol_err(format!("expected trace dump, got {other:?}"))),
+        }
+    }
+
     /// One replication poll: asks the server for WAL frames starting
     /// at `from_seq`. The response is returned raw because three
     /// outcomes are all legitimate protocol — `ReplicateFrames` (a

@@ -37,7 +37,7 @@
 //! frontier, and the new epoch fences the old leader off.
 
 use crate::protocol::{ClientOptions, Response, Role};
-use crate::server::{run_acceptor, ReplicaCtx, ServerHandle, Shared};
+use crate::server::{run_acceptor, Admitted, ReplicaCtx, ServerHandle, Shared};
 use crate::swap::SnapshotSwap;
 use crate::wal::{self, RecoveryReport, Wal};
 use crate::Client;
@@ -48,6 +48,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tirm_graph::DiGraph;
+use tirm_obs::flight::{self, Stage};
 use tirm_online::{
     AllocationSnapshot, OnlineAllocator, OnlineConfig, OnlineEvent, OnlineStats,
     ReplicationFrontier,
@@ -171,6 +172,11 @@ pub fn serve_follower<R>(
 
     // Local startup recovery — a follower restart resumes from its own
     // durable frontier; only the missing suffix is re-streamed.
+    // Same identity/flight-clock setup as the leader's `serve`.
+    tirm_obs::registry::BUILD_PROTOCOL_VERSION.set(crate::protocol::PROTOCOL_VERSION as u64);
+    tirm_obs::registry::BUILD_SCHEMA_VERSION.set(wal::WAL_VERSION as u64);
+    flight::now_ns();
+
     let (mut allocator, recovery) = wal::recover(&cfg.state_dir, graph, topic_probs, &cfg.online)?;
     let mut wal_log = Wal::open(&cfg.state_dir, recovery.wal_seq, cfg.segment_events)?;
 
@@ -188,7 +194,7 @@ pub fn serve_follower<R>(
     // Handlers need a sender for their signature, but a follower's
     // `Mutate` arm answers `NotLeader` before ever admitting — the
     // channel stays empty by construction.
-    let (tx, _rx) = std::sync::mpsc::sync_channel::<OnlineEvent>(1);
+    let (tx, _rx) = std::sync::mpsc::sync_channel::<Admitted>(1);
     let handle = ServerHandle {
         addr,
         swap: swap.clone(),
@@ -351,6 +357,7 @@ fn apply_loop<'g>(
                 Ok(Response::ReplicateFrames {
                     fencing_epoch,
                     durable_seq,
+                    trace_base,
                     frames,
                     ..
                 }) => {
@@ -404,15 +411,35 @@ fn apply_loop<'g>(
                     // The same WAL-before-apply group commit the
                     // leader's writer uses — a follower killed here
                     // recovers to a prefix, never past its log.
+                    // Replication preserves positional numbering, so
+                    // `trace_base + i` is the *same* trace id the
+                    // leader recorded its stages under — the follower's
+                    // stages extend that timeline across the process
+                    // boundary.
+                    let append_start = flight::now_ns();
                     for ev in &events {
                         wal_log.append(ev).expect("follower WAL append failed");
                     }
                     wal_log.sync().expect("follower WAL fsync failed");
+                    let append_end = flight::now_ns();
+                    for i in 0..events.len() as u64 {
+                        flight::record(
+                            trace_base + i,
+                            Stage::FollowerAppend,
+                            append_start,
+                            append_end,
+                        );
+                    }
                     shared.wal_seq.store(wal_log.seq(), Ordering::Release);
                     tirm_obs::registry::REPL_FOLLOWER_LAG
                         .set(durable_seq.saturating_sub(wal_log.seq()));
-                    for ev in &events {
-                        match allocator.process(ev) {
+                    for (i, ev) in events.iter().enumerate() {
+                        let trace = trace_base + i as u64;
+                        flight::set_current_trace(trace);
+                        let apply_start = flight::now_ns();
+                        let outcome = allocator.process(ev);
+                        flight::record_since(trace, Stage::FollowerApply, apply_start);
+                        match outcome {
                             Ok(_) => swap.publish(allocator.snapshot()),
                             Err(_) => {
                                 out.rejected_on_apply += 1;
@@ -420,6 +447,7 @@ fn apply_loop<'g>(
                             }
                         }
                     }
+                    flight::set_current_trace(0);
                     out.applied += events.len() as u64;
                     since_checkpoint += events.len() as u64;
                     if since_checkpoint >= cfg.checkpoint_interval {

@@ -50,6 +50,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::Duration;
 use tirm_graph::DiGraph;
+use tirm_obs::flight::{self, Stage};
 use tirm_online::{AllocationSnapshot, OnlineAllocator, OnlineConfig, OnlineEvent, OnlineStats};
 use tirm_topics::TopicEdgeProbs;
 
@@ -516,7 +517,12 @@ pub fn serve<R>(
         state_dir: cfg.durability.as_ref().map(|d| d.state_dir.clone()),
         leader_addr: Mutex::new(String::new()),
     });
-    let (tx, rx) = std::sync::mpsc::sync_channel::<OnlineEvent>(cfg.queue_depth);
+    // Surface this binary's identity and start the flight clock before
+    // the first mutation can be admitted.
+    tirm_obs::registry::BUILD_PROTOCOL_VERSION.set(PROTOCOL_VERSION as u64);
+    tirm_obs::registry::BUILD_SCHEMA_VERSION.set(wal::WAL_VERSION as u64);
+    flight::now_ns();
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Admitted>(cfg.queue_depth);
     let handle = ServerHandle {
         addr,
         swap: swap.clone(),
@@ -642,7 +648,7 @@ pub(crate) fn run_acceptor<'scope>(
     listener: TcpListener,
     shared: Arc<Shared>,
     swap: Arc<SnapshotSwap>,
-    tx: SyncSender<OnlineEvent>,
+    tx: SyncSender<Admitted>,
     ctx: Arc<ReplicaCtx>,
     read_poll: Duration,
     max_connections: usize,
@@ -672,6 +678,19 @@ pub(crate) fn run_acceptor<'scope>(
     })
 }
 
+/// A mutation travelling from admission to the writer, carrying the
+/// flight-clock stamps the writer needs to reconstruct the mutation's
+/// `admit` and `queue` lifecycle stages retroactively. The trace id is
+/// *not* carried: it is the WAL position + 1, which only the writer
+/// knows once the append assigns it.
+pub(crate) struct Admitted {
+    pub(crate) ev: OnlineEvent,
+    /// Flight clock at admission entry (decode done, about to enqueue).
+    pub(crate) admit_ns: u64,
+    /// Flight clock just before the queue send succeeded.
+    pub(crate) enqueue_ns: u64,
+}
+
 /// The writer's drain loop. Per batch: log every frame, fsync **once**,
 /// then apply — the WAL-before-apply invariant that makes a kill at any
 /// instant recoverable. With one shard writer each mutation is applied
@@ -685,7 +704,7 @@ pub(crate) fn run_acceptor<'scope>(
 /// panic propagates through the scope join, tearing the server down
 /// loudly instead of serving silently non-durable writes.
 fn writer_loop(
-    rx: &Receiver<OnlineEvent>,
+    rx: &Receiver<Admitted>,
     allocator: &mut OnlineAllocator<'_>,
     mut wal_log: Option<&mut Wal>,
     durability: Option<&DurabilityConfig>,
@@ -694,39 +713,66 @@ fn writer_loop(
     shared: &Shared,
 ) {
     let mut batch: Vec<OnlineEvent> = Vec::new();
+    // Parallel to `batch`: (admit_ns, enqueue_ns) flight stamps, kept
+    // out of the event vec so `process_batch` sees plain events.
+    let mut stamps: Vec<(u64, u64)> = Vec::new();
     let mut since_checkpoint: u64 = 0;
     while let Ok(first) = rx.recv() {
         batch.clear();
-        batch.push(first);
+        stamps.clear();
+        stamps.push((first.admit_ns, first.enqueue_ns));
+        batch.push(first.ev);
         if shard_writers > 1 {
             // Opportunistic group commit: everything already queued
             // shares one fsync and one shard fan-out.
-            while let Ok(ev) = rx.try_recv() {
-                batch.push(ev);
+            while let Ok(a) = rx.try_recv() {
+                stamps.push((a.admit_ns, a.enqueue_ns));
+                batch.push(a.ev);
             }
         }
+        let dequeue_ns = flight::now_ns();
 
-        if let Some(log) = wal_log.as_deref_mut() {
+        // `base` is the WAL position before this batch; event i lands
+        // at position base + i, so its trace id is base + i + 1 (0 is
+        // the no-trace sentinel). The memory-only branch keeps the
+        // same positional numbering so lineage works without a WAL.
+        let base = if let Some(log) = wal_log.as_deref_mut() {
+            let base = log.seq();
             for ev in &batch {
                 log.append(ev).expect("write-ahead log append failed");
             }
             log.sync().expect("write-ahead log fsync failed");
             shared.wal_seq.store(log.seq(), Ordering::Release);
             shared.leader_seq.store(log.seq(), Ordering::Release);
+            base
         } else {
-            let seq = shared
+            let base = shared
                 .wal_seq
-                .fetch_add(batch.len() as u64, Ordering::Release)
-                + batch.len() as u64;
-            shared.leader_seq.store(seq, Ordering::Release);
+                .fetch_add(batch.len() as u64, Ordering::Release);
+            shared
+                .leader_seq
+                .store(base + batch.len() as u64, Ordering::Release);
+            base
+        };
+        // The trace id only exists now that the append assigned a
+        // position — record the admission-side stages retroactively.
+        for (i, (admit_ns, enqueue_ns)) in stamps.iter().enumerate() {
+            let trace = base + i as u64 + 1;
+            flight::record(trace, Stage::Admit, *admit_ns, *enqueue_ns);
+            flight::record(trace, Stage::Queue, *enqueue_ns, dequeue_ns);
         }
 
         if shard_writers == 1 {
-            for ev in &batch {
+            for (i, ev) in batch.iter().enumerate() {
+                let trace = base + i as u64 + 1;
+                flight::set_current_trace(trace);
+                let apply_start = flight::now_ns();
                 // A rejected event changed nothing (and didn't bump
                 // the epoch): skip the O(ads + seeds) snapshot copy
                 // and the reader-side refresh it would force.
-                match allocator.process(ev) {
+                let outcome = allocator.process(ev);
+                flight::record_since(trace, Stage::Apply, apply_start);
+                match outcome {
                     Ok(_) => swap.publish(allocator.snapshot()),
                     Err(_) => {
                         shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -735,7 +781,16 @@ fn writer_loop(
                 }
             }
         } else {
+            // The fan-out applies the whole batch as one unit, so each
+            // event's apply span is the batch's; the publish that
+            // follows is attributed to the batch's last trace.
+            flight::set_current_trace(base + batch.len() as u64);
+            let apply_start = flight::now_ns();
             let outcomes = allocator.process_batch(&batch, shard_writers);
+            let apply_end = flight::now_ns();
+            for i in 0..batch.len() as u64 {
+                flight::record(base + i + 1, Stage::Apply, apply_start, apply_end);
+            }
             let mut applied = false;
             for outcome in &outcomes {
                 match outcome {
@@ -750,6 +805,7 @@ fn writer_loop(
                 swap.publish(allocator.snapshot());
             }
         }
+        flight::set_current_trace(0);
         shared.queue_len.fetch_sub(batch.len(), Ordering::Relaxed);
 
         if let (Some(log), Some(d)) = (wal_log.as_deref_mut(), durability) {
@@ -793,7 +849,7 @@ fn refuse_connection(mut stream: TcpStream) {
 /// `try_send` admission — full queue ⇒ `Overloaded`, never a block.
 pub(crate) fn handle_connection(
     mut stream: TcpStream,
-    tx: SyncSender<OnlineEvent>,
+    tx: SyncSender<Admitted>,
     swap: Arc<SnapshotSwap>,
     shared: &Shared,
     ctx: &ReplicaCtx,
@@ -899,6 +955,9 @@ pub(crate) fn handle_connection(
             Ok(Request::Metrics) => Response::Metrics {
                 json: tirm_obs::dump_json(),
             },
+            Ok(Request::TraceDump) => Response::TraceDump {
+                json: flight::dump_chrome_json(),
+            },
             Ok(Request::ReplicatePoll {
                 from_seq,
                 max_frames,
@@ -946,12 +1005,21 @@ pub(crate) fn handle_connection(
 /// try to enqueue; a full queue rolls the count back and sheds.
 fn admit(
     ev: &OnlineEvent,
-    tx: &SyncSender<OnlineEvent>,
+    tx: &SyncSender<Admitted>,
     reader: &mut SnapshotReader,
     shared: &Shared,
 ) -> Response {
+    // Stamp the flight clock on entry; the writer records the admit and
+    // queue stages retroactively once the WAL append assigns this
+    // mutation's position (= its trace id).
+    let admit_ns = flight::now_ns();
     let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
-    match tx.try_send(ev.clone()) {
+    let enqueue_ns = flight::now_ns();
+    match tx.try_send(Admitted {
+        ev: ev.clone(),
+        admit_ns,
+        enqueue_ns,
+    }) {
         Ok(()) => {
             shared.max_queue_len.fetch_max(depth, Ordering::Relaxed);
             shared.accepted.fetch_add(1, Ordering::Relaxed);
@@ -1030,10 +1098,17 @@ fn replicate_poll(ctx: &ReplicaCtx, shared: &Shared, from_seq: u64, max_frames: 
             }
             bodies.truncate(keep);
             tirm_obs::registry::REPL_FRAMES_SHIPPED.add(bodies.len() as u64);
+            // Each shipped frame's lineage: one replicate_ship span per
+            // frame, under the same trace id the follower will extend.
+            let ship_ns = flight::now_ns();
+            for i in 0..bodies.len() as u64 {
+                flight::record_since(from_seq + i + 1, Stage::ReplicateShip, ship_ns);
+            }
             Response::ReplicateFrames {
                 fencing_epoch,
                 start_seq: from_seq,
                 durable_seq: frontier,
+                trace_base: from_seq + 1,
                 frames: bodies,
             }
         }

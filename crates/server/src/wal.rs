@@ -72,6 +72,7 @@ use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 use tirm_graph::DiGraph;
+use tirm_obs::flight::{self, Stage};
 use tirm_online::{OnlineAllocator, OnlineConfig, OnlineEvent};
 use tirm_topics::TopicEdgeProbs;
 use tirm_workloads::events::{event_from_value, event_json_fields};
@@ -217,6 +218,7 @@ impl Wal {
     /// is buffered — it is *not* durable until [`sync`](Self::sync).
     pub fn append(&mut self, ev: &OnlineEvent) -> io::Result<u64> {
         let t0 = std::time::Instant::now();
+        let start_ns = flight::now_ns();
         if self.seq - self.segment_start >= self.segment_events {
             self.rotate()?;
         }
@@ -227,7 +229,12 @@ impl Wal {
         let assigned = self.seq;
         self.seq += 1;
         self.unsynced += 1;
-        tirm_obs::registry::WAL_APPEND_LATENCY_NS.record_duration(t0.elapsed());
+        // The append names the frame's position, so the trace id
+        // (position + 1) is known here without any plumbing.
+        let trace = assigned + 1;
+        flight::record_since(trace, Stage::WalAppend, start_ns);
+        tirm_obs::registry::WAL_APPEND_LATENCY_NS
+            .record_traced(t0.elapsed().as_nanos() as u64, trace);
         Ok(assigned)
     }
 
@@ -240,11 +247,19 @@ impl Wal {
         }
         let batch = self.unsynced;
         let t0 = std::time::Instant::now();
+        let start_ns = flight::now_ns();
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.unsynced = 0;
         let elapsed = t0.elapsed();
-        tirm_obs::registry::WAL_FSYNC_LATENCY_NS.record_duration(elapsed);
+        let end_ns = flight::now_ns();
+        // One group commit covers frames at positions
+        // [seq - batch, seq): each of their timelines gets the shared
+        // fsync span. The exemplar is pinned to the newest frame.
+        for trace in (self.seq - batch + 1)..=self.seq {
+            flight::record(trace, Stage::Fsync, start_ns, end_ns);
+        }
+        tirm_obs::registry::WAL_FSYNC_LATENCY_NS.record_traced(elapsed.as_nanos() as u64, self.seq);
         tirm_obs::registry::WAL_BATCH_EVENTS.record(batch);
         tirm_obs::registry::SLOW_TRACE.record("wal_fsync", 0, elapsed.as_nanos() as u64);
         Ok(())

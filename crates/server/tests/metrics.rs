@@ -169,6 +169,43 @@ fn metrics_request_and_http_exposition_cover_the_core_inventory() {
     // And the structured dump over HTTP round-trips as JSON too.
     let json = tirm_obs::http::fetch(srv.addr(), "/metrics.json", Duration::from_secs(5)).unwrap();
     serde_json::from_str(&json).expect("/metrics.json must be JSON");
+
+    // The flight recorder saw the same run: /trace.json parses as
+    // Chrome trace-event JSON and holds at least one mutation whose
+    // full durable lifecycle (admit → queue → wal_append → fsync →
+    // apply → publish) is reconstructable.
+    let trace = tirm_obs::http::fetch(srv.addr(), "/trace.json", Duration::from_secs(5)).unwrap();
+    let tv: serde_json::Value = serde_json::from_str(&trace).expect("/trace.json must be JSON");
+    let field = |v: &serde_json::Value, key: &str| {
+        v.as_object().and_then(|o| {
+            o.iter()
+                .find(|(k, _)| k.as_str() == key)
+                .map(|(_, v)| v.clone())
+        })
+    };
+    let events = field(&tv, "traceEvents")
+        .and_then(|v| v.as_array().map(<[serde_json::Value]>::to_vec))
+        .expect("traceEvents must be an array");
+    let durable = ["admit", "queue", "wal_append", "fsync", "apply", "publish"];
+    let mut complete = std::collections::HashMap::<u64, std::collections::HashSet<&str>>::new();
+    for e in &events {
+        let trace_id = field(e, "args")
+            .and_then(|a| field(&a, "trace"))
+            .and_then(|t| t.as_u64())
+            .unwrap_or(0);
+        let name = field(e, "name").and_then(|n| n.as_str().map(str::to_owned));
+        if let Some(name) = name {
+            if let Some(stage) = durable.iter().find(|s| **s == name) {
+                complete.entry(trace_id).or_default().insert(stage);
+            }
+        }
+    }
+    assert!(
+        complete
+            .values()
+            .any(|stages| stages.len() == durable.len()),
+        "no mutation has a complete durable lifecycle in /trace.json"
+    );
 }
 
 /// The zero-perturbation anchor: two identical in-process runs — the
@@ -191,8 +228,11 @@ fn run_twice_with_a_live_scraper_is_bit_identical() {
     let stop = AtomicBool::new(false);
     let got = std::thread::scope(|s| {
         s.spawn(|| {
+            // Alternate the text exposition and the flight-recorder
+            // dump: both must be read-only toward the allocation.
             while !stop.load(Ordering::Acquire) {
                 let _ = tirm_obs::http::fetch(srv.addr(), "/metrics", Duration::from_secs(5));
+                let _ = tirm_obs::http::fetch(srv.addr(), "/trace.json", Duration::from_secs(5));
             }
         });
         let mut second = OnlineAllocator::new(&graph, &probs, config(9));

@@ -64,8 +64,11 @@ use tirm_workloads::events::{event_from_value, event_json_fields};
 /// replication vocabulary (`Replicate*`, `NotLeader`, `Promote`) and
 /// the role / fencing-epoch fields on `hello` and `stats`. v3 added the
 /// `metrics` observability request and the registry-backed
-/// `shed_total` / `rejected_total` fields on `stats`.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `shed_total` / `rejected_total` fields on `stats`. v4 added the
+/// event-lineage vocabulary: the `trace_dump` request and the
+/// `trace_base` field on `replicate_frames` (lenient — it restates the
+/// positional trace numbering, so v3 peers interoperate).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Hard cap on one frame's body. Requests are small (an arrival with a
 /// full topic-weight vector is hundreds of bytes); responses embed at
@@ -137,6 +140,11 @@ pub enum Request {
     /// (`{"type":"metrics"}`): every counter, gauge and latency
     /// histogram plus the slow-event trace, as one JSON object.
     Metrics,
+    /// The event-lineage flight-recorder dump
+    /// (`{"type":"trace_dump"}`): the process's per-mutation lifecycle
+    /// timelines in Chrome trace-event JSON, same payload as the
+    /// `/trace.json` exposition route.
+    TraceDump,
     /// Ask the server to begin graceful shutdown
     /// (`{"type":"shutdown"}`).
     Shutdown,
@@ -176,6 +184,7 @@ impl Request {
             Request::AdQuery { id } => format!("{{\"type\":\"ad\",\"id\":{id}}}"),
             Request::Stats => "{\"type\":\"stats\"}".to_string(),
             Request::Metrics => "{\"type\":\"metrics\"}".to_string(),
+            Request::TraceDump => "{\"type\":\"trace_dump\"}".to_string(),
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
             Request::ReplicatePoll {
                 from_seq,
@@ -219,6 +228,7 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "trace_dump" => Ok(Request::TraceDump),
             "shutdown" => Ok(Request::Shutdown),
             "replicate_poll" => {
                 let u = |key: &str| {
@@ -391,6 +401,13 @@ pub enum Response {
         /// The registry dump as rendered by `tirm_obs::dump_json`.
         json: String,
     },
+    /// The flight-recorder lineage dump: Chrome trace-event JSON
+    /// embedded verbatim (one object, all-integer `args`), exactly the
+    /// `/trace.json` exposition payload.
+    TraceDump {
+        /// The dump as rendered by `tirm_obs::flight::dump_chrome_json`.
+        json: String,
+    },
     /// Replication stream payload: `frames[i]` is the event-JSON body
     /// of WAL frame `start_seq + i`. Frames are clamped to the leader's
     /// durable frontier, so everything here is fsynced on the leader's
@@ -404,6 +421,14 @@ pub enum Response {
         /// The leader's durable frontier at response time (lag =
         /// `durable_seq - (start_seq + frames.len())`).
         durable_seq: u64,
+        /// Flight trace id of `frames[0]`: the follower records its
+        /// `follower_append` / `follower_apply` stages under
+        /// `trace_base + i`, joining the leader's timeline for the same
+        /// mutation. Under positional trace numbering this is
+        /// `start_seq + 1`, and a v3 response without the field decodes
+        /// to exactly that, so propagation degrades to the derived ids
+        /// rather than to no lineage.
+        trace_base: u64,
         /// Raw event-JSON frame bodies, in sequence order.
         frames: Vec<String>,
     },
@@ -521,16 +546,22 @@ impl Response {
                 // The dump is already a JSON object: embed verbatim.
                 format!("{{\"type\":\"metrics\",\"metrics\":{json}}}")
             }
+            Response::TraceDump { json } => {
+                // The dump is already a JSON object: embed verbatim.
+                format!("{{\"type\":\"trace_dump\",\"trace\":{json}}}")
+            }
             Response::ReplicateFrames {
                 fencing_epoch,
                 start_seq,
                 durable_seq,
+                trace_base,
                 frames,
             } => {
                 // Frame bodies are event-JSON objects: embed verbatim.
                 let mut out = format!(
                     "{{\"type\":\"replicate_frames\",\"fencing_epoch\":{fencing_epoch},\
-                     \"start_seq\":{start_seq},\"durable_seq\":{durable_seq},\"frames\":["
+                     \"start_seq\":{start_seq},\"durable_seq\":{durable_seq},\
+                     \"trace_base\":{trace_base},\"frames\":["
                 );
                 for (i, frame) in frames.iter().enumerate() {
                     if i > 0 {
@@ -646,6 +677,17 @@ impl Response {
                     json: serde_json::to_string(dump).map_err(|e| e.to_string())?,
                 })
             }
+            "trace_dump" => {
+                let dump = v
+                    .get("trace")
+                    .ok_or_else(|| "missing `trace`".to_string())?;
+                if dump.as_object().is_none() {
+                    return Err("`trace` is not an object".to_string());
+                }
+                Ok(Response::TraceDump {
+                    json: serde_json::to_string(dump).map_err(|e| e.to_string())?,
+                })
+            }
             "stats" => {
                 let wal_seq = u("wal_seq")?;
                 let shed = u("shed")?;
@@ -689,10 +731,14 @@ impl Response {
                         }
                     })
                     .collect::<Result<Vec<_>, _>>()?;
+                let start_seq = u("start_seq")?;
                 Ok(Response::ReplicateFrames {
                     fencing_epoch: u("fencing_epoch")?,
-                    start_seq: u("start_seq")?,
+                    start_seq,
                     durable_seq: u("durable_seq")?,
+                    // Lenient v3 default: positional trace numbering
+                    // (trace = WAL position + 1).
+                    trace_base: u("trace_base").unwrap_or(start_seq + 1),
                     frames,
                 })
             }
@@ -1039,6 +1085,7 @@ mod tests {
             Request::AdQuery { id: 9 },
             Request::Stats,
             Request::Metrics,
+            Request::TraceDump,
             Request::Shutdown,
             Request::ReplicatePoll {
                 from_seq: 42,
@@ -1156,10 +1203,17 @@ mod tests {
                        \"histograms\":{},\"slow_events\":[]}"
                     .to_string(),
             },
+            Response::TraceDump {
+                json: "{\"traceEvents\":[{\"name\":\"apply\",\"cat\":\"lineage\",\
+                       \"ph\":\"X\",\"ts\":1.5,\"dur\":2.25,\"pid\":1,\"tid\":0,\
+                       \"args\":{\"trace\":41}}],\"displayTimeUnit\":\"ns\"}"
+                    .to_string(),
+            },
             Response::ReplicateFrames {
                 fencing_epoch: 1,
                 start_seq: 40,
                 durable_seq: 44,
+                trace_base: 41,
                 frames: vec![
                     "{\"type\":\"topup\",\"id\":3,\"amount\":2.5}".to_string(),
                     "{\"type\":\"departure\",\"id\":3}".to_string(),
@@ -1169,6 +1223,7 @@ mod tests {
                 fencing_epoch: 0,
                 start_seq: 44,
                 durable_seq: 44,
+                trace_base: 45,
                 frames: vec![],
             },
             Response::ReplicateBootstrap {
@@ -1211,6 +1266,45 @@ mod tests {
         // A metrics payload that is not an object is a protocol error.
         assert!(Response::decode(b"{\"type\":\"metrics\",\"metrics\":3}").is_err());
         assert!(Response::decode(b"{\"type\":\"metrics\"}").is_err());
+    }
+
+    #[test]
+    fn trace_dump_embeds_the_chrome_json_verbatim() {
+        let json = "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\",\
+                    \"otherData\":{\"pid\":7,\"records\":0,\"overwritten\":0,\"dropped\":0}}"
+            .to_string();
+        let text = Response::TraceDump { json: json.clone() }.encode();
+        assert!(
+            text.contains("\"trace\":{\"traceEvents\""),
+            "dump must be embedded as an object: {text}"
+        );
+        match Response::decode(text.as_bytes()).unwrap() {
+            Response::TraceDump { json: back } => assert_eq!(back, json),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert!(Response::decode(b"{\"type\":\"trace_dump\",\"trace\":[]}").is_err());
+        assert!(Response::decode(b"{\"type\":\"trace_dump\"}").is_err());
+    }
+
+    #[test]
+    fn v3_replicate_frames_decode_with_positional_trace_base() {
+        // A v3 leader ships no trace_base; the follower derives the
+        // positional numbering (trace = WAL position + 1) instead of
+        // losing lineage.
+        let v3 = b"{\"type\":\"replicate_frames\",\"fencing_epoch\":2,\
+            \"start_seq\":40,\"durable_seq\":44,\
+            \"frames\":[{\"type\":\"departure\",\"id\":3}]}";
+        match Response::decode(v3).unwrap() {
+            Response::ReplicateFrames {
+                trace_base,
+                start_seq,
+                ..
+            } => {
+                assert_eq!(start_seq, 40);
+                assert_eq!(trace_base, 41);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
     }
 
     #[test]
@@ -1363,6 +1457,7 @@ mod tests {
             fencing_epoch: 1,
             start_seq: 5,
             durable_seq: 7,
+            trace_base: 6,
             frames: vec![
                 format!("{{{}}}", event_json_fields(&arrival())),
                 "{\"type\":\"departure\",\"id\":7}".to_string(),
